@@ -1,0 +1,140 @@
+// Benchmarks: one testing.B target per paper table/figure (regenerating the
+// experiment end-to-end), plus micro-benchmarks for the hot substrates.
+// Run with: go test -bench=. -benchmem
+package hotline_test
+
+import (
+	"testing"
+
+	"hotline"
+	"hotline/internal/accel"
+	"hotline/internal/cost"
+	"hotline/internal/data"
+	"hotline/internal/pipeline"
+	"hotline/internal/tensor"
+)
+
+// benchExperiment runs one experiment generator per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	hotline.SetExperimentTrainIters(12) // keep functional training short
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := hotline.RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable1ISA(b *testing.B)            { benchExperiment(b, "tab1") }
+func BenchmarkTable2Models(b *testing.B)         { benchExperiment(b, "tab2") }
+func BenchmarkTable5Accuracy(b *testing.B)       { benchExperiment(b, "tab5") }
+func BenchmarkFig3HybridBreakdown(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4GPUOnlyBreakdown(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5MultiNodeBreakdown(b *testing.B) {
+	benchExperiment(b, "fig5")
+}
+func BenchmarkFig6AccessSkew(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7CPUSegregation(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8CorePlateau(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9EvolvingSkew(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig15SRRIPvsOracle(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16QueueBanks(b *testing.B)     { benchExperiment(b, "fig16") }
+func BenchmarkFig18AccuracyParity(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19Speedup(b *testing.B)        { benchExperiment(b, "fig19") }
+func BenchmarkFig20LatencyBreakdown(b *testing.B) {
+	benchExperiment(b, "fig20")
+}
+func BenchmarkFig21Throughput(b *testing.B)      { benchExperiment(b, "fig21") }
+func BenchmarkFig22HugeCTR(b *testing.B)         { benchExperiment(b, "fig22") }
+func BenchmarkFig23CPUvsAccel(b *testing.B)      { benchExperiment(b, "fig23") }
+func BenchmarkFig24ScratchPipe(b *testing.B)     { benchExperiment(b, "fig24") }
+func BenchmarkFig25RatioSweep(b *testing.B)      { benchExperiment(b, "fig25") }
+func BenchmarkFig26BatchSweep(b *testing.B)      { benchExperiment(b, "fig26") }
+func BenchmarkFig27EALSize(b *testing.B)         { benchExperiment(b, "fig27") }
+func BenchmarkFig28SyntheticModels(b *testing.B) { benchExperiment(b, "fig28") }
+func BenchmarkFig29PerfPerWatt(b *testing.B)     { benchExperiment(b, "fig29") }
+func BenchmarkFig30MultiNode(b *testing.B)       { benchExperiment(b, "fig30") }
+
+// Design-choice ablations (DESIGN.md).
+func BenchmarkAblEALPolicy(b *testing.B) { benchExperiment(b, "abl-eal") }
+func BenchmarkAblFeistel(b *testing.B)   { benchExperiment(b, "abl-feistel") }
+func BenchmarkAblOverlap(b *testing.B)   { benchExperiment(b, "abl-overlap") }
+func BenchmarkAblSampling(b *testing.B)  { benchExperiment(b, "abl-sampling") }
+
+// --- micro-benchmarks on the hot substrates -------------------------------
+
+// BenchmarkEALTouch measures the Embedding Access Logger's learning-phase
+// throughput (the accelerator's innermost loop).
+func BenchmarkEALTouch(b *testing.B) {
+	eal := accel.NewEAL(accel.EALConfig{SizeBytes: 1 << 20, Banks: 64, Ways: 8, BytesPerEntry: 2, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eal.Touch(i%26, int32(i%100000))
+	}
+}
+
+// BenchmarkEALClassify measures acceleration-phase classification of a 4K
+// Criteo Kaggle mini-batch.
+func BenchmarkEALClassify(b *testing.B) {
+	cfg := data.CriteoKaggle()
+	acc := accel.New(accel.DefaultConfig())
+	gen := data.NewGenerator(cfg)
+	for i := 0; i < 2; i++ {
+		acc.LearnBatch(gen.NextBatch(1024))
+	}
+	batch := gen.NextBatch(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Classify(batch)
+	}
+}
+
+// BenchmarkHotlineTrainStep measures one functional Hotline training step
+// (segregate + two µ-batch passes + update) on a scaled Kaggle model.
+func BenchmarkHotlineTrainStep(b *testing.B) {
+	cfg := data.CriteoKaggle()
+	cfg.BotMLP = []int{13, 64, 16}
+	cfg.TopMLP = []int{64, 1}
+	m := hotline.NewModel(cfg, 1)
+	tr := hotline.NewHotlineTrainer(m, 0.1)
+	gen := hotline.NewGenerator(cfg)
+	batch := gen.NextBatch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(batch)
+	}
+}
+
+// BenchmarkPipelineIteration measures the full analytic timing model for
+// every pipeline on the 4-GPU Kaggle workload.
+func BenchmarkPipelineIteration(b *testing.B) {
+	w := pipeline.NewWorkload(data.CriteoKaggle(), 4096, cost.PaperSystem(4))
+	pipes := pipeline.All()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pipes {
+			p.Iteration(w)
+		}
+	}
+}
+
+// BenchmarkZipfSample measures the workload generator's inner sampler.
+func BenchmarkZipfSample(b *testing.B) {
+	z := data.NewZipf(1_000_000, 1.1)
+	rng := tensor.NewRNG(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(rng)
+	}
+}

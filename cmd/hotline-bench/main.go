@@ -1,0 +1,45 @@
+// Command hotline-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hotline-bench -exp fig19        # one experiment
+//	hotline-bench -exp all          # everything, in order
+//	hotline-bench -list             # list experiment ids
+//	hotline-bench -exp fig18 -iters 200   # longer functional training
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotline"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e.g. fig19, tab5) or 'all'")
+	iters := flag.Int("iters", 40, "functional-training iterations for fig18/tab5")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range hotline.Experiments() {
+			fmt.Printf("%-6s %s\n", id, hotline.ExperimentTitle(id))
+		}
+		return
+	}
+	hotline.SetExperimentTrainIters(*iters)
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = hotline.Experiments()
+	}
+	for _, id := range ids {
+		tab, err := hotline.RunExperiment(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hotline-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+	}
+}

@@ -1,0 +1,59 @@
+// Command hotline-datagen inspects the synthetic dataset generators:
+// per-dataset shapes, access skew, popular-input fractions and day drift.
+//
+// Usage:
+//
+//	hotline-datagen                      # summary of all datasets
+//	hotline-datagen -dataset RM3 -day 3  # one dataset at a drifted day
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotline"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "dataset name or RM id (empty = all)")
+	day := flag.Int("day", 0, "simulated day (popularity drift)")
+	samples := flag.Int("samples", 2048, "samples to profile")
+	flag.Parse()
+
+	cfgs := hotline.Datasets()
+	if *dataset != "" {
+		cfg, err := hotline.DatasetByName(*dataset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hotline-datagen:", err)
+			os.Exit(1)
+		}
+		cfgs = []hotline.DatasetConfig{cfg}
+	}
+
+	for _, cfg := range cfgs {
+		gen := hotline.NewGenerator(cfg)
+		gen.SetDay(*day)
+		b := gen.NextBatch(*samples)
+		positives := 0
+		lookups := 0
+		for i, l := range b.Labels {
+			if l == 1 {
+				positives++
+			}
+			for t := range b.Sparse {
+				lookups += len(b.Sparse[t][i])
+			}
+		}
+		fmt.Printf("%s (%s) day %d\n", cfg.Name, cfg.RM, *day)
+		fmt.Printf("  dense features     %d\n", cfg.DenseFeatures)
+		fmt.Printf("  sparse features    %d (dim %d)\n", cfg.NumTables, cfg.EmbedDim)
+		fmt.Printf("  rows full/scaled   %d / %d (scale %dx)\n",
+			cfg.TotalFullRows(), cfg.TotalScaledRows(), cfg.ScaleFactor)
+		fmt.Printf("  embedding bytes    %.2f GB full\n", float64(cfg.FullEmbeddingBytes())/(1<<30))
+		fmt.Printf("  zipf s             %.2f\n", cfg.ZipfS)
+		fmt.Printf("  lookups/sample     %.1f\n", float64(lookups)/float64(*samples))
+		fmt.Printf("  positive labels    %.1f%%\n", 100*float64(positives)/float64(*samples))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,39 @@
+// Multi-node scaling (paper §VII-H, Figure 30): large synthetic models on
+// 1/2/4-node clusters. HugeCTR's GPU-only mode OOMs until aggregate HBM
+// fits the embeddings and then pays cross-node all-to-all; Hotline keeps
+// embeddings in host DRAM and trains at any scale.
+//
+//	go run ./examples/multinode
+package main
+
+import (
+	"fmt"
+
+	"hotline"
+)
+
+func main() {
+	hc := hotline.NewHugeCTRPipeline()
+	hl := hotline.NewHotlinePipeline()
+
+	for _, cfg := range []hotline.DatasetConfig{hotline.SynM1(), hotline.SynM2()} {
+		fmt.Printf("%s — %d sparse features, %.0f GB of embeddings\n",
+			cfg.Name, cfg.NumTables, cfg.FullSizeGB)
+		for _, nodes := range []int{1, 2, 4} {
+			sys := hotline.PaperCluster(nodes)
+			w := hotline.NewWorkload(cfg, 4096*nodes, sys)
+			hcSt, hlSt := hc.Iteration(w), hl.Iteration(w)
+			hbm := float64(int64(sys.TotalGPUs())*sys.GPU.HBMBytes) / (1 << 30)
+			if hcSt.OOM {
+				fmt.Printf("  %d node(s) (%2.0f GB HBM): HugeCTR OOM          Hotline %8s\n",
+					nodes, hbm, hlSt.Total)
+				continue
+			}
+			fmt.Printf("  %d node(s) (%2.0f GB HBM): HugeCTR %9s  Hotline %8s  (%.2fx)\n",
+				nodes, hbm, hcSt.Total, hlSt.Total, hotline.Speedup(hcSt, hlSt))
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper: 1.89x at 4 nodes by eliminating all-to-all; Hotline trains")
+	fmt.Println("Terabyte-class models on a single GPU where GPU-only needs four.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: train a scaled Criteo Kaggle DLRM with the Hotline µ-batch
+// executor, then time one simulated iteration of every training pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hotline"
+)
+
+func main() {
+	// 1. Pick a workload (paper Table II shape, ~1000x downscaled rows).
+	cfg := hotline.CriteoKaggle()
+	fmt.Printf("dataset: %s — %d sparse features, %d paper-scale rows\n",
+		cfg.Name, cfg.NumTables, cfg.TotalFullRows())
+
+	// 2. Functional training with the Hotline executor: the accelerator's
+	// EAL learns the hot embeddings, every mini-batch splits into popular
+	// and non-popular µ-batches, and updates are at parity with baseline.
+	m := hotline.NewModel(cfg, 42)
+	trainer := hotline.NewHotlineTrainer(m, 0.1)
+	curve := hotline.RunTraining(trainer, hotline.NewGenerator(cfg),
+		hotline.TrainRunConfig{BatchSize: 64, Iters: 50, EvalEvery: 10, EvalSize: 512})
+	for _, p := range curve {
+		fmt.Printf("  iter %3d  loss %.4f  %v\n", p.Iteration, p.Loss, p.Metrics)
+	}
+	fmt.Printf("  popular inputs classified by the EAL: %.1f%%\n\n",
+		trainer.PopularFraction()*100)
+
+	// 3. Performance simulation: one steady-state iteration per pipeline
+	// on the paper's 4xV100 server.
+	w := hotline.NewWorkload(cfg, 4096, hotline.PaperSystem(4))
+	fmt.Println("simulated 4-GPU iteration (batch 4096):")
+	base := hotline.NewIntelDLRMPipeline().Iteration(w)
+	for _, p := range hotline.Pipelines() {
+		st := p.Iteration(w)
+		if st.OOM {
+			fmt.Printf("  %-18s OOM\n", p.Name())
+			continue
+		}
+		fmt.Printf("  %-18s %8s  (%.2fx vs Intel DLRM)\n",
+			p.Name(), st.Total, hotline.Speedup(base, st))
+	}
+}

@@ -1,0 +1,172 @@
+// Package hotline is the public API of this reproduction of "Heterogeneous
+// Acceleration Pipeline for Recommendation System Training" (ISCA 2024).
+//
+// The package re-exports the stable surface of the internal substrates:
+//
+//   - Dataset configs and synthetic generators (the paper's Table II
+//     workloads with Zipfian popularity and day-to-day drift);
+//   - Functional DLRM/TBSM models with full forward/backward/SGD;
+//   - The training executors: the standard baseline and the Hotline
+//     µ-batch executor with its accelerator-backed input classification;
+//   - The accelerator model (EAL, lookup engines, ISA, power);
+//   - The performance simulator: system specs, workloads, and the seven
+//     training pipelines the paper compares;
+//   - The experiment harness that regenerates every table and figure.
+//
+// See examples/ for runnable entry points and DESIGN.md for the system map.
+package hotline
+
+import (
+	"hotline/internal/accel"
+	"hotline/internal/cost"
+	"hotline/internal/data"
+	"hotline/internal/experiments"
+	"hotline/internal/metrics"
+	"hotline/internal/model"
+	"hotline/internal/pipeline"
+	"hotline/internal/report"
+	"hotline/internal/train"
+)
+
+// --- datasets and generators ---------------------------------------------
+
+// DatasetConfig describes one synthetic workload (paper Table II shape).
+type DatasetConfig = data.Config
+
+// Generator produces deterministic mini-batches for a dataset.
+type Generator = data.Generator
+
+// Batch is one mini-batch of dense features, sparse indices and labels.
+type Batch = data.Batch
+
+// Dataset constructors (paper Table II).
+var (
+	CriteoKaggle   = data.CriteoKaggle
+	TaobaoAlibaba  = data.TaobaoAlibaba
+	CriteoTerabyte = data.CriteoTerabyte
+	Avazu          = data.Avazu
+	SynM1          = data.SynM1
+	SynM2          = data.SynM2
+)
+
+// Datasets returns the four real-world workloads in paper order.
+func Datasets() []DatasetConfig { return data.AllDatasets() }
+
+// DatasetByName resolves a dataset by name or RM id ("RM3").
+var DatasetByName = data.ByName
+
+// NewGenerator builds a batch generator positioned at day 0.
+func NewGenerator(cfg DatasetConfig) *Generator { return data.NewGenerator(cfg) }
+
+// --- functional models and training --------------------------------------
+
+// Model is a DLRM or TBSM instance with full backprop.
+type Model = model.Model
+
+// NewModel builds a model with deterministic weights derived from seed.
+func NewModel(cfg DatasetConfig, seed uint64) *Model { return model.New(cfg, seed) }
+
+// Trainer consumes mini-batches and updates a model.
+type Trainer = train.Trainer
+
+// TrainRunConfig controls a training run.
+type TrainRunConfig = train.RunConfig
+
+// CurvePoint is one evaluation sample along a training run.
+type CurvePoint = train.CurvePoint
+
+// MetricSummary bundles accuracy/AUC/logloss.
+type MetricSummary = metrics.Summary
+
+// NewBaselineTrainer returns the standard mini-batch SGD executor.
+func NewBaselineTrainer(m *Model, lr float32) Trainer { return train.NewBaseline(m, lr) }
+
+// NewHotlineTrainer returns the µ-batch executor backed by the accelerator's
+// EAL classification. Its updates are at parity with the baseline (Eq. 5).
+func NewHotlineTrainer(m *Model, lr float32) *train.HotlineTrainer {
+	return train.NewHotline(m, lr)
+}
+
+// RunTraining trains and returns the metric curve.
+var RunTraining = train.Run
+
+// ParityReport compares baseline and Hotline executors on identical data.
+type ParityReport = train.ParityReport
+
+// RunParity trains both executors from identical state (Fig 18 / Table V).
+var RunParity = train.Parity
+
+// Evaluate computes accuracy/AUC/logloss for predictions.
+var Evaluate = metrics.Evaluate
+
+// --- accelerator ----------------------------------------------------------
+
+// Accelerator is the functional + timing model of the Hotline accelerator.
+type Accelerator = accel.Accelerator
+
+// AcceleratorConfig bundles EAL/engine/reducer/eDRAM settings (Table IV).
+type AcceleratorConfig = accel.Config
+
+// NewAccelerator builds an accelerator; DefaultAcceleratorConfig matches
+// the paper's Table IV.
+func NewAccelerator(cfg AcceleratorConfig) *Accelerator { return accel.New(cfg) }
+
+// DefaultAcceleratorConfig is the paper's accelerator configuration.
+var DefaultAcceleratorConfig = accel.DefaultConfig
+
+// --- performance simulation ------------------------------------------------
+
+// System is a simulated training server or cluster (paper Table III).
+type System = cost.System
+
+// PaperSystem returns the single-node evaluation server with n GPUs.
+var PaperSystem = cost.PaperSystem
+
+// PaperCluster returns an n-node cluster with 4 GPUs per node.
+var PaperCluster = cost.PaperCluster
+
+// Workload bundles a dataset, batch size and system for the timing models.
+type Workload = pipeline.Workload
+
+// NewWorkload assembles a workload with measured popularity statistics.
+var NewWorkload = pipeline.NewWorkload
+
+// TrainingPipeline is one training-system timing model.
+type TrainingPipeline = pipeline.Pipeline
+
+// IterStats is one steady-state iteration's timing and phase breakdown.
+type IterStats = pipeline.IterStats
+
+// Pipeline constructors for every system the paper compares.
+var (
+	NewHotlinePipeline     = pipeline.NewHotline
+	NewHotlineCPUPipeline  = pipeline.NewHotlineCPU
+	NewIntelDLRMPipeline   = pipeline.NewIntelDLRM
+	NewXDLPipeline         = pipeline.NewXDL
+	NewFAEPipeline         = pipeline.NewFAE
+	NewHugeCTRPipeline     = pipeline.NewHugeCTR
+	NewScratchPipePipeline = pipeline.NewScratchPipeIdeal
+)
+
+// Pipelines returns every pipeline in figure order.
+func Pipelines() []TrainingPipeline { return pipeline.All() }
+
+// Speedup returns a.Total/b.Total (0 when either side OOMs).
+var Speedup = pipeline.Speedup
+
+// --- experiments ------------------------------------------------------------
+
+// ExperimentTable is one regenerated table/figure.
+type ExperimentTable = report.Table
+
+// Experiments returns every experiment id (tab1..fig30).
+func Experiments() []string { return experiments.All() }
+
+// ExperimentTitle returns an experiment's title.
+var ExperimentTitle = experiments.Title
+
+// RunExperiment regenerates one table or figure by id, e.g. "fig19".
+func RunExperiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
+
+// SetExperimentTrainIters adjusts functional-training experiment length.
+var SetExperimentTrainIters = experiments.SetTrainIters

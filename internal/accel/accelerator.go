@@ -1,0 +1,135 @@
+package accel
+
+import (
+	"hotline/internal/data"
+	"hotline/internal/sim"
+)
+
+// Config bundles the full accelerator configuration (Table IV defaults).
+type Config struct {
+	EAL     EALConfig
+	Engines EngineConfig
+	Reducer ReducerConfig
+	EDRAM   InputEDRAMConfig
+	// SampleRate is the learning-phase mini-batch sampling rate
+	// (paper: 5% keeps profiling overhead ≤ 5%).
+	SampleRate float64
+}
+
+// DefaultConfig returns the paper's accelerator.
+func DefaultConfig() Config {
+	return Config{
+		EAL:        DefaultEALConfig(),
+		Engines:    DefaultEngineConfig(),
+		Reducer:    DefaultReducerConfig(),
+		EDRAM:      DefaultInputEDRAM(),
+		SampleRate: 0.05,
+	}
+}
+
+// Accelerator is the functional + timing model of the Hotline accelerator.
+// It owns an EAL and classifies mini-batches into popular / non-popular
+// µ-batches, exactly as the Input Classifier + Lookup Engine array do.
+type Accelerator struct {
+	Cfg Config
+	EAL *EAL
+	seg *SegregationModel
+	// learning statistics
+	SampledBatches int64
+	TotalBatches   int64
+}
+
+// New builds an accelerator.
+func New(cfg Config) *Accelerator {
+	return &Accelerator{
+		Cfg: cfg,
+		EAL: NewEAL(cfg.EAL),
+		seg: NewSegregationModel(cfg.Engines, cfg.EAL),
+	}
+}
+
+// LearnBatch feeds every access of a sampled mini-batch into the EAL
+// (learning phase, §IV-1).
+func (a *Accelerator) LearnBatch(b *data.Batch) {
+	a.SampledBatches++
+	for t := range b.Sparse {
+		for _, idxs := range b.Sparse[t] {
+			for _, ix := range idxs {
+				a.EAL.Touch(t, ix)
+			}
+		}
+	}
+}
+
+// MaybeLearn samples the batch at the configured rate using a deterministic
+// batch counter (every k-th batch where k = 1/SampleRate), mirroring the
+// periodic re-calibration the paper describes.
+func (a *Accelerator) MaybeLearn(b *data.Batch) bool {
+	a.TotalBatches++
+	if a.Cfg.SampleRate <= 0 {
+		return false
+	}
+	k := int64(1 / a.Cfg.SampleRate)
+	if k < 1 {
+		k = 1
+	}
+	if (a.TotalBatches-1)%k == 0 {
+		a.LearnBatch(b)
+		return true
+	}
+	return false
+}
+
+// Classification is the result of segregating one mini-batch.
+type Classification struct {
+	PopularIdx    []int // sample positions whose accesses are all tracked
+	NonPopularIdx []int
+	// ColdLookups counts accesses that missed the EAL (these rows must be
+	// gathered from CPU DRAM for the non-popular µ-batch).
+	ColdLookups int64
+	// TotalLookups is every sparse access in the batch.
+	TotalLookups int64
+}
+
+// PopularFraction returns |popular| / batch.
+func (c Classification) PopularFraction() float64 {
+	n := len(c.PopularIdx) + len(c.NonPopularIdx)
+	if n == 0 {
+		return 0
+	}
+	return float64(len(c.PopularIdx)) / float64(n)
+}
+
+// Classify runs the acceleration-phase segregation: an input is popular iff
+// every one of its embedding indices is tracked by the EAL (§V-C).
+func (a *Accelerator) Classify(b *data.Batch) Classification {
+	var cl Classification
+	n := b.Size()
+	for i := 0; i < n; i++ {
+		popular := true
+		for t := range b.Sparse {
+			for _, ix := range b.Sparse[t][i] {
+				cl.TotalLookups++
+				if !a.EAL.Contains(t, ix) {
+					popular = false
+					cl.ColdLookups++
+				}
+			}
+		}
+		if popular {
+			cl.PopularIdx = append(cl.PopularIdx, i)
+		} else {
+			cl.NonPopularIdx = append(cl.NonPopularIdx, i)
+		}
+	}
+	return cl
+}
+
+// SegregationTime returns the accelerator time to classify a mini-batch
+// with the given lookup count.
+func (a *Accelerator) SegregationTime(totalLookups int64) sim.Duration {
+	return a.seg.SegregationTime(totalLookups)
+}
+
+// LookupThroughput exposes sustained lookups/cycle (for reports).
+func (a *Accelerator) LookupThroughput() float64 { return a.seg.Throughput() }

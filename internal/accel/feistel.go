@@ -1,0 +1,67 @@
+// Package accel is a cycle-approximate functional model of the Hotline
+// hardware accelerator (paper §V): the Embedding Access Logger (a
+// multi-banked SRAM tracker with SRRIP replacement), the parallel lookup
+// engine array with its Feistel-network randomizer, the data dispatcher and
+// reducer, the instruction set (Table I), and the area/energy model
+// (Table IV / Figure 29).
+package accel
+
+// Feistel is the low-latency 4-round Feistel network the lookup engine uses
+// to scatter (embedding table, embedding index) tuples uniformly across EAL
+// banks and sets, preventing thrashing when one table's indices dominate
+// (paper §V-C, citing Luby-Rackoff).
+//
+// A Feistel network is a bijection on 32-bit values, so two distinct
+// (table, index) tuples can never collide before the modulo-bank step —
+// exactly why the hardware uses it instead of a lossy hash.
+type Feistel struct {
+	keys [4]uint16
+}
+
+// NewFeistel derives round keys from seed.
+func NewFeistel(seed uint32) *Feistel {
+	f := &Feistel{}
+	x := seed ^ 0x9E3779B9
+	for i := range f.keys {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		f.keys[i] = uint16(x>>7) | 1
+	}
+	return f
+}
+
+// round is the Feistel F-function on a 16-bit half.
+func (f *Feistel) round(half, key uint16) uint16 {
+	x := uint32(half)*0x9E37 + uint32(key)
+	x ^= x >> 7
+	x = x*0x85EB + 0x1657
+	x ^= x >> 9
+	return uint16(x)
+}
+
+// Permute applies the 4-round network to v (a bijection on uint32).
+func (f *Feistel) Permute(v uint32) uint32 {
+	l, r := uint16(v>>16), uint16(v)
+	for i := 0; i < 4; i++ {
+		l, r = r, l^f.round(r, f.keys[i])
+	}
+	return uint32(l)<<16 | uint32(r)
+}
+
+// Inverse undoes Permute (bijectivity witness for tests).
+func (f *Feistel) Inverse(v uint32) uint32 {
+	l, r := uint16(v>>16), uint16(v)
+	for i := 3; i >= 0; i-- {
+		l, r = r^f.round(l, f.keys[i]), l
+	}
+	return uint32(l)<<16 | uint32(r)
+}
+
+// HashKey maps an (embedding table, embedding index) tuple to a scattered
+// 32-bit key. Table id occupies the top 6 bits pre-permutation so tables
+// with identical index distributions land in different regions.
+func (f *Feistel) HashKey(table int, row int32) uint32 {
+	v := uint32(table)<<26 ^ uint32(row)&0x03FF_FFFF
+	return f.Permute(v)
+}

@@ -1,0 +1,140 @@
+package accel
+
+import "fmt"
+
+// Opcode enumerates the Hotline instruction set (paper Table I).
+type Opcode uint8
+
+const (
+	// OpDMARead issues a DMA read request (mem start idx, #bytes).
+	OpDMARead Opcode = iota
+	// OpDMAWrite issues a DMA write request (mem start idx, #bytes).
+	OpDMAWrite
+	// OpVAdd element-wise adds an input vector into the embedding vector buffer.
+	OpVAdd
+	// OpVMul element-wise multiplies (dot product step).
+	OpVMul
+	// OpSWr writes an embedding table base address into an address register.
+	OpSWr
+	// OpGPURd reads an embedding index from a GPU device (device id, sparse idx).
+	OpGPURd
+	opCount
+)
+
+var opNames = [...]string{"dma_rd", "dma_wr", "v_add", "v_mul", "s_wr", "gpu_rd"}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instruction is one accelerator command: an opcode and two 28-bit operands,
+// packed into a 64-bit word by Encode.
+type Instruction struct {
+	Op  Opcode
+	Op1 uint32 // mem start idx / input vector / reg idx / gpu device id
+	Op2 uint32 // #bytes / emb vec buffer / base addr / sparse idx
+}
+
+const operandMask = (1 << 28) - 1
+
+// Encode packs the instruction into a 64-bit word:
+// [63:56] opcode, [55:28] op1, [27:0] op2.
+func (in Instruction) Encode() uint64 {
+	return uint64(in.Op)<<56 | uint64(in.Op1&operandMask)<<28 | uint64(in.Op2&operandMask)
+}
+
+// Decode unpacks a word encoded by Encode.
+func Decode(w uint64) (Instruction, error) {
+	op := Opcode(w >> 56)
+	if op >= opCount {
+		return Instruction{}, fmt.Errorf("accel: invalid opcode %d", uint8(op))
+	}
+	return Instruction{
+		Op:  op,
+		Op1: uint32(w>>28) & operandMask,
+		Op2: uint32(w) & operandMask,
+	}, nil
+}
+
+// Driver is a minimal functional executor for the ISA, used to validate the
+// instruction semantics: it moves bytes between a host memory image and the
+// accelerator's embedding vector buffer and applies reducer arithmetic.
+type Driver struct {
+	// HostMem models CPU DRAM (indexed by "mem start idx" in floats).
+	HostMem []float32
+	// VecBuf models the 0.5 kB embedding vector buffer.
+	VecBuf []float32
+	// AddrRegs models the data dispatcher's address registers.
+	AddrRegs [32]uint32
+	// GPUMem models per-device HBM rows (device -> flat floats).
+	GPUMem map[int][]float32
+
+	Executed int64
+}
+
+// NewDriver returns a driver with a vecWidth-float vector buffer.
+func NewDriver(hostMem []float32, vecWidth int) *Driver {
+	return &Driver{
+		HostMem: hostMem,
+		VecBuf:  make([]float32, vecWidth),
+		GPUMem:  make(map[int][]float32),
+	}
+}
+
+// Execute runs one instruction. Scratch is the staging area DMA reads land
+// in / writes come from (the input eDRAM in hardware).
+func (d *Driver) Execute(in Instruction, scratch []float32) error {
+	d.Executed++
+	switch in.Op {
+	case OpDMARead:
+		n := int(in.Op2) / 4 // bytes -> floats
+		if int(in.Op1)+n > len(d.HostMem) || n > len(scratch) {
+			return fmt.Errorf("accel: dma_rd out of range: idx=%d n=%d", in.Op1, n)
+		}
+		copy(scratch[:n], d.HostMem[in.Op1:int(in.Op1)+n])
+	case OpDMAWrite:
+		n := int(in.Op2) / 4
+		if int(in.Op1)+n > len(d.HostMem) || n > len(scratch) {
+			return fmt.Errorf("accel: dma_wr out of range: idx=%d n=%d", in.Op1, n)
+		}
+		copy(d.HostMem[in.Op1:int(in.Op1)+n], scratch[:n])
+	case OpVAdd:
+		n := len(d.VecBuf)
+		if int(in.Op1)+n > len(scratch) {
+			return fmt.Errorf("accel: v_add input out of range")
+		}
+		for i := 0; i < n; i++ {
+			d.VecBuf[i] += scratch[int(in.Op1)+i]
+		}
+	case OpVMul:
+		n := len(d.VecBuf)
+		if int(in.Op1)+n > len(scratch) {
+			return fmt.Errorf("accel: v_mul input out of range")
+		}
+		for i := 0; i < n; i++ {
+			d.VecBuf[i] *= scratch[int(in.Op1)+i]
+		}
+	case OpSWr:
+		if int(in.Op1) >= len(d.AddrRegs) {
+			return fmt.Errorf("accel: s_wr reg %d out of range", in.Op1)
+		}
+		d.AddrRegs[in.Op1] = in.Op2
+	case OpGPURd:
+		mem, ok := d.GPUMem[int(in.Op1)]
+		if !ok {
+			return fmt.Errorf("accel: gpu_rd unknown device %d", in.Op1)
+		}
+		n := len(d.VecBuf)
+		base := int(in.Op2) * n
+		if base+n > len(mem) {
+			return fmt.Errorf("accel: gpu_rd row %d out of range", in.Op2)
+		}
+		copy(d.VecBuf, mem[base:base+n])
+	default:
+		return fmt.Errorf("accel: unknown opcode %v", in.Op)
+	}
+	return nil
+}

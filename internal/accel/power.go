@@ -1,0 +1,86 @@
+package accel
+
+// Component identifies one accelerator block in the area/power inventory.
+type Component string
+
+const (
+	CompEAL        Component = "Embedding Access Logger"
+	CompLookup     Component = "Lookup Engines"
+	CompEDRAM      Component = "Input eDRAM"
+	CompReducer    Component = "Reducer ALUs"
+	CompDispatcher Component = "Data Dispatcher"
+	CompVecBuf     Component = "Embedding Vector Buffer"
+)
+
+// BlockBudget is one row of the area/power breakdown.
+type BlockBudget struct {
+	Component Component
+	AreaMM2   float64
+	PowerW    float64
+}
+
+// PowerModel reproduces the paper's Table IV / Figure 29 inventory: the
+// accelerator totals 7.01 mm² (45 nm) and 132 mJ average energy per
+// mini-batch, with the EAL's 4 MB SRAM dominating both area and power.
+// Block splits follow Figure 29's breakdown (EAL largest, then eDRAM,
+// lookup engines, reducer, dispatcher, vector buffer).
+type PowerModel struct {
+	Blocks []BlockBudget
+	// AvgEnergyMilliJ is the average energy per mini-batch (Table IV).
+	AvgEnergyMilliJ float64
+}
+
+// DefaultPowerModel returns the Table IV accelerator at 350 MHz / 45 nm.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		Blocks: []BlockBudget{
+			{CompEAL, 3.60, 1.90},        // 4 MB multi-banked SRAM
+			{CompEDRAM, 1.45, 0.60},      // 2.5 MB input buffer
+			{CompLookup, 1.10, 0.75},     // 64 engines + Feistel nets
+			{CompReducer, 0.45, 0.30},    // 16 ALUs
+			{CompDispatcher, 0.35, 0.20}, // classifier + addr regs + ctrl
+			{CompVecBuf, 0.06, 0.05},     // 0.5 kB buffer
+		},
+		AvgEnergyMilliJ: 132,
+	}
+}
+
+// TotalArea sums block areas (≈ 7.01 mm², Table IV).
+func (p PowerModel) TotalArea() float64 {
+	var a float64
+	for _, b := range p.Blocks {
+		a += b.AreaMM2
+	}
+	return a
+}
+
+// TotalPower sums block powers in watts.
+func (p PowerModel) TotalPower() float64 {
+	var w float64
+	for _, b := range p.Blocks {
+		w += b.PowerW
+	}
+	return w
+}
+
+// SystemPowerW approximates the host power envelope of the training server
+// used for performance/Watt (Figure 29): CPU TDP + per-GPU TDP.
+func SystemPowerW(gpus int) float64 {
+	const cpuTDP = 85.0  // Xeon Silver 4116
+	const gpuTDP = 300.0 // Tesla V100
+	return cpuTDP + float64(gpus)*gpuTDP
+}
+
+// PerfPerWatt computes relative throughput/Watt: throughput (iterations/s
+// or any consistent unit) divided by system power, optionally including the
+// accelerator's own power draw.
+func PerfPerWatt(throughput float64, gpus int, withAccelerator bool) float64 {
+	p := SystemPowerW(gpus)
+	if withAccelerator {
+		p += DefaultPowerModel().TotalPower()
+	}
+	if p <= 0 {
+		return 0
+	}
+	return throughput / p
+}

@@ -1,0 +1,145 @@
+// Package cost holds the device catalog (paper Table III) and the analytic
+// cost models that translate work (FLOPs, bytes, lookups) into simulated
+// time on each device and link. All pipelines share these models, so
+// relative speedups reflect scheduling and placement rather than
+// per-pipeline constants.
+package cost
+
+import "hotline/internal/sim"
+
+// GPUSpec models one accelerator card (NVIDIA V100 in the paper).
+type GPUSpec struct {
+	Name string
+	// PeakFLOPS is fp32 peak; EffMLP derates it for MLP-sized GEMMs.
+	PeakFLOPS float64
+	EffMLP    float64
+	// HBMBandwidth is sequential HBM bandwidth in bytes/s; HBMRandomEff
+	// derates it for gather-style random access.
+	HBMBandwidth float64
+	HBMRandomEff float64
+	// HBMBytes is usable memory capacity.
+	HBMBytes int64
+	// KernelLaunch is the effective fixed host-side cost per launched
+	// kernel, including framework dispatch (Python/C++ op overhead), not
+	// just the hardware launch.
+	KernelLaunch sim.Duration
+}
+
+// EffectiveFLOPS returns the derated GEMM throughput.
+func (g GPUSpec) EffectiveFLOPS() float64 { return g.PeakFLOPS * g.EffMLP }
+
+// CPUSpec models the host processor and its DRAM subsystem.
+type CPUSpec struct {
+	Name  string
+	Cores int
+	// GEMMFLOPS is the effective dense math throughput of the whole socket.
+	GEMMFLOPS float64
+	// DDRBandwidth is sequential DRAM bandwidth in bytes/s; DDRRandomEff
+	// derates it for random embedding gathers.
+	DDRBandwidth float64
+	DDRRandomEff float64
+	// DRAMBytes is main-memory capacity.
+	DRAMBytes int64
+	// RandomAccessLatency is one dependent random DRAM access.
+	RandomAccessLatency sim.Duration
+	// MemParallelism is the number of concurrent outstanding random
+	// accesses the memory subsystem sustains; adding cores beyond this
+	// plateaus segregation throughput (paper Figure 8).
+	MemParallelism int
+}
+
+// LinkSpec models an interconnect.
+type LinkSpec struct {
+	Name      string
+	Bandwidth float64 // bytes/s
+	Latency   sim.Duration
+	// A2AEff is the fraction of Bandwidth an all-to-all exchange achieves:
+	// low on point-to-point NVLink meshes (most pairs route through hops),
+	// higher on switched fabrics like InfiniBand. 0 means "use default".
+	A2AEff float64
+}
+
+// Transfer returns the time to move n bytes over the link.
+func (l LinkSpec) Transfer(bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return l.Latency
+	}
+	return l.Latency + sim.Duration(float64(bytes)/l.Bandwidth*1e9)
+}
+
+// System is a training server (or cluster) configuration.
+type System struct {
+	Nodes       int
+	GPUsPerNode int
+	GPU         GPUSpec
+	CPU         CPUSpec
+	PCIe        LinkSpec // CPU <-> GPU / accelerator
+	NVLink      LinkSpec // GPU <-> GPU intra-node
+	IB          LinkSpec // node <-> node
+}
+
+// TotalGPUs returns the cluster GPU count.
+func (s System) TotalGPUs() int { return s.Nodes * s.GPUsPerNode }
+
+// V100 returns the paper's GPU spec (Table III): Tesla V100, 16 GB HBM2 at
+// 900 GB/s. Effective MLP throughput is derated to ~27% of the 15.7 TFLOPS
+// fp32 peak, typical for the small-GEMM MLPs of recommendation models.
+func V100() GPUSpec {
+	return GPUSpec{
+		Name:         "Tesla V100",
+		PeakFLOPS:    15.7e12,
+		EffMLP:       0.27,
+		HBMBandwidth: 900e9,
+		HBMRandomEff: 0.45,
+		HBMBytes:     16 << 30,
+		KernelLaunch: sim.Microseconds(20),
+	}
+}
+
+// XeonSilver4116 returns the paper's CPU spec (Table III): 24 cores at
+// 2.1 GHz with 192 GB DDR4 at 76.8 GB/s.
+func XeonSilver4116() CPUSpec {
+	return CPUSpec{
+		Name:                "Xeon Silver 4116",
+		Cores:               24,
+		GEMMFLOPS:           0.6e12,
+		DDRBandwidth:        76.8e9,
+		DDRRandomEff:        0.14,
+		DRAMBytes:           192 << 30,
+		RandomAccessLatency: sim.Nanoseconds(85),
+		MemParallelism:      20,
+	}
+}
+
+// PCIeGen3x16 is the accelerator/GPU host link: ~15.75 GB/s.
+func PCIeGen3x16() LinkSpec {
+	return LinkSpec{Name: "PCIe Gen3 x16", Bandwidth: 15.75e9, Latency: sim.Microseconds(2)}
+}
+
+// NVLink2 is the intra-node GPU mesh: 2400 Gb/s per the paper (§II-A3).
+func NVLink2() LinkSpec {
+	return LinkSpec{Name: "NVLink 2.0", Bandwidth: 300e9, Latency: sim.Microseconds(1), A2AEff: 0.08}
+}
+
+// InfiniBand100 is the inter-node fabric: 100 Gb/s.
+func InfiniBand100() LinkSpec {
+	return LinkSpec{Name: "InfiniBand 100Gb", Bandwidth: 12.5e9, Latency: sim.Microseconds(5), A2AEff: 0.5}
+}
+
+// PaperSystem returns the evaluation server: one node with the given GPU
+// count (the paper's Dell EMC C4140 carries 4 V100s).
+func PaperSystem(gpus int) System {
+	return System{
+		Nodes: 1, GPUsPerNode: gpus,
+		GPU: V100(), CPU: XeonSilver4116(),
+		PCIe: PCIeGen3x16(), NVLink: NVLink2(), IB: InfiniBand100(),
+	}
+}
+
+// PaperCluster returns a multi-node system with 4 GPUs per node connected by
+// 100 Gb/s InfiniBand (paper §VII-H).
+func PaperCluster(nodes int) System {
+	s := PaperSystem(4)
+	s.Nodes = nodes
+	return s
+}

@@ -1,0 +1,254 @@
+package data
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes one synthetic dataset/model workload. It carries both the
+// paper-scale footprint (FullRowsPerTable, FullSizeGB — used by the
+// performance simulator for memory-capacity and bandwidth math, e.g. the
+// HugeCTR OOM results) and a ~1000x downscaled shape (ScaledRowsPerTable —
+// used by the functional training layer so real training runs on a laptop).
+type Config struct {
+	Name string // dataset name, e.g. "Criteo Kaggle"
+	RM   string // model id from paper Table II, e.g. "RM2"
+
+	DenseFeatures int
+	NumTables     int
+	// FullRowsPerTable is the paper-scale per-table row count (sums to the
+	// Table II sparse-parameter count).
+	FullRowsPerTable []int64
+	// ScaledRowsPerTable is the downscaled per-table row count used for
+	// functional training and access profiling.
+	ScaledRowsPerTable []int
+	// LookupsPerTable is the multi-hot degree (1 = one-hot). For the TBSM
+	// workload table 0 is the behaviour-sequence table and its lookups are
+	// interpreted as TimeSteps item embeddings rather than a pooled bag.
+	LookupsPerTable int
+	// ZipfS is the popularity skew exponent, fitted per dataset so that the
+	// popular-input fraction under a 512 MB hot budget matches Figure 6.
+	ZipfS float64
+	// DriftPerDay is the fraction of popular ranks that get remapped to new
+	// rows per simulated day (Figure 9's evolving skew).
+	DriftPerDay float64
+	// HotFracRows is the fraction of scaled embedding bytes the hot
+	// (GPU-resident) tier may hold. It is the downscaled analogue of the
+	// paper's 512 MB frequently-accessed budget, calibrated jointly with
+	// ZipfS so the popular-input fraction matches Figure 6.
+	HotFracRows float64
+
+	EmbedDim  int
+	BotMLP    []int
+	TopMLP    []int
+	TimeSteps int  // >1 selects the TBSM model with attention
+	Attention bool // TBSM attention layer (RM1)
+
+	Samples int    // samples per (scaled) synthetic epoch
+	Seed    uint64 // base RNG seed; everything derives deterministically
+
+	ScaleFactor int64   // FullRows / ScaledRows ratio (documentation)
+	FullSizeGB  float64 // Table II "Size (GB)" column
+}
+
+// TotalFullRows sums the paper-scale row counts.
+func (c Config) TotalFullRows() int64 {
+	var n int64
+	for _, r := range c.FullRowsPerTable {
+		n += r
+	}
+	return n
+}
+
+// TotalScaledRows sums the downscaled row counts.
+func (c Config) TotalScaledRows() int {
+	n := 0
+	for _, r := range c.ScaledRowsPerTable {
+		n += r
+	}
+	return n
+}
+
+// FullEmbeddingBytes is the paper-scale sparse footprint in bytes (float32).
+func (c Config) FullEmbeddingBytes() int64 {
+	return c.TotalFullRows() * int64(c.EmbedDim) * 4
+}
+
+// Validate checks internal consistency (MLP widths vs embedding dim, table
+// counts, etc).
+func (c Config) Validate() error {
+	if len(c.FullRowsPerTable) != c.NumTables || len(c.ScaledRowsPerTable) != c.NumTables {
+		return fmt.Errorf("data: %s row-count slices (%d/%d) != NumTables %d",
+			c.Name, len(c.FullRowsPerTable), len(c.ScaledRowsPerTable), c.NumTables)
+	}
+	if len(c.BotMLP) < 2 || c.BotMLP[0] != c.DenseFeatures {
+		return fmt.Errorf("data: %s bottom MLP %v must start at %d dense features", c.Name, c.BotMLP, c.DenseFeatures)
+	}
+	if c.BotMLP[len(c.BotMLP)-1] != c.EmbedDim {
+		return fmt.Errorf("data: %s bottom MLP %v must end at embed dim %d", c.Name, c.BotMLP, c.EmbedDim)
+	}
+	if c.TopMLP[len(c.TopMLP)-1] != 1 {
+		return fmt.Errorf("data: %s top MLP %v must end at 1 logit", c.Name, c.TopMLP)
+	}
+	if c.LookupsPerTable < 1 {
+		return fmt.Errorf("data: %s LookupsPerTable %d < 1", c.Name, c.LookupsPerTable)
+	}
+	return nil
+}
+
+// splitRows distributes total rows over n tables with a power-law profile
+// (a few huge tables plus a long tail, as in the real Criteo tables).
+func splitRows(total int64, n int, alpha float64) []int64 {
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1 / pow(float64(i+1), alpha)
+		sum += weights[i]
+	}
+	rows := make([]int64, n)
+	var assigned int64
+	for i := range rows {
+		rows[i] = int64(float64(total) * weights[i] / sum)
+		if rows[i] < 4 {
+			rows[i] = 4
+		}
+		assigned += rows[i]
+	}
+	// Put rounding slack in the largest table.
+	if assigned < total {
+		rows[0] += total - assigned
+	}
+	return rows
+}
+
+func pow(x, a float64) float64 { return math.Pow(x, a) }
+
+func scaleDown(full []int64, factor int64) []int {
+	out := make([]int, len(full))
+	for i, r := range full {
+		s := r / factor
+		if s < 8 {
+			s = 8
+		}
+		out[i] = int(s)
+	}
+	return out
+}
+
+// Catalog entries. Shapes follow paper Table II; Zipf exponents are fitted so
+// the popular-input fractions under a 512 MB (paper-scale) hot budget line up
+// with Figure 6 (~75-85% popular, Taobao least skewed).
+
+// CriteoKaggle returns the RM2 workload (DLRM, 13 dense, 26 sparse, 33.8M rows).
+func CriteoKaggle() Config {
+	full := splitRows(33_800_000, 26, 1.6)
+	c := Config{
+		Name: "Criteo Kaggle", RM: "RM2",
+		DenseFeatures: 13, NumTables: 26,
+		FullRowsPerTable: full, ScaledRowsPerTable: scaleDown(full, 1000),
+		LookupsPerTable: 1, ZipfS: 1.0, DriftPerDay: 0.10, HotFracRows: 0.30,
+		EmbedDim: 16,
+		BotMLP:   []int{13, 512, 256, 64, 16},
+		TopMLP:   []int{512, 256, 1},
+		Samples:  8192, Seed: 0xC217E0, ScaleFactor: 1000, FullSizeGB: 2,
+	}
+	return c
+}
+
+// TaobaoAlibaba returns the RM1 workload (TBSM, 1 dense, 3 sparse, 5.1M rows,
+// 21 time steps with an attention layer).
+func TaobaoAlibaba() Config {
+	full := splitRows(5_100_000, 3, 1.2)
+	return Config{
+		Name: "Taobao Alibaba", RM: "RM1",
+		DenseFeatures: 1, NumTables: 3,
+		FullRowsPerTable: full, ScaledRowsPerTable: scaleDown(full, 1000),
+		LookupsPerTable: 1, ZipfS: 1.5, DriftPerDay: 0.15, HotFracRows: 0.15,
+		EmbedDim:  16,
+		BotMLP:    []int{1, 16},
+		TopMLP:    []int{30, 60, 1},
+		TimeSteps: 21, Attention: true,
+		Samples: 8192, Seed: 0x7A0BA0, ScaleFactor: 1000, FullSizeGB: 0.3,
+	}
+}
+
+// CriteoTerabyte returns the RM3 workload (DLRM, 13 dense, 26 sparse, 266M rows).
+func CriteoTerabyte() Config {
+	full := splitRows(266_000_000, 26, 1.6)
+	return Config{
+		Name: "Criteo Terabyte", RM: "RM3",
+		DenseFeatures: 13, NumTables: 26,
+		FullRowsPerTable: full, ScaledRowsPerTable: scaleDown(full, 4000),
+		LookupsPerTable: 1, ZipfS: 1.2, DriftPerDay: 0.12, HotFracRows: 0.15,
+		EmbedDim: 64,
+		BotMLP:   []int{13, 512, 256, 64},
+		TopMLP:   []int{512, 512, 256, 1},
+		Samples:  8192, Seed: 0x7E4AB7, ScaleFactor: 4000, FullSizeGB: 63,
+	}
+}
+
+// Avazu returns the RM4 workload (DLRM, 1 dense, 21 sparse, 9.3M rows).
+func Avazu() Config {
+	full := splitRows(9_300_000, 21, 1.6)
+	return Config{
+		Name: "Avazu", RM: "RM4",
+		DenseFeatures: 1, NumTables: 21,
+		FullRowsPerTable: full, ScaledRowsPerTable: scaleDown(full, 1000),
+		LookupsPerTable: 1, ZipfS: 1.8, DriftPerDay: 0.08, HotFracRows: 0.12,
+		EmbedDim: 16,
+		BotMLP:   []int{1, 512, 256, 64, 16},
+		TopMLP:   []int{512, 256, 1},
+		Samples:  8192, Seed: 0xA7A2B0, ScaleFactor: 1000, FullSizeGB: 0.55,
+	}
+}
+
+// SynM1 returns the SYN-M1 multi-hot synthetic model (Fig. 28/30): 54 dense,
+// 102 sparse features, 196 GB of embeddings.
+func SynM1() Config {
+	const dim = 64
+	totalRows := int64(196) * (1 << 30) / (dim * 4)
+	full := splitRows(totalRows, 102, 1.3)
+	return Config{
+		Name: "SYN-M1", RM: "SYN-M1",
+		DenseFeatures: 54, NumTables: 102,
+		FullRowsPerTable: full, ScaledRowsPerTable: scaleDown(full, 40_000),
+		LookupsPerTable: 4, ZipfS: 1.2, DriftPerDay: 0.10, HotFracRows: 0.20,
+		EmbedDim: dim,
+		BotMLP:   []int{54, 512, 256, 64},
+		TopMLP:   []int{512, 256, 1},
+		Samples:  4096, Seed: 0x517171, ScaleFactor: 40_000, FullSizeGB: 196,
+	}
+}
+
+// SynM2 returns the SYN-M2 multi-hot synthetic model: 102 dense, 204 sparse
+// features, 390 GB of embeddings.
+func SynM2() Config {
+	const dim = 64
+	totalRows := int64(390) * (1 << 30) / (dim * 4)
+	full := splitRows(totalRows, 204, 1.3)
+	return Config{
+		Name: "SYN-M2", RM: "SYN-M2",
+		DenseFeatures: 102, NumTables: 204,
+		FullRowsPerTable: full, ScaledRowsPerTable: scaleDown(full, 80_000),
+		LookupsPerTable: 4, ZipfS: 1.2, DriftPerDay: 0.10, HotFracRows: 0.20,
+		EmbedDim: dim,
+		BotMLP:   []int{102, 512, 256, 64},
+		TopMLP:   []int{512, 256, 1},
+		Samples:  4096, Seed: 0x517172, ScaleFactor: 80_000, FullSizeGB: 390,
+	}
+}
+
+// AllDatasets returns the four real-world workloads in paper order.
+func AllDatasets() []Config {
+	return []Config{CriteoKaggle(), TaobaoAlibaba(), CriteoTerabyte(), Avazu()}
+}
+
+// ByName looks a config up by dataset name or RM id.
+func ByName(name string) (Config, error) {
+	for _, c := range append(AllDatasets(), SynM1(), SynM2()) {
+		if c.Name == name || c.RM == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("data: unknown dataset %q", name)
+}

@@ -1,0 +1,80 @@
+// Package data provides the synthetic workload substrate that stands in for
+// the paper's Criteo Kaggle / Criteo Terabyte / Taobao Alibaba / Avazu
+// datasets. Generators draw embedding indices from Zipfian popularity
+// distributions whose skew parameters are fitted so that the popular-input
+// fractions and access skews match the paper's Figure 6, and support
+// day-to-day popularity drift (Figure 9).
+package data
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hotline/internal/tensor"
+)
+
+// Zipf samples popularity ranks in [0, n) with P(rank=r) ∝ 1/(r+1)^s.
+//
+// Sampling inverts a precomputed CDF with binary search, which supports any
+// s ≥ 0 (including the s ≤ 1 regime where rejection samplers like
+// math/rand's are unavailable) and is deterministic given the caller's RNG.
+type Zipf struct {
+	N   int
+	S   float64
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("data: Zipf n=%d", n))
+	}
+	if s < 0 {
+		panic(fmt.Sprintf("data: Zipf s=%g", s))
+	}
+	z := &Zipf{N: n, S: s, cdf: make([]float64, n)}
+	var sum float64
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		z.cdf[r] = sum
+	}
+	inv := 1 / sum
+	for r := range z.cdf {
+		z.cdf[r] *= inv
+	}
+	z.cdf[n-1] = 1 // guard against rounding
+	return z
+}
+
+// Sample draws one rank (0 = most popular).
+func (z *Zipf) Sample(rng *tensor.RNG) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// ProbOfRank returns P(rank = r).
+func (z *Zipf) ProbOfRank(r int) float64 {
+	if r == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[r] - z.cdf[r-1]
+}
+
+// MassOfTop returns the probability mass of the k most popular ranks,
+// i.e. the fraction of accesses the top-k entries absorb.
+func (z *Zipf) MassOfTop(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= z.N {
+		return 1
+	}
+	return z.cdf[k-1]
+}
+
+// RanksForMass returns the smallest k such that the top-k ranks absorb at
+// least mass of all accesses.
+func (z *Zipf) RanksForMass(mass float64) int {
+	return sort.SearchFloat64s(z.cdf, mass) + 1
+}

@@ -1,0 +1,128 @@
+package embedding
+
+import "sort"
+
+// Tier says where an embedding row physically lives in the simulated system.
+type Tier uint8
+
+const (
+	// TierCPU rows live in host DRAM (the not-frequently-accessed majority).
+	TierCPU Tier = iota
+	// TierGPU rows are replicated in every GPU's HBM (frequently accessed).
+	TierGPU
+)
+
+// Placement records, per table, which rows are GPU-resident. It is the
+// product of Hotline's access-aware layout (learning phase) or FAE's offline
+// profiler, and is consumed by the runtime schedulers.
+type Placement struct {
+	hot      []map[int32]struct{} // per table: set of GPU-resident rows
+	Dim      int
+	HotBytes int64
+}
+
+// NewPlacement returns an all-CPU placement for numTables tables of the
+// given embedding dimension.
+func NewPlacement(numTables, dim int) *Placement {
+	p := &Placement{hot: make([]map[int32]struct{}, numTables), Dim: dim}
+	for i := range p.hot {
+		p.hot[i] = make(map[int32]struct{})
+	}
+	return p
+}
+
+// NumTables returns the table count.
+func (p *Placement) NumTables() int { return len(p.hot) }
+
+// MarkHot places row of table on the GPU tier.
+func (p *Placement) MarkHot(table int, row int32) {
+	if _, ok := p.hot[table][row]; !ok {
+		p.hot[table][row] = struct{}{}
+		p.HotBytes += int64(p.Dim) * 4
+	}
+}
+
+// TierOf reports where a row lives.
+func (p *Placement) TierOf(table int, row int32) Tier {
+	if _, ok := p.hot[table][row]; ok {
+		return TierGPU
+	}
+	return TierCPU
+}
+
+// IsHot reports whether a row is GPU-resident.
+func (p *Placement) IsHot(table int, row int32) bool {
+	_, ok := p.hot[table][row]
+	return ok
+}
+
+// HotRowCount returns the number of GPU-resident rows in one table.
+func (p *Placement) HotRowCount(table int) int { return len(p.hot[table]) }
+
+// TotalHotRows returns the GPU-resident row count across all tables.
+func (p *Placement) TotalHotRows() int {
+	n := 0
+	for _, m := range p.hot {
+		n += len(m)
+	}
+	return n
+}
+
+// HotRows returns the sorted hot rows of one table (deterministic iteration
+// for replication and tests).
+func (p *Placement) HotRows(table int) []int32 {
+	rows := make([]int32, 0, len(p.hot[table]))
+	for r := range p.hot[table] {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// InputIsPopular reports whether a sample is popular: every index it touches,
+// across all tables, must be GPU-resident (the paper's classification rule —
+// one cold access makes the whole input non-popular).
+func (p *Placement) InputIsPopular(sparse [][]int32) bool {
+	for table, idxs := range sparse {
+		for _, ix := range idxs {
+			if !p.IsHot(table, ix) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AccessCount is a (table, row) access-frequency record.
+type AccessCount struct {
+	Table int
+	Row   int32
+	Count int64
+}
+
+// PlacementFromCounts builds the access-aware layout: rows are ranked by
+// access count globally and marked hot greedily until budgetBytes of HBM is
+// consumed. This models both Hotline's learning phase output and FAE's
+// offline profiler output.
+func PlacementFromCounts(counts []AccessCount, numTables, dim int, budgetBytes int64) *Placement {
+	sorted := make([]AccessCount, len(counts))
+	copy(sorted, counts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count > sorted[j].Count
+		}
+		if sorted[i].Table != sorted[j].Table {
+			return sorted[i].Table < sorted[j].Table
+		}
+		return sorted[i].Row < sorted[j].Row
+	})
+	p := NewPlacement(numTables, dim)
+	rowBytes := int64(dim) * 4
+	for _, c := range sorted {
+		if p.HotBytes+rowBytes > budgetBytes {
+			break
+		}
+		p.MarkHot(c.Table, c.Row)
+	}
+	return p
+}

@@ -1,0 +1,200 @@
+// Package embedding implements the sparse side of recommendation models:
+// embedding tables with sum-pooled bag lookups (the EmbeddingBag operator),
+// deterministic sparse gradients and SGD updates, and the two-tier
+// (GPU-HBM / CPU-DRAM) placement map that Hotline's access-aware layout
+// produces.
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hotline/internal/tensor"
+)
+
+// Table is one categorical feature's embedding table: Rows vectors of
+// dimension Dim.
+type Table struct {
+	Rows, Dim int
+	W         *tensor.Matrix // Rows x Dim
+
+	lastIndices [][]int32
+}
+
+// NewTable returns a table initialised U(-1/Rows^½, +1/Rows^½) like the DLRM
+// reference (scaled uniform keeps pooled sums bounded).
+func NewTable(rows, dim int, rng *tensor.RNG) *Table {
+	t := &Table{Rows: rows, Dim: dim, W: tensor.New(rows, dim)}
+	limit := 1.0 / float64(rows)
+	if limit < 0.01 {
+		limit = 0.01
+	}
+	tensor.UniformInit(t.W, limit, rng)
+	return t
+}
+
+// Forward performs a sum-pooled bag lookup: indices[b] lists the rows sample
+// b accesses (multi-hot); the output row b is the element-wise sum of those
+// embedding rows. One-hot inputs simply use single-element lists.
+func (t *Table) Forward(indices [][]int32) *tensor.Matrix {
+	out := tensor.New(len(indices), t.Dim)
+	for b, idxs := range indices {
+		orow := out.Row(b)
+		for _, ix := range idxs {
+			if ix < 0 || int(ix) >= t.Rows {
+				panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, t.Rows))
+			}
+			erow := t.W.Row(int(ix))
+			for k := range orow {
+				orow[k] += erow[k]
+			}
+		}
+	}
+	t.lastIndices = indices
+	return out
+}
+
+// SparseGrad holds deduplicated per-row gradients in ascending row order, so
+// updates are deterministic regardless of batch ordering.
+type SparseGrad struct {
+	Rows []int32
+	Grad *tensor.Matrix // len(Rows) x Dim
+}
+
+// Backward folds the pooled output gradient back onto the accessed rows.
+// Each accessed row receives the (summed) gradient of every bag that touched
+// it — the exact adjoint of sum pooling.
+func (t *Table) Backward(gradOut *tensor.Matrix) SparseGrad {
+	if t.lastIndices == nil {
+		panic("embedding: Backward before Forward")
+	}
+	return t.BackwardIndices(t.lastIndices, gradOut)
+}
+
+// BackwardIndices is Backward against an explicit index set instead of the
+// cached one. The TBSM model uses it to run several lookups per table per
+// iteration (one per timestep) and backpropagate each independently.
+func (t *Table) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) SparseGrad {
+	if gradOut.Rows != len(indices) || gradOut.Cols != t.Dim {
+		panic(fmt.Sprintf("embedding: Backward grad %dx%d want %dx%d",
+			gradOut.Rows, gradOut.Cols, len(indices), t.Dim))
+	}
+	acc := make(map[int32][]float32)
+	for b, idxs := range indices {
+		grow := gradOut.Row(b)
+		for _, ix := range idxs {
+			g, ok := acc[ix]
+			if !ok {
+				g = make([]float32, t.Dim)
+				acc[ix] = g
+			}
+			for k := range grow {
+				g[k] += grow[k]
+			}
+		}
+	}
+	rows := make([]int32, 0, len(acc))
+	for ix := range acc {
+		rows = append(rows, ix)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	grad := tensor.New(len(rows), t.Dim)
+	for i, ix := range rows {
+		copy(grad.Row(i), acc[ix])
+	}
+	return SparseGrad{Rows: rows, Grad: grad}
+}
+
+// ApplySparseSGD performs W[row] -= lr·grad for every row in sg.
+func (t *Table) ApplySparseSGD(sg SparseGrad, lr float32) {
+	for i, ix := range sg.Rows {
+		wrow := t.W.Row(int(ix))
+		grow := sg.Grad.Row(i)
+		for k := range wrow {
+			wrow[k] -= lr * grow[k]
+		}
+	}
+}
+
+// SizeBytes returns the table's parameter footprint (float32 entries).
+func (t *Table) SizeBytes() int64 { return int64(t.Rows) * int64(t.Dim) * 4 }
+
+// Clone deep-copies the table (used to run baseline and Hotline executors
+// from identical initial states).
+func (t *Table) Clone() *Table {
+	return &Table{Rows: t.Rows, Dim: t.Dim, W: t.W.Clone()}
+}
+
+// Tables is the full sparse parameter set of a model, one Table per
+// categorical feature.
+type Tables []*Table
+
+// NewTables builds one table per row-count entry, all with dimension dim.
+func NewTables(rowCounts []int, dim int, rng *tensor.RNG) Tables {
+	ts := make(Tables, len(rowCounts))
+	for i, rows := range rowCounts {
+		ts[i] = NewTable(rows, dim, rng)
+	}
+	return ts
+}
+
+// SizeBytes returns the total sparse footprint.
+func (ts Tables) SizeBytes() int64 {
+	var n int64
+	for _, t := range ts {
+		n += t.SizeBytes()
+	}
+	return n
+}
+
+// TotalRows returns the summed row count across tables.
+func (ts Tables) TotalRows() int64 {
+	var n int64
+	for _, t := range ts {
+		n += int64(t.Rows)
+	}
+	return n
+}
+
+// Clone deep-copies every table.
+func (ts Tables) Clone() Tables {
+	out := make(Tables, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// AdagradState holds per-element squared-gradient accumulators for one
+// table's sparse Adagrad updates (the DLRM reference's production
+// optimizer).
+type AdagradState struct {
+	Accum *tensor.Matrix // Rows x Dim, same shape as the table
+	Eps   float32
+}
+
+// NewAdagradState returns a zeroed accumulator for table t.
+func NewAdagradState(t *Table) *AdagradState {
+	return &AdagradState{Accum: tensor.New(t.Rows, t.Dim), Eps: 1e-8}
+}
+
+// ApplySparseAdagrad performs the adaptive update on the touched rows:
+// G[row] += g², W[row] -= lr·g/√(G[row]+eps). Because the step is
+// non-linear in g, callers must pass the FULL mini-batch gradient (popular
+// and non-popular µ-batches accumulated) to stay at parity with a baseline
+// that updates once per mini-batch.
+func (t *Table) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32) {
+	for i, ix := range sg.Rows {
+		wrow := t.W.Row(int(ix))
+		arow := st.Accum.Row(int(ix))
+		grow := sg.Grad.Row(i)
+		for k := range wrow {
+			g := grow[k]
+			arow[k] += g * g
+			wrow[k] -= lr * g / sqrt32(arow[k]+st.Eps)
+		}
+	}
+}
+
+func sqrt32(v float32) float32 { return float32(math.Sqrt(float64(v))) }

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hotline/internal/accel"
+	"hotline/internal/data"
+	"hotline/internal/model"
+	"hotline/internal/report"
+	"hotline/internal/train"
+)
+
+// trainScale controls the functional-training experiment sizes. Tests and
+// benches use the default; cmd/hotline-bench can raise it via -iters.
+var trainIters = 40
+
+// SetTrainIters adjusts the functional-training length (cmd flag hook).
+func SetTrainIters(n int) {
+	if n > 0 {
+		trainIters = n
+	}
+}
+
+// Table1ISA validates Table I: every instruction encodes, decodes and
+// executes; a gather-reduce-writeback program produces the right sums.
+func Table1ISA() *report.Table {
+	t := &report.Table{Header: []string{"instruction", "operands", "roundtrip", "semantics"}}
+	host := []float32{1, 2, 3, 4, 10, 20, 30, 40}
+	d := accel.NewDriver(host, 4)
+	d.GPUMem[0] = []float32{9, 9, 9, 9}
+	scratch := make([]float32, 8)
+
+	cases := []struct {
+		in   accel.Instruction
+		desc string
+	}{
+		{accel.Instruction{Op: accel.OpSWr, Op1: 1, Op2: 0x100}, "reg idx, base addr"},
+		{accel.Instruction{Op: accel.OpDMARead, Op1: 0, Op2: 16}, "mem start idx, #bytes"},
+		{accel.Instruction{Op: accel.OpVAdd, Op1: 0, Op2: 0}, "input vector, emb vec buff"},
+		{accel.Instruction{Op: accel.OpVMul, Op1: 0, Op2: 0}, "input vector, emb vec buff"},
+		{accel.Instruction{Op: accel.OpGPURd, Op1: 0, Op2: 0}, "gpu device id, sparse idx"},
+		{accel.Instruction{Op: accel.OpDMAWrite, Op1: 4, Op2: 16}, "mem start idx, #bytes"},
+	}
+	for _, c := range cases {
+		rt := "ok"
+		if got, err := accel.Decode(c.in.Encode()); err != nil || got != c.in {
+			rt = "FAIL"
+		}
+		sem := "ok"
+		if err := d.Execute(c.in, scratch); err != nil {
+			sem = err.Error()
+		}
+		t.AddRow(c.in.Op.String(), c.desc, rt, sem)
+	}
+	t.Notes = fmt.Sprintf("%d instructions executed on the functional driver", d.Executed)
+	return t
+}
+
+// Table2Models reproduces Table II: the model inventory.
+func Table2Models() *report.Table {
+	t := &report.Table{Header: []string{
+		"model", "dataset", "dense feats", "sparse feats", "dense params", "sparse params (full)",
+		"dim", "size GB"}}
+	for _, cfg := range data.AllDatasets() {
+		m := model.New(cfg, 1)
+		dense, _ := m.ParameterCounts()
+		t.AddRow(cfg.RM, cfg.Name, fmt.Sprint(cfg.DenseFeatures), fmt.Sprint(cfg.NumTables),
+			fmt.Sprint(dense), fmt.Sprint(cfg.TotalFullRows()),
+			fmt.Sprint(cfg.EmbedDim), fmt.Sprintf("%.2f", cfg.FullSizeGB))
+	}
+	t.Notes = "paper Table II; sparse parameters at paper scale, models built at 1/1000 scale"
+	return t
+}
+
+// Fig18AccuracyParity reproduces Figure 18: AUC trajectories of the
+// baseline and Hotline executors coincide on every dataset.
+func Fig18AccuracyParity() *report.Table {
+	t := &report.Table{Header: []string{"dataset", "iter", "baseline AUC", "hotline AUC", "|diff|"}}
+	for _, cfg := range data.AllDatasets() {
+		scaled := scaledTrainingConfig(cfg)
+		base := train.NewBaseline(model.New(scaled, 1234), 0.1)
+		hot := train.NewHotline(model.New(scaled, 1234), 0.1)
+		run := train.RunConfig{BatchSize: 64, Iters: trainIters, EvalEvery: trainIters / 4, EvalSize: 512}
+		curveB := train.Run(base, data.NewGenerator(scaled), run)
+		curveH := train.Run(hot, data.NewGenerator(scaled), run)
+		for i := range curveB {
+			d := curveB[i].Metrics.AUC - curveH[i].Metrics.AUC
+			if d < 0 {
+				d = -d
+			}
+			t.AddRow(cfg.Name, fmt.Sprint(curveB[i].Iteration),
+				fmt.Sprintf("%.4f", curveB[i].Metrics.AUC),
+				fmt.Sprintf("%.4f", curveH[i].Metrics.AUC),
+				fmt.Sprintf("%.5f", d))
+		}
+	}
+	t.Notes = "paper: Hotline maintains exactly identical training fidelity to the baseline"
+	return t
+}
+
+// Table5Accuracy reproduces Table V: final accuracy/AUC/logloss for both
+// executors plus the maximum parameter divergence.
+func Table5Accuracy() *report.Table {
+	t := &report.Table{Header: []string{
+		"dataset", "exec", "accuracy", "AUC", "logloss", "max state diff", "popular %"}}
+	for _, cfg := range data.AllDatasets() {
+		scaled := scaledTrainingConfig(cfg)
+		rep := train.Parity(scaled, 99, train.RunConfig{BatchSize: 64, Iters: trainIters, EvalSize: 512})
+		t.AddRow(cfg.Name, "DLRM/TBSM",
+			fmt.Sprintf("%.2f%%", rep.Baseline.Accuracy*100),
+			fmt.Sprintf("%.4f", rep.Baseline.AUC),
+			fmt.Sprintf("%.4f", rep.Baseline.LogLoss), "-", "-")
+		t.AddRow(cfg.Name, "Hotline",
+			fmt.Sprintf("%.2f%%", rep.Hotline.Accuracy*100),
+			fmt.Sprintf("%.4f", rep.Hotline.AUC),
+			fmt.Sprintf("%.4f", rep.Hotline.LogLoss),
+			fmt.Sprintf("%.2g", rep.MaxStateDiff),
+			fmt.Sprintf("%.0f%%", rep.PopularFrac*100))
+	}
+	t.Notes = "paper Table V: identical metrics for baseline and Hotline"
+	return t
+}
+
+// scaledTrainingConfig shrinks the dense towers for functional-training
+// experiments so the full four-dataset parity suite runs in seconds while
+// preserving each model's structure (TBSM keeps its sequence + attention).
+func scaledTrainingConfig(cfg data.Config) data.Config {
+	c := cfg
+	c.Samples = 4096
+	shrink := func(sizes []int, cap int) []int {
+		out := make([]int, len(sizes))
+		for i, s := range sizes {
+			if s > cap {
+				s = cap
+			}
+			out[i] = s
+		}
+		return out
+	}
+	c.BotMLP = shrink(c.BotMLP, 64)
+	c.TopMLP = shrink(c.TopMLP, 64)
+	// keep the invariants: bottom ends at the embedding dim, top ends at 1
+	c.BotMLP[0] = c.DenseFeatures
+	c.BotMLP[len(c.BotMLP)-1] = c.EmbedDim
+	c.TopMLP[len(c.TopMLP)-1] = 1
+	return c
+}

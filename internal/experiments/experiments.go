@@ -1,0 +1,113 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI-§VII) from this repository's substrates. Each experiment
+// returns a report.Table whose rows mirror the paper's series; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hotline/internal/cost"
+	"hotline/internal/data"
+	"hotline/internal/pipeline"
+	"hotline/internal/report"
+)
+
+// Generator produces one experiment's table.
+type Generator func() *report.Table
+
+// regEntry is one registry row.
+type regEntry struct {
+	title string
+	gen   Generator
+}
+
+// registry maps experiment id -> (title, generator).
+var registry = map[string]regEntry{
+	"tab1":  {"Hotline instruction set round-trip and semantics", Table1ISA},
+	"tab2":  {"Recommender model architectures and parameters", Table2Models},
+	"tab5":  {"Accuracy metric parity (DLRM baseline vs Hotline)", Table5Accuracy},
+	"fig3":  {"Hybrid CPU-GPU training-time breakdown (4 GPUs)", Fig3HybridBreakdown},
+	"fig4":  {"GPU-only single-node training-time breakdown", Fig4GPUOnlyBreakdown},
+	"fig5":  {"Multi-node GPU-only training-time breakdown", Fig5MultiNodeBreakdown},
+	"fig6":  {"Embedding access skew and popular-input fractions", Fig6AccessSkew},
+	"fig7":  {"CPU-based segregation vs GPU mini-batch training", Fig7CPUSegregation},
+	"fig8":  {"Segregation wall-clock vs CPU core count", Fig8CorePlateau},
+	"fig9":  {"Evolving popularity skew across days", Fig9EvolvingSkew},
+	"fig15": {"SRRIP-based EAL vs Oracle LFU tracker", Fig15SRRIPvsOracle},
+	"fig16": {"EAL queue size x banks design space", Fig16QueueBanks},
+	"fig18": {"Training accuracy curves: baseline vs Hotline", Fig18AccuracyParity},
+	"fig19": {"Speedup vs XDL / Intel DLRM / FAE (1/2/4 GPUs)", Fig19Speedup},
+	"fig20": {"Latency breakdown across frameworks", Fig20LatencyBreakdown},
+	"fig21": {"Training throughput (epochs/hour, 4 GPUs)", Fig21Throughput},
+	"fig22": {"Hotline vs HugeCTR (GPU-only baseline)", Fig22HugeCTR},
+	"fig23": {"Hotline accelerator vs CPU-based Hotline", Fig23CPUvsAccel},
+	"fig24": {"Hotline vs ScratchPipe-Ideal", Fig24ScratchPipe},
+	"fig25": {"Popular:non-popular ratio sweep (gather hiding)", Fig25RatioSweep},
+	"fig26": {"Speedup vs mini-batch size", Fig26BatchSweep},
+	"fig27": {"EAL size sweep (popular inputs captured)", Fig27EALSize},
+	"fig28": {"Synthetic large models (SYN-M1/M2, 4 GPUs)", Fig28SyntheticModels},
+	"fig29": {"Performance/Watt and accelerator area/power", Fig29PerfPerWatt},
+	"fig30": {"Multi-node scaling vs HugeCTR (SYN models)", Fig30MultiNode},
+}
+
+// All returns every experiment id in a stable order.
+func All() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's title.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment by id.
+func Run(id string) (*report.Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, All())
+	}
+	t := e.gen()
+	t.ID = id
+	if t.Title == "" {
+		t.Title = e.title
+	}
+	return t, nil
+}
+
+// --- shared helpers ------------------------------------------------------
+
+// weakScaledWorkload builds the Fig 19-style workload: 1K inputs per GPU.
+func weakScaledWorkload(cfg data.Config, gpus int) pipeline.Workload {
+	return pipeline.NewWorkload(cfg, 1024*gpus, cost.PaperSystem(gpus))
+}
+
+// pct formats a fraction of a total as a percentage string.
+func pct(part, total float64) string {
+	if total == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*part/total)
+}
+
+// phaseOrder is the display order for breakdown figures (paper legend order).
+var phaseOrder = []string{
+	pipeline.PhaseMLPFwd, pipeline.PhaseEmbFwd, pipeline.PhaseBwd,
+	pipeline.PhaseOpt, pipeline.PhaseComm, pipeline.PhaseA2A,
+	pipeline.PhaseAllReduce, pipeline.PhaseSeg, pipeline.PhaseGather,
+	pipeline.PhaseOverhead,
+}
+
+// breakdownRow renders one IterStats as percentage cells in phaseOrder.
+func breakdownRow(st pipeline.IterStats) []string {
+	cells := make([]string, 0, len(phaseOrder))
+	total := float64(st.Total)
+	for _, ph := range phaseOrder {
+		cells = append(cells, pct(float64(st.Phases[ph]), total))
+	}
+	return cells
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	SetTrainIters(12) // keep functional training short in tests
+	for _, id := range All() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			out := tab.Render()
+			if !strings.Contains(out, id) {
+				t.Fatal("render must include the experiment id")
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure/table in DESIGN.md's per-experiment index must exist.
+	want := []string{
+		"tab1", "tab2", "tab5",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22",
+		"fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29", "fig30",
+	}
+	have := map[string]bool{}
+	for _, id := range All() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	// plus the four design-choice ablations
+	for _, id := range []string{"abl-eal", "abl-feistel", "abl-overlap", "abl-sampling"} {
+		if !have[id] {
+			t.Errorf("missing ablation %s", id)
+		}
+	}
+	if len(All()) != len(want)+4 {
+		t.Errorf("registry has %d experiments, expected %d", len(All()), len(want)+4)
+	}
+}
+
+func TestTitlesPresent(t *testing.T) {
+	for _, id := range All() {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package model assembles full recommendation models from the nn and
+// embedding substrates: DLRM (RM2, RM3, RM4 and the SYN models) and TBSM
+// (RM1, with a behaviour-sequence table and an attention layer), following
+// the architectures in the paper's Table II.
+//
+// A Model supports full functional training (forward, backward, SGD), with
+// gradient accumulation across multiple Backward calls so the Hotline
+// executor can run popular and non-popular µ-batches separately and update
+// once — the mechanism behind the paper's accuracy-parity proof (Eq. 5).
+package model
+
+import (
+	"fmt"
+
+	"hotline/internal/data"
+	"hotline/internal/embedding"
+	"hotline/internal/nn"
+	"hotline/internal/tensor"
+)
+
+// Model is a DLRM or TBSM instance.
+type Model struct {
+	Cfg data.Config
+
+	Bot    *nn.MLP
+	Top    *nn.MLP
+	Inter  *nn.DotInteraction
+	Attn   *nn.Attention // non-nil only for TBSM configs
+	Tables embedding.Tables
+
+	// pendingSparse accumulates sparse gradients across Backward calls
+	// until ApplySparse or ZeroAll.
+	pendingSparse []tableGrad
+
+	// forward caches
+	lastBatch    *data.Batch
+	lastStepIdx  [][][]int32 // TBSM: per step, per sample index lists for table 0
+	lastSeqSteps []*tensor.Matrix
+}
+
+type tableGrad struct {
+	table int
+	grad  embedding.SparseGrad
+	scale float32
+}
+
+// New builds a model with deterministic initial weights derived from seed.
+// Two models built from the same config and seed are bit-identical.
+func New(cfg data.Config, seed uint64) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := tensor.NewRNG(seed)
+	m := &Model{Cfg: cfg}
+	m.Bot = nn.NewMLP(cfg.BotMLP, true, rng)
+	m.Inter = nn.NewDotInteraction(cfg.EmbedDim, cfg.NumTables)
+	topSizes := append([]int{m.Inter.OutWidth()}, cfg.TopMLP...)
+	m.Top = nn.NewMLP(topSizes, false, rng)
+	if cfg.TimeSteps > 1 {
+		m.Attn = nn.NewAttention(cfg.EmbedDim, cfg.TimeSteps)
+	}
+	m.Tables = embedding.NewTables(cfg.ScaledRowsPerTable, cfg.EmbedDim, rng)
+	return m
+}
+
+// IsTBSM reports whether the model carries the attention/sequence structure.
+func (m *Model) IsTBSM() bool { return m.Attn != nil }
+
+// Forward computes the logits (B x 1) for a batch.
+func (m *Model) Forward(b *data.Batch) *tensor.Matrix {
+	m.lastBatch = b
+	z0 := m.Bot.Forward(b.Dense)
+	inputs := make([]*tensor.Matrix, 0, m.Cfg.NumTables+1)
+	inputs = append(inputs, z0)
+	for t := 0; t < m.Cfg.NumTables; t++ {
+		if m.IsTBSM() && t == 0 {
+			inputs = append(inputs, m.forwardSequence(b))
+			continue
+		}
+		inputs = append(inputs, m.Tables[t].Forward(b.Sparse[t]))
+	}
+	feat := m.Inter.Forward(inputs)
+	return m.Top.Forward(feat)
+}
+
+// forwardSequence runs the TBSM behaviour-sequence table: one embedding
+// lookup per timestep, pooled by the attention layer.
+func (m *Model) forwardSequence(b *data.Batch) *tensor.Matrix {
+	steps := m.Cfg.TimeSteps
+	n := b.Size()
+	m.lastStepIdx = make([][][]int32, steps)
+	m.lastSeqSteps = make([]*tensor.Matrix, steps)
+	for s := 0; s < steps; s++ {
+		idx := make([][]int32, n)
+		for i := 0; i < n; i++ {
+			seq := b.Sparse[0][i]
+			if len(seq) != steps {
+				panic(fmt.Sprintf("model: sample %d sequence len %d want %d", i, len(seq), steps))
+			}
+			idx[i] = []int32{seq[s]}
+		}
+		m.lastStepIdx[s] = idx
+		m.lastSeqSteps[s] = m.Tables[0].Forward(idx)
+	}
+	return m.Attn.Forward(m.lastSeqSteps)
+}
+
+// Backward accumulates gradients for dL/dlogits. Dense parameter gradients
+// add into the MLP accumulators; sparse gradients are stashed (scaled by
+// scale) until ApplySparse. Multiple Backward calls between updates model
+// µ-batch accumulation.
+func (m *Model) Backward(gradLogits *tensor.Matrix, scale float32) {
+	if m.lastBatch == nil {
+		panic("model: Backward before Forward")
+	}
+	g := gradLogits
+	if scale != 1 {
+		g = gradLogits.Clone()
+		tensor.Scale(g, scale)
+	}
+	gFeat := m.Top.Backward(g)
+	gInputs := m.Inter.Backward(gFeat)
+	m.Bot.Backward(gInputs[0])
+	for t := 0; t < m.Cfg.NumTables; t++ {
+		gEmb := gInputs[t+1]
+		if m.IsTBSM() && t == 0 {
+			stepGrads := m.Attn.Backward(gEmb)
+			for s, sg := range stepGrads {
+				spg := m.Tables[0].BackwardIndices(m.lastStepIdx[s], sg)
+				m.pendingSparse = append(m.pendingSparse, tableGrad{table: 0, grad: spg, scale: 1})
+			}
+			continue
+		}
+		spg := m.Tables[t].BackwardIndices(m.lastBatch.Sparse[t], gEmb)
+		m.pendingSparse = append(m.pendingSparse, tableGrad{table: t, grad: spg, scale: 1})
+	}
+}
+
+// DenseParams returns every dense trainable parameter.
+func (m *Model) DenseParams() []nn.Param {
+	return append(m.Bot.Params(), m.Top.Params()...)
+}
+
+// ApplySparse applies all stashed sparse gradients with the learning rate
+// and clears the stash. Application order is deterministic (stash order).
+func (m *Model) ApplySparse(lr float32) {
+	for _, tg := range m.pendingSparse {
+		m.Tables[tg.table].ApplySparseSGD(tg.grad, lr*tg.scale)
+	}
+	m.pendingSparse = m.pendingSparse[:0]
+}
+
+// ZeroAll clears dense gradient accumulators and drops stashed sparse grads.
+func (m *Model) ZeroAll() {
+	nn.ZeroGrads(m.DenseParams())
+	m.pendingSparse = m.pendingSparse[:0]
+}
+
+// TrainStep runs one standard mini-batch SGD iteration (the baseline
+// executor) and returns the mean BCE loss.
+func (m *Model) TrainStep(b *data.Batch, lr float32) float64 {
+	m.ZeroAll()
+	logits := m.Forward(b)
+	loss, grad := nn.BCEWithLogits(logits, b.Labels, nn.ReduceMean)
+	m.Backward(grad, 1)
+	opt := nn.NewSGD(m.DenseParams(), lr)
+	opt.Step()
+	m.ApplySparse(lr)
+	return loss
+}
+
+// Predict returns click probabilities for a batch (no gradient state kept).
+func (m *Model) Predict(b *data.Batch) []float32 {
+	logits := m.Forward(b)
+	out := make([]float32, logits.Rows)
+	for i := range out {
+		out[i] = nn.SigmoidScalar(logits.Data[i])
+	}
+	return out
+}
+
+// ParameterCounts returns (dense, sparse) scalar parameter counts
+// (the paper Table II inventory, at scaled table sizes).
+func (m *Model) ParameterCounts() (dense, sparse int64) {
+	dense = int64(nn.NumParams(m.DenseParams()))
+	for _, t := range m.Tables {
+		sparse += int64(t.Rows) * int64(t.Dim)
+	}
+	return dense, sparse
+}
+
+// DenseStateEqual reports whether two models have bit-identical dense
+// parameters (used by parity tests).
+func DenseStateEqual(a, b *Model) bool {
+	pa, pb := a.DenseParams(), b.DenseParams()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if !pa[i].Value.Equal(pb[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// SparseStateEqual reports whether two models have bit-identical embedding
+// tables.
+func SparseStateEqual(a, b *Model) bool {
+	if len(a.Tables) != len(b.Tables) {
+		return false
+	}
+	for i := range a.Tables {
+		if !a.Tables[i].W.Equal(b.Tables[i].W) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxStateDiff returns the largest absolute parameter difference between two
+// models across dense and sparse state (0 for bit-identical models).
+func MaxStateDiff(a, b *Model) float64 {
+	var max float64
+	pa, pb := a.DenseParams(), b.DenseParams()
+	for i := range pa {
+		if d := float64(tensor.MaxAbsDiff(pa[i].Value, pb[i].Value)); d > max {
+			max = d
+		}
+	}
+	for i := range a.Tables {
+		if d := float64(tensor.MaxAbsDiff(a.Tables[i].W, b.Tables[i].W)); d > max {
+			max = d
+		}
+	}
+	return max
+}

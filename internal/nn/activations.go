@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+
+	"hotline/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask *tensor.Matrix // 1 where input > 0
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(x, 0) element-wise.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	r.mask = tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient by the forward mask.
+func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	gradIn := tensor.New(gradOut.Rows, gradOut.Cols)
+	tensor.Hadamard(gradIn, gradOut, r.mask)
+	return gradIn
+}
+
+// Params returns nil; ReLU is stateless.
+func (r *ReLU) Params() []Param { return nil }
+
+// Sigmoid is the logistic activation σ(x) = 1/(1+e⁻ˣ).
+type Sigmoid struct {
+	out *tensor.Matrix
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// SigmoidScalar computes the numerically stable logistic function.
+func SigmoidScalar(x float32) float32 {
+	if x >= 0 {
+		z := float32(math.Exp(-float64(x)))
+		return 1 / (1 + z)
+	}
+	z := float32(math.Exp(float64(x)))
+	return z / (1 + z)
+}
+
+// Forward computes σ(x) element-wise.
+func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = SigmoidScalar(v)
+	}
+	s.out = out
+	return out
+}
+
+// Backward computes g·σ(x)·(1-σ(x)) using the cached forward output.
+func (s *Sigmoid) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if s.out == nil {
+		panic("nn: Sigmoid.Backward before Forward")
+	}
+	gradIn := tensor.New(gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		y := s.out.Data[i]
+		gradIn.Data[i] = g * y * (1 - y)
+	}
+	return gradIn
+}
+
+// Params returns nil; Sigmoid is stateless.
+func (s *Sigmoid) Params() []Param { return nil }

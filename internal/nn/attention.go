@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hotline/internal/tensor"
+)
+
+// Attention is the TBSM time-series attention layer. Given per-timestep
+// feature vectors h_1..h_T (each B x Dim) it uses the final timestep as the
+// query, computes scaled dot-product scores against every timestep, softmaxes
+// them, and returns the attention-weighted context vector (B x Dim).
+type Attention struct {
+	Dim   int
+	Steps int
+
+	lastInputs []*tensor.Matrix
+	lastAlphas *tensor.Matrix // B x Steps softmax weights
+}
+
+// NewAttention returns an attention layer over steps timesteps of dim-wide
+// vectors.
+func NewAttention(dim, steps int) *Attention {
+	if steps < 1 {
+		panic("nn: Attention needs >= 1 step")
+	}
+	return &Attention{Dim: dim, Steps: steps}
+}
+
+// Forward consumes one (B x Dim) matrix per timestep and returns the
+// (B x Dim) context.
+func (a *Attention) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
+	if len(inputs) != a.Steps {
+		panic(fmt.Sprintf("nn: Attention wants %d inputs, got %d", a.Steps, len(inputs)))
+	}
+	batch := inputs[0].Rows
+	for i, m := range inputs {
+		if m.Rows != batch || m.Cols != a.Dim {
+			panic(fmt.Sprintf("nn: Attention input %d is %dx%d want %dx%d", i, m.Rows, m.Cols, batch, a.Dim))
+		}
+	}
+	a.lastInputs = inputs
+	scale := float32(1 / math.Sqrt(float64(a.Dim)))
+	alphas := tensor.New(batch, a.Steps)
+	query := inputs[a.Steps-1]
+	for b := 0; b < batch; b++ {
+		q := query.Row(b)
+		arow := alphas.Row(b)
+		var maxScore float32 = float32(math.Inf(-1))
+		for t := 0; t < a.Steps; t++ {
+			h := inputs[t].Row(b)
+			var dot float32
+			for k := range q {
+				dot += q[k] * h[k]
+			}
+			arow[t] = dot * scale
+			if arow[t] > maxScore {
+				maxScore = arow[t]
+			}
+		}
+		var sum float32
+		for t := range arow {
+			arow[t] = float32(math.Exp(float64(arow[t] - maxScore)))
+			sum += arow[t]
+		}
+		for t := range arow {
+			arow[t] /= sum
+		}
+	}
+	a.lastAlphas = alphas
+	out := tensor.New(batch, a.Dim)
+	for b := 0; b < batch; b++ {
+		orow := out.Row(b)
+		arow := alphas.Row(b)
+		for t := 0; t < a.Steps; t++ {
+			h := inputs[t].Row(b)
+			w := arow[t]
+			for k := range orow {
+				orow[k] += w * h[k]
+			}
+		}
+	}
+	return out
+}
+
+// Backward returns the gradients with respect to each timestep input.
+func (a *Attention) Backward(gradOut *tensor.Matrix) []*tensor.Matrix {
+	if a.lastInputs == nil {
+		panic("nn: Attention.Backward before Forward")
+	}
+	batch := a.lastInputs[0].Rows
+	scale := float32(1 / math.Sqrt(float64(a.Dim)))
+	grads := make([]*tensor.Matrix, a.Steps)
+	for t := range grads {
+		grads[t] = tensor.New(batch, a.Dim)
+	}
+	for b := 0; b < batch; b++ {
+		grow := gradOut.Row(b)
+		arow := a.lastAlphas.Row(b)
+		q := a.lastInputs[a.Steps-1].Row(b)
+
+		// dL/dα_t = g·h_t ; context = Σ α_t h_t contributes α_t·g to dh_t.
+		dAlpha := make([]float32, a.Steps)
+		for t := 0; t < a.Steps; t++ {
+			h := a.lastInputs[t].Row(b)
+			gt := grads[t].Row(b)
+			var dot float32
+			for k := range grow {
+				dot += grow[k] * h[k]
+				gt[k] += arow[t] * grow[k]
+			}
+			dAlpha[t] = dot
+		}
+		// Softmax backward: ds_t = α_t (dα_t − Σ_u α_u dα_u).
+		var inner float32
+		for t := range dAlpha {
+			inner += arow[t] * dAlpha[t]
+		}
+		for t := 0; t < a.Steps; t++ {
+			dScore := arow[t] * (dAlpha[t] - inner) * scale
+			if dScore == 0 {
+				continue
+			}
+			// score_t = scale·(q·h_t): grad flows to h_t and to q (= h_{T-1}).
+			h := a.lastInputs[t].Row(b)
+			gt := grads[t].Row(b)
+			gq := grads[a.Steps-1].Row(b)
+			for k := range h {
+				gt[k] += dScore * q[k]
+				gq[k] += dScore * h[k]
+			}
+		}
+	}
+	return grads
+}

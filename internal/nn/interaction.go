@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+
+	"hotline/internal/tensor"
+)
+
+// DotInteraction implements the DLRM feature-interaction layer: given the
+// bottom-MLP output z0 and the per-table embedding vectors (all of equal
+// dimension d), it emits for each sample the concatenation of z0 with the
+// pairwise dot products of all distinct vector pairs.
+//
+// With n = 1 + numTables vectors the output width is d + n(n-1)/2.
+type DotInteraction struct {
+	Dim    int
+	NumVec int // vectors per sample: 1 (dense) + number of embedding tables
+
+	lastInputs []*tensor.Matrix
+}
+
+// NewDotInteraction returns the interaction op for numTables embedding
+// tables of dimension dim.
+func NewDotInteraction(dim, numTables int) *DotInteraction {
+	return &DotInteraction{Dim: dim, NumVec: numTables + 1}
+}
+
+// OutWidth returns the output feature width.
+func (d *DotInteraction) OutWidth() int {
+	n := d.NumVec
+	return d.Dim + n*(n-1)/2
+}
+
+// Forward consumes the dense vector matrix followed by one matrix per
+// embedding table, each of shape (B x Dim), and returns (B x OutWidth()).
+func (d *DotInteraction) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
+	if len(inputs) != d.NumVec {
+		panic(fmt.Sprintf("nn: DotInteraction wants %d inputs, got %d", d.NumVec, len(inputs)))
+	}
+	batch := inputs[0].Rows
+	for i, m := range inputs {
+		if m.Rows != batch || m.Cols != d.Dim {
+			panic(fmt.Sprintf("nn: DotInteraction input %d is %dx%d want %dx%d", i, m.Rows, m.Cols, batch, d.Dim))
+		}
+	}
+	d.lastInputs = inputs
+	out := tensor.New(batch, d.OutWidth())
+	for b := 0; b < batch; b++ {
+		row := out.Row(b)
+		copy(row[:d.Dim], inputs[0].Row(b))
+		k := d.Dim
+		for i := 1; i < d.NumVec; i++ {
+			vi := inputs[i].Row(b)
+			for j := 0; j < i; j++ {
+				vj := inputs[j].Row(b)
+				var dot float32
+				for t := 0; t < d.Dim; t++ {
+					dot += vi[t] * vj[t]
+				}
+				row[k] = dot
+				k++
+			}
+		}
+	}
+	return out
+}
+
+// Backward returns one gradient matrix per forward input, in order.
+func (d *DotInteraction) Backward(gradOut *tensor.Matrix) []*tensor.Matrix {
+	if d.lastInputs == nil {
+		panic("nn: DotInteraction.Backward before Forward")
+	}
+	batch := d.lastInputs[0].Rows
+	grads := make([]*tensor.Matrix, d.NumVec)
+	for i := range grads {
+		grads[i] = tensor.New(batch, d.Dim)
+	}
+	for b := 0; b < batch; b++ {
+		grow := gradOut.Row(b)
+		// Pass-through gradient for the copied dense vector.
+		copy(grads[0].Row(b), grow[:d.Dim])
+		k := d.Dim
+		for i := 1; i < d.NumVec; i++ {
+			vi := d.lastInputs[i].Row(b)
+			gi := grads[i].Row(b)
+			for j := 0; j < i; j++ {
+				vj := d.lastInputs[j].Row(b)
+				gj := grads[j].Row(b)
+				g := grow[k]
+				k++
+				if g == 0 {
+					continue
+				}
+				for t := 0; t < d.Dim; t++ {
+					gi[t] += g * vj[t]
+					gj[t] += g * vi[t]
+				}
+			}
+		}
+	}
+	return grads
+}

@@ -1,0 +1,45 @@
+// Package nn implements the dense neural-network components of DLRM and
+// TBSM: linear layers, activations, MLP stacks, the DLRM dot-product feature
+// interaction, the TBSM attention layer, binary cross-entropy loss and SGD.
+//
+// All layers use hand-written backpropagation over internal/tensor matrices.
+// Every forward call caches what its backward pass needs; Backward must be
+// called after Forward with a gradient of the same shape as the forward
+// output, and returns the gradient with respect to the layer input.
+package nn
+
+import "hotline/internal/tensor"
+
+// Param couples a trainable value with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// Layer is a differentiable module with trainable parameters.
+type Layer interface {
+	// Forward computes the layer output for input x (batch rows).
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	// Backward consumes dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients along the way.
+	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+	// Params returns the trainable parameters (empty for stateless layers).
+	Params() []Param
+}
+
+// ZeroGrads clears the gradient accumulators of all params.
+func ZeroGrads(params []Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func NumParams(params []Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.Value.Data)
+	}
+	return n
+}

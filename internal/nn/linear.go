@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+
+	"hotline/internal/tensor"
+)
+
+// Linear is a fully connected layer computing y = x·W + b with
+// W of shape (in x out) and b of length out.
+type Linear struct {
+	In, Out int
+	W       *tensor.Matrix // in x out
+	B       *tensor.Matrix // 1 x out
+	GradW   *tensor.Matrix
+	GradB   *tensor.Matrix
+
+	lastInput *tensor.Matrix // cached for backward
+}
+
+// NewLinear returns a Linear layer with Xavier-initialised weights.
+func NewLinear(in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In:    in,
+		Out:   out,
+		W:     tensor.New(in, out),
+		B:     tensor.New(1, out),
+		GradW: tensor.New(in, out),
+		GradB: tensor.New(1, out),
+	}
+	tensor.XavierInit(l.W, in, out, rng)
+	return l
+}
+
+// Forward computes x·W + b for a batch x of shape (B x in).
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: Linear forward input cols %d want %d", x.Cols, l.In))
+	}
+	l.lastInput = x
+	out := tensor.New(x.Rows, l.Out)
+	tensor.MatMul(out, x, l.W)
+	tensor.AddBiasRow(out, l.B.Data)
+	return out
+}
+
+// Backward accumulates dW = xᵀ·g, db = Σrows g and returns dx = g·Wᵀ.
+func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if l.lastInput == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	gw := tensor.New(l.In, l.Out)
+	tensor.MatMulTransA(gw, l.lastInput, gradOut)
+	tensor.AxpyInto(l.GradW, 1, gw)
+	tensor.SumRowsInto(l.GradB.Data, gradOut)
+	gradIn := tensor.New(gradOut.Rows, l.In)
+	tensor.MatMulTransB(gradIn, gradOut, l.W)
+	return gradIn
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []Param {
+	return []Param{
+		{Name: "W", Value: l.W, Grad: l.GradW},
+		{Name: "b", Value: l.B, Grad: l.GradB},
+	}
+}

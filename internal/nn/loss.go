@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hotline/internal/tensor"
+)
+
+// Reduction selects how per-sample losses combine into the scalar loss.
+type Reduction int
+
+const (
+	// ReduceMean divides the summed loss (and gradients) by the batch size.
+	ReduceMean Reduction = iota
+	// ReduceSum leaves the loss as the plain sum over samples. The Hotline
+	// µ-batch executor uses sums so that L_popular + L_non-popular equals
+	// the baseline mini-batch loss exactly (paper Eq. 5).
+	ReduceSum
+)
+
+// BCEWithLogits computes binary cross-entropy between logits and {0,1}
+// targets with the numerically stable log-sum-exp formulation:
+//
+//	ℓ(x, y) = max(x,0) − x·y + log(1 + e^{−|x|})
+//
+// It returns the reduced loss and dL/dlogits under the same reduction.
+func BCEWithLogits(logits *tensor.Matrix, targets []float32, red Reduction) (float64, *tensor.Matrix) {
+	if logits.Cols != 1 {
+		panic(fmt.Sprintf("nn: BCEWithLogits wants Bx1 logits, got %dx%d", logits.Rows, logits.Cols))
+	}
+	if logits.Rows != len(targets) {
+		panic(fmt.Sprintf("nn: BCEWithLogits %d logits vs %d targets", logits.Rows, len(targets)))
+	}
+	grad := tensor.New(logits.Rows, 1)
+	var loss float64
+	for i := 0; i < logits.Rows; i++ {
+		x := float64(logits.Data[i])
+		y := float64(targets[i])
+		loss += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
+		grad.Data[i] = SigmoidScalar(logits.Data[i]) - targets[i]
+	}
+	if red == ReduceMean && logits.Rows > 0 {
+		inv := 1 / float64(logits.Rows)
+		loss *= inv
+		tensor.Scale(grad, float32(inv))
+	}
+	return loss, grad
+}
+
+// BCELossOnly evaluates the loss without materialising gradients; used by
+// evaluation loops.
+func BCELossOnly(logits *tensor.Matrix, targets []float32, red Reduction) float64 {
+	var loss float64
+	for i := 0; i < logits.Rows; i++ {
+		x := float64(logits.Data[i])
+		y := float64(targets[i])
+		loss += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
+	}
+	if red == ReduceMean && logits.Rows > 0 {
+		loss /= float64(logits.Rows)
+	}
+	return loss
+}

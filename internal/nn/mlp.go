@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+
+	"hotline/internal/tensor"
+)
+
+// MLP is a stack of Linear layers with ReLU between them. When
+// finalActivation is true the last Linear is also followed by a ReLU
+// (DLRM bottom MLPs end in ReLU; top MLPs end in a raw logit).
+type MLP struct {
+	Sizes  []int
+	layers []Layer
+}
+
+// NewMLP builds an MLP from the layer sizes, e.g. {13, 512, 256, 64}.
+// relUAfterLast controls whether the output of the final Linear passes
+// through a ReLU.
+func NewMLP(sizes []int, reluAfterLast bool, rng *tensor.RNG) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: MLP needs >= 2 sizes, got %v", sizes))
+	}
+	m := &MLP{Sizes: sizes}
+	for i := 0; i < len(sizes)-1; i++ {
+		m.layers = append(m.layers, NewLinear(sizes[i], sizes[i+1], rng))
+		last := i == len(sizes)-2
+		if !last || reluAfterLast {
+			m.layers = append(m.layers, NewReLU())
+		}
+	}
+	return m
+}
+
+// Forward runs the stack on a batch.
+func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range m.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the reverse pass through the stack.
+func (m *MLP) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		gradOut = m.layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params returns the parameters of every layer in order.
+func (m *MLP) Params() []Param {
+	var ps []Param
+	for i, l := range m.layers {
+		for _, p := range l.Params() {
+			p.Name = fmt.Sprintf("mlp[%d].%s", i, p.Name)
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// FLOPs returns the multiply-accumulate count of one forward pass for a
+// batch of the given size; the performance layer uses this for cost models.
+func (m *MLP) FLOPs(batch int) int64 {
+	var f int64
+	for i := 0; i < len(m.Sizes)-1; i++ {
+		f += 2 * int64(batch) * int64(m.Sizes[i]) * int64(m.Sizes[i+1])
+	}
+	return f
+}
+
+// MLPFLOPs computes forward MAC count for an architecture without building it.
+func MLPFLOPs(sizes []int, batch int) int64 {
+	var f int64
+	for i := 0; i < len(sizes)-1; i++ {
+		f += 2 * int64(batch) * int64(sizes[i]) * int64(sizes[i+1])
+	}
+	return f
+}

@@ -1,0 +1,83 @@
+package pipeline
+
+import "hotline/internal/cost"
+
+// FAE models the FAE baseline [Adnan et al., VLDB'22]: an offline profiler
+// statically marks hot embeddings, which are replicated in GPU HBM. Training
+// then alternates between popular mini-batches (all accesses hot — run
+// entirely on GPUs, data parallel) and non-popular mini-batches (run in the
+// classic hybrid mode). FAE does not pipeline the two, pays embedding
+// coherence synchronisation when switching between modes (its hot copies
+// must be flushed/reloaded between CPU and GPU), and its offline profiler
+// adds ~15% of training time that the original work did not account for
+// (paper §VII-B2).
+type FAE struct {
+	hybrid *Hybrid
+	// BatchesPerPhase is how many same-kind mini-batches FAE's scheduler
+	// groups between mode switches (amortises coherence syncs).
+	BatchesPerPhase int
+	// ProfilerFrac is the offline-profiling overhead fraction.
+	ProfilerFrac float64
+}
+
+// NewFAE returns the FAE baseline.
+func NewFAE() *FAE {
+	return &FAE{hybrid: NewIntelDLRM(), BatchesPerPhase: 64, ProfilerFrac: 0.15}
+}
+
+// Name implements Pipeline.
+func (f *FAE) Name() string { return "FAE" }
+
+// Iteration returns the popularity-weighted steady-state iteration:
+// PopularFrac of mini-batches run as popular, the rest hybrid.
+func (f *FAE) Iteration(w Workload) IterStats {
+	pop := f.popularIteration(w)
+	hyb := f.hybrid.Iteration(w)
+
+	p := w.PopularFrac
+	ph := Breakdown{}
+	for k, v := range pop.Phases {
+		ph[k] += scaleDur(v, p)
+	}
+	for k, v := range hyb.Phases {
+		ph[k] += scaleDur(v, 1-p)
+	}
+
+	// Coherence: on each popular<->non-popular transition the hot tier is
+	// synchronised over PCIe (paper footnote 1 / Figure 20). Two
+	// transitions per phase pair, amortised over the batches in a phase.
+	syncBytes := w.HotBytesFull / 16 // dirty fraction of the hot tier
+	sync := scaleDur(w.Sys.PCIe.Transfer(syncBytes), 2.0/float64(f.BatchesPerPhase))
+	ph[PhaseComm] += sync
+
+	// Offline profiler overhead, charged against training time.
+	ph[PhaseOverhead] += scaleDur(ph.Total(), f.ProfilerFrac)
+
+	return IterStats{Total: ph.Total(), Phases: ph}
+}
+
+// popularIteration times an all-popular mini-batch: embeddings are
+// replicated on every GPU, so the batch runs data-parallel with hot
+// embedding gradients joining the dense all-reduce. No CPU involvement.
+func (f *FAE) popularIteration(w Workload) IterStats {
+	sys := w.Sys
+	nGPU := sys.TotalGPUs()
+	ph := Breakdown{}
+
+	perGPULookups := w.TotalLookups() / int64(nGPU)
+	ph[PhaseEmbFwd] = cost.GPUEmbLookupTime(sys.GPU, perGPULookups, w.RowBytes())
+
+	fwd, bwd := w.gpuDenseTime(w.PerGPUBatch())
+	ph[PhaseMLPFwd] = fwd
+	ph[PhaseBwd] = bwd
+
+	gradBytes := w.DenseParamBytes() + w.PooledEmbBytes(w.PerGPUBatch())
+	ph[PhaseAllReduce] = cost.HierarchicalAllReduceTime(sys, gradBytes)
+
+	touched := dedupRows(perGPULookups)
+	ph[PhaseOpt] = cost.GPUEmbUpdateTime(sys.GPU, touched, w.RowBytes()) +
+		cost.GPUMLPTime(sys.GPU, w.DenseParamBytes()/2, 2)
+
+	ph[PhaseOverhead] = cost.PerIterHostOverhead
+	return IterStats{Total: ph.Total(), Phases: ph}
+}

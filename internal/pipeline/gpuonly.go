@@ -1,0 +1,90 @@
+package pipeline
+
+import "hotline/internal/cost"
+
+// GPUOnly models the GPU-only mode (paper Figure 1b) as implemented by
+// HugeCTR: the embedding tables are sharded (model-parallel) across all
+// GPU HBMs, every iteration exchanges pooled embeddings with all-to-all
+// collectives in both directions, and the dense network runs data-parallel
+// with an all-reduce. The mode OOMs when the paper-scale embedding bytes
+// exceed aggregate HBM capacity — Figures 22 and 30's failure cases.
+type GPUOnly struct {
+	name string
+	// cached reports whether embeddings come from a GPU-resident cache fed
+	// by lookahead prefetch (ScratchPipe-Ideal) instead of full residency:
+	// no OOM, and prefetch traffic rides PCIe concurrently (ideal RAW
+	// relaxation per §VII-E).
+	cached bool
+	// mgmtFrac is per-iteration cache management overhead (ScratchPipe).
+	mgmtFrac float64
+}
+
+// NewHugeCTR returns the NVIDIA HugeCTR-style GPU-only baseline.
+func NewHugeCTR() *GPUOnly { return &GPUOnly{name: "HugeCTR"} }
+
+// NewScratchPipeIdeal returns the idealised re-implementation of
+// ScratchPipe (§VII-E): a GPU cache holds every working row (relaxed RAW),
+// so capacity never OOMs, but the sharded cache still needs all-to-all.
+func NewScratchPipeIdeal() *GPUOnly {
+	return &GPUOnly{name: "ScratchPipe-Ideal", cached: true, mgmtFrac: 0.04}
+}
+
+// Name implements Pipeline.
+func (g *GPUOnly) Name() string { return g.name }
+
+// FitsMemory reports whether the paper-scale embeddings fit aggregate HBM.
+func (g *GPUOnly) FitsMemory(w Workload) bool {
+	if g.cached {
+		return true
+	}
+	return w.Cfg.FullEmbeddingBytes() <= int64(w.Sys.TotalGPUs())*w.Sys.GPU.HBMBytes
+}
+
+// Iteration times one steady-state mini-batch.
+func (g *GPUOnly) Iteration(w Workload) IterStats {
+	if !g.FitsMemory(w) {
+		return IterStats{OOM: true}
+	}
+	sys := w.Sys
+	nGPU := sys.TotalGPUs()
+	ph := Breakdown{}
+
+	// 1. Each GPU gathers its shard's lookups out of HBM.
+	perGPULookups := w.TotalLookups() / int64(nGPU)
+	ph[PhaseEmbFwd] = cost.GPUEmbLookupTime(sys.GPU, perGPULookups, w.RowBytes())
+
+	// 2. Forward all-to-all: pooled vectors travel to their sample's owner.
+	a2aBytes := w.PooledEmbBytes(w.Batch) / int64(nGPU)
+	a2aFwd := cost.CrossNodeAllToAllTime(sys, a2aBytes)
+
+	// 3. Dense network, data parallel.
+	fwd, bwd := w.gpuDenseTime(w.PerGPUBatch())
+	ph[PhaseMLPFwd] = fwd
+	ph[PhaseBwd] = bwd
+
+	// 4. Dense all-reduce and gradient all-to-all back to shard owners.
+	ph[PhaseAllReduce] = cost.HierarchicalAllReduceTime(sys, w.DenseParamBytes())
+	a2aBwd := cost.CrossNodeAllToAllTime(sys, a2aBytes)
+	ph[PhaseA2A] = a2aFwd + a2aBwd
+
+	// 5. Sparse update in HBM plus dense SGD.
+	touched := dedupRows(perGPULookups)
+	ph[PhaseOpt] = cost.GPUEmbUpdateTime(sys.GPU, touched, w.RowBytes()) +
+		cost.GPUMLPTime(sys.GPU, w.DenseParamBytes()/2, 2)
+
+	// 6. Host loop; ScratchPipe adds cache management. Its prefetch of the
+	// next batch's rows rides PCIe under GPU compute — exposed only if the
+	// transfer outruns the compute.
+	overhead := cost.PerIterHostOverhead
+	if g.cached {
+		prefetch := cost.DMAGatherTime(sys, dedupRows(w.TotalLookups()), w.RowBytes())
+		computeTime := ph.Total()
+		if prefetch > computeTime {
+			overhead += prefetch - computeTime
+		}
+		overhead += scaleDur(ph.Total(), g.mgmtFrac)
+	}
+	ph[PhaseOverhead] = overhead
+
+	return IterStats{Total: ph.Total(), Phases: ph}
+}

@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"hotline/internal/cost"
+	"hotline/internal/sim"
+)
+
+// Hybrid models hybrid CPU-GPU training (paper Figure 1a): embeddings live
+// in CPU DRAM and are gathered/updated there, pooled embedding activations
+// cross PCIe to the GPUs, which run the neural network data-parallel and
+// all-reduce dense gradients.
+//
+// Two baselines share this structure: the Intel-optimized DLRM and XDL's
+// parameter-server design, which pays extra pull/push communication and
+// framework overhead on the same dataflow.
+type Hybrid struct {
+	name string
+	// cpuFactor scales CPU embedding operator time (XDL's TF-based ops are
+	// slower than Intel's AVX-optimized EmbeddingBag).
+	cpuFactor float64
+	// commFactor scales CPU-GPU transfer volume (parameter-server pull and
+	// push round trips).
+	commFactor float64
+	// frameworkFrac adds a fractional overhead on the whole iteration.
+	frameworkFrac float64
+}
+
+// NewIntelDLRM returns the Intel-optimized DLRM baseline [Kalamkar et al.].
+func NewIntelDLRM() *Hybrid {
+	return &Hybrid{name: "Intel-Opt DLRM", cpuFactor: 1, commFactor: 1, frameworkFrac: 0}
+}
+
+// NewXDL returns the XDL parameter-server baseline [Jiang et al.]: slower
+// CPU embedding ops, pull+push transfers, and TensorFlow dispatch overhead.
+func NewXDL() *Hybrid {
+	return &Hybrid{name: "XDL", cpuFactor: 1.4, commFactor: 2.0, frameworkFrac: 0.18}
+}
+
+// Name implements Pipeline.
+func (h *Hybrid) Name() string { return h.name }
+
+// Iteration times one steady-state mini-batch.
+func (h *Hybrid) Iteration(w Workload) IterStats {
+	sys := w.Sys
+	ph := Breakdown{}
+
+	// 1. CPU gathers and pools every embedding row for the batch.
+	embFwd := scaleDur(cost.CPUEmbLookupTime(sys.CPU, w.TotalLookups(), w.RowBytes()), h.cpuFactor)
+	ph[PhaseEmbFwd] = embFwd
+
+	// 2. Pooled activations cross PCIe to the GPUs (scatter).
+	commFwd := scaleDur(sys.PCIe.Transfer(w.PooledEmbBytes(w.Batch)), h.commFactor)
+
+	// 3. Data-parallel dense forward/backward on each GPU.
+	fwd, bwd := w.gpuDenseTime(w.PerGPUBatch())
+	ph[PhaseMLPFwd] = fwd
+	ph[PhaseBwd] = bwd
+
+	// 4. Dense gradient all-reduce.
+	ph[PhaseAllReduce] = cost.HierarchicalAllReduceTime(sys, w.DenseParamBytes())
+
+	// 5. Embedding gradients return to the CPU over PCIe (gather).
+	commBwd := scaleDur(sys.PCIe.Transfer(w.PooledEmbBytes(w.Batch)), h.commFactor)
+	ph[PhaseComm] = commFwd + commBwd
+
+	// 6. CPU applies sparse updates (lock-free SGD); GPU applies dense.
+	touched := dedupRows(w.TotalLookups())
+	opt := scaleDur(cost.CPUEmbUpdateTime(sys.CPU, touched, w.RowBytes()), h.cpuFactor)
+	opt += cost.GPUMLPTime(sys.GPU, w.DenseParamBytes()/2, 2) // dense SGD
+	ph[PhaseOpt] = opt
+
+	// 7. Host loop overhead; parameter-server frameworks pay extra.
+	overhead := cost.PerIterHostOverhead
+	if h.frameworkFrac > 0 {
+		overhead += scaleDur(ph.Total()+overhead, h.frameworkFrac)
+	}
+	ph[PhaseOverhead] = overhead
+
+	return IterStats{Total: ph.Total(), Phases: ph}
+}
+
+// scaleDur multiplies a duration by a float factor.
+func scaleDur(d sim.Duration, f float64) sim.Duration {
+	return sim.Duration(float64(d) * f)
+}
+
+// dedupRows estimates distinct touched rows from total lookups: Zipfian
+// traffic revisits hot rows within a batch, so roughly 80% are distinct.
+func dedupRows(lookups int64) int64 { return lookups * 4 / 5 }

@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hotline/internal/cost"
+	"hotline/internal/data"
+)
+
+// Property: for any plausible workload parameters, every pipeline yields a
+// positive iteration whose phase breakdown sums exactly to the total, and
+// never schedules anything acausally.
+func TestPipelineInvariantsProperty(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	f := func(batchRaw uint16, gpusRaw, popRaw, coldRaw uint8) bool {
+		batch := 256 + int(batchRaw)%16128
+		gpus := []int{1, 2, 4}[int(gpusRaw)%3]
+		w := NewWorkload(cfg, batch, cost.PaperSystem(gpus))
+		w.PopularFrac = 0.05 + float64(popRaw%90)/100
+		w.ColdLookupFrac = 0.001 + float64(coldRaw%40)/100
+		for _, p := range All() {
+			st := p.Iteration(w)
+			if st.OOM {
+				continue
+			}
+			if st.Total <= 0 {
+				return false
+			}
+			if st.Phases.Total() != st.Total {
+				return false
+			}
+			for _, d := range st.Phases {
+				if d < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: iteration time is monotone non-decreasing in batch size for
+// every pipeline (more work can never be faster under the same system).
+func TestBatchMonotonicityProperty(t *testing.T) {
+	cfg := data.Avazu()
+	sys := cost.PaperSystem(4)
+	f := func(seedRaw uint16) bool {
+		small := 512 + int(seedRaw)%4096
+		large := small * 2
+		for _, p := range All() {
+			a := p.Iteration(NewWorkload(cfg, small, sys))
+			b := p.Iteration(NewWorkload(cfg, large, sys))
+			if a.OOM || b.OOM {
+				continue
+			}
+			if b.Total < a.Total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the no-overlap ablation can never beat pipelined Hotline.
+func TestOverlapNeverHurtsProperty(t *testing.T) {
+	cfg := data.CriteoTerabyte()
+	f := func(popRaw, coldRaw uint8, gpusRaw uint8) bool {
+		gpus := []int{1, 2, 4}[int(gpusRaw)%3]
+		w := NewWorkload(cfg, 4096, cost.PaperSystem(gpus))
+		w.PopularFrac = 0.05 + float64(popRaw%90)/100
+		w.ColdLookupFrac = 0.001 + float64(coldRaw%40)/100
+		serial := NewHotlineNoOverlap().Iteration(w)
+		piped := NewHotline().Iteration(w)
+		return piped.Total <= serial.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hotline never OOMs and never loses meaningfully to the
+// CPU-segregation variant. At very small batches the µ-batch split's extra
+// dispatch can slightly exceed the (cheap) CPU work it hides, so the bound
+// allows a few percent of slack; at 2K+ batches Hotline must win outright.
+func TestHotlineDominatesCPUVariantProperty(t *testing.T) {
+	f := func(dsRaw, gpusRaw uint8, batchRaw uint16) bool {
+		cfgs := data.AllDatasets()
+		cfg := cfgs[int(dsRaw)%len(cfgs)]
+		gpus := []int{1, 2, 4}[int(gpusRaw)%3]
+		batch := 512 + int(batchRaw)%8192
+		w := NewWorkload(cfg, batch, cost.PaperSystem(gpus))
+		hl := NewHotline().Iteration(w)
+		hc := NewHotlineCPU().Iteration(w)
+		if hl.OOM {
+			return false
+		}
+		if batch >= 2048 {
+			return hl.Total <= hc.Total
+		}
+		return float64(hl.Total) <= float64(hc.Total)*1.10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

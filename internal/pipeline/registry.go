@@ -1,0 +1,35 @@
+package pipeline
+
+import "fmt"
+
+// All returns every pipeline the paper evaluates, in figure order.
+func All() []Pipeline {
+	return []Pipeline{
+		NewXDL(),
+		NewIntelDLRM(),
+		NewFAE(),
+		NewHugeCTR(),
+		NewScratchPipeIdeal(),
+		NewHotlineCPU(),
+		NewHotline(),
+	}
+}
+
+// ByName looks up a pipeline.
+func ByName(name string) (Pipeline, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("pipeline: unknown pipeline %q", name)
+}
+
+// Speedup returns a.Total/b.Total — how much faster b is than a.
+// Returns 0 if either side OOMs.
+func Speedup(a, b IterStats) float64 {
+	if a.OOM || b.OOM || b.Total <= 0 {
+		return 0
+	}
+	return float64(a.Total) / float64(b.Total)
+}

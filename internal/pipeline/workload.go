@@ -1,0 +1,234 @@
+// Package pipeline implements the training-pipeline timing models that the
+// paper evaluates against each other: the hybrid CPU-GPU baseline
+// (Intel-optimized DLRM), XDL's parameter server, FAE's static popularity
+// scheduler, the GPU-only HugeCTR mode, the lookahead ScratchPipe-Ideal,
+// a CPU-based Hotline variant, and Hotline itself.
+//
+// Every pipeline consumes the same Workload (model shapes, batch size,
+// system config, measured popularity statistics) and the same cost models,
+// so differences between pipelines come only from where embeddings live and
+// what overlaps with what — the paper's actual claim surface.
+package pipeline
+
+import (
+	"sync"
+
+	"hotline/internal/cost"
+	"hotline/internal/data"
+	"hotline/internal/embedding"
+	"hotline/internal/nn"
+	"hotline/internal/sim"
+)
+
+// Phase labels for latency breakdowns, matching the paper's figure legends.
+const (
+	PhaseMLPFwd    = "Forward MLP"
+	PhaseEmbFwd    = "Forward Embedding"
+	PhaseBwd       = "Backward"
+	PhaseOpt       = "Optimizer"
+	PhaseComm      = "CPU-GPU Comm"
+	PhaseA2A       = "alltoall Comm"
+	PhaseAllReduce = "All-Reduce"
+	PhaseSeg       = "Segregation"
+	PhaseGather    = "Gather Stall"
+	PhaseOverhead  = "Overhead"
+)
+
+// Breakdown maps phase label to exposed (critical-path) time.
+type Breakdown map[string]sim.Duration
+
+// Total sums all phases.
+func (b Breakdown) Total() sim.Duration {
+	var t sim.Duration
+	for _, d := range b {
+		t += d
+	}
+	return t
+}
+
+// IterStats is the result of one steady-state training iteration.
+type IterStats struct {
+	Total  sim.Duration
+	Phases Breakdown
+	// OOM marks configurations whose model does not fit device memory
+	// (HugeCTR's failure mode in Figures 22 and 30). Timing fields are
+	// meaningless when OOM is set.
+	OOM bool
+}
+
+// Pipeline is one training-system timing model.
+type Pipeline interface {
+	Name() string
+	Iteration(w Workload) IterStats
+}
+
+// Workload bundles everything a pipeline needs to time one iteration.
+type Workload struct {
+	Cfg   data.Config
+	Batch int
+	Sys   cost.System
+
+	// PopularFrac is the fraction of inputs whose accesses are all hot.
+	PopularFrac float64
+	// ColdLookupFrac is the fraction of all embedding lookups that touch
+	// CPU-resident rows.
+	ColdLookupFrac float64
+	// HotBytesFull is the paper-scale footprint of the hot (GPU-replicated)
+	// embedding tier (≤ 512 MB in the paper).
+	HotBytesFull int64
+}
+
+// workloadStats caches measured popularity statistics per dataset.
+var workloadStats sync.Map // string -> [2]float64{popularFrac, coldLookupFrac}
+
+// MeasureStats runs the functional layer once per config to measure the
+// popular-input fraction and cold-lookup fraction under the config's hot
+// budget. Results are cached per dataset name.
+func MeasureStats(cfg data.Config) (popularFrac, coldLookupFrac float64) {
+	if v, ok := workloadStats.Load(cfg.Name); ok {
+		s := v.([2]float64)
+		return s[0], s[1]
+	}
+	probe := cfg
+	if probe.Samples > 4096 {
+		probe.Samples = 4096
+	}
+	gen := data.NewGenerator(probe)
+	prof := data.ProfileEpoch(gen, 512)
+	placement := embedding.PlacementFromCounts(
+		prof.Counts(), probe.NumTables, probe.EmbedDim, data.ScaledHotBudget(probe))
+
+	eval := data.NewGenerator(probe)
+	b := eval.NextBatch(2048)
+	var popular, cold, total int64
+	for i := 0; i < b.Size(); i++ {
+		isPop := true
+		for t := range b.Sparse {
+			for _, ix := range b.Sparse[t][i] {
+				total++
+				if !placement.IsHot(t, ix) {
+					cold++
+					isPop = false
+				}
+			}
+		}
+		if isPop {
+			popular++
+		}
+	}
+	p := float64(popular) / float64(b.Size())
+	c := float64(cold) / float64(total)
+	workloadStats.Store(cfg.Name, [2]float64{p, c})
+	return p, c
+}
+
+// NewWorkload assembles a Workload with measured popularity statistics.
+func NewWorkload(cfg data.Config, batch int, sys cost.System) Workload {
+	p, c := MeasureStats(cfg)
+	hot := int64(cfg.HotFracRows * float64(cfg.FullEmbeddingBytes()))
+	if hot > 512<<20 {
+		hot = 512 << 20 // the paper's observed hot-set ceiling
+	}
+	return Workload{
+		Cfg: cfg, Batch: batch, Sys: sys,
+		PopularFrac: p, ColdLookupFrac: c, HotBytesFull: hot,
+	}
+}
+
+// --- derived quantities -------------------------------------------------
+
+// LookupsPerSample counts sparse accesses per input (TimeSteps for the TBSM
+// sequence table, LookupsPerTable elsewhere).
+func (w Workload) LookupsPerSample() int64 {
+	n := int64(0)
+	for t := 0; t < w.Cfg.NumTables; t++ {
+		if w.Cfg.TimeSteps > 1 && t == 0 {
+			n += int64(w.Cfg.TimeSteps)
+		} else {
+			n += int64(w.Cfg.LookupsPerTable)
+		}
+	}
+	return n
+}
+
+// TotalLookups is lookups for the whole mini-batch.
+func (w Workload) TotalLookups() int64 { return int64(w.Batch) * w.LookupsPerSample() }
+
+// RowBytes is one embedding row in bytes.
+func (w Workload) RowBytes() int64 { return int64(w.Cfg.EmbedDim) * 4 }
+
+// PooledEmbBytes is the pooled per-table embedding activations for n
+// samples (what crosses CPU->GPU in hybrid mode and GPU->GPU in all-to-all).
+func (w Workload) PooledEmbBytes(n int) int64 {
+	return int64(n) * int64(w.Cfg.NumTables) * w.RowBytes()
+}
+
+// DenseFwdFLOPs returns the forward dense FLOPs for n samples: bottom MLP,
+// feature interaction, and top MLP (with its interaction-width input layer).
+func (w Workload) DenseFwdFLOPs(n int) int64 {
+	bot := nn.MLPFLOPs(w.Cfg.BotMLP, n)
+	nVec := w.Cfg.NumTables + 1
+	interWidth := w.Cfg.EmbedDim + nVec*(nVec-1)/2
+	inter := 2 * int64(n) * int64(nVec*(nVec-1)/2) * int64(w.Cfg.EmbedDim)
+	top := nn.MLPFLOPs(append([]int{interWidth}, w.Cfg.TopMLP...), n)
+	var attn int64
+	if w.Cfg.TimeSteps > 1 {
+		attn = 4 * int64(n) * int64(w.Cfg.TimeSteps) * int64(w.Cfg.EmbedDim)
+	}
+	return bot + inter + top + attn
+}
+
+// DenseParamBytes is the dense parameter footprint (all-reduced each
+// iteration).
+func (w Workload) DenseParamBytes() int64 {
+	var params int64
+	sizes := w.Cfg.BotMLP
+	for i := 0; i < len(sizes)-1; i++ {
+		params += int64(sizes[i])*int64(sizes[i+1]) + int64(sizes[i+1])
+	}
+	nVec := w.Cfg.NumTables + 1
+	interWidth := w.Cfg.EmbedDim + nVec*(nVec-1)/2
+	top := append([]int{interWidth}, w.Cfg.TopMLP...)
+	for i := 0; i < len(top)-1; i++ {
+		params += int64(top[i])*int64(top[i+1]) + int64(top[i+1])
+	}
+	return params * 4
+}
+
+// DenseKernels approximates kernel launches per dense pass.
+func (w Workload) DenseKernels() int {
+	return 2 * (len(w.Cfg.BotMLP) + len(w.Cfg.TopMLP) + 1)
+}
+
+// PerGPUBatch returns the per-GPU share of the mini-batch (data parallel).
+func (w Workload) PerGPUBatch() int {
+	g := w.Sys.TotalGPUs()
+	if g < 1 {
+		g = 1
+	}
+	n := w.Batch / g
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// gpuDenseTime returns fwd+bwd dense time for the per-GPU batch share.
+// Forward passes carry a few fused embedding-op kernels on top of the MLP
+// launches; backward roughly doubles the math at the same launch count.
+func (w Workload) gpuDenseTime(n int) (fwd, bwd sim.Duration) {
+	flops := w.DenseFwdFLOPs(n)
+	fwd = cost.GPUMLPTime(w.Sys.GPU, flops, 4+w.DenseKernels())
+	bwd = cost.GPUMLPTime(w.Sys.GPU, 2*flops, w.DenseKernels())
+	return
+}
+
+// gpuDenseFwdTime returns the forward dense time with a kernel-launch
+// fraction: µ-batches dispatched while the GPU is still executing earlier
+// work hide most of their launch cost behind execution (stream pipelining).
+func (w Workload) gpuDenseFwdTime(n int, kernelFrac float64) sim.Duration {
+	flops := w.DenseFwdFLOPs(n)
+	full := cost.GPUMLPTime(w.Sys.GPU, flops, 0)
+	launches := sim.Duration(float64(4+w.DenseKernels()) * kernelFrac * float64(w.Sys.GPU.KernelLaunch))
+	return full + launches
+}

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligns(t *testing.T) {
+	tab := &Table{
+		ID:     "fig0",
+		Title:  "Test",
+		Header: []string{"name", "value"},
+		Notes:  "hello",
+	}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "2")
+	out := tab.Render()
+	if !strings.Contains(out, "== fig0: Test ==") {
+		t.Fatalf("missing title: %s", out)
+	}
+	if !strings.Contains(out, "note: hello") {
+		t.Fatal("missing notes")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows + note
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines: %s", len(lines), out)
+	}
+	// Value column must start at the same offset in both data rows.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "2") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tab := &Table{ID: "x", Title: "y", Header: []string{"a", "b", "c"}}
+	tab.AddRowf("n", 1.23456, 7)
+	if tab.Rows[0][1] != "1.235" {
+		t.Fatalf("float formatting = %q", tab.Rows[0][1])
+	}
+	if tab.Rows[0][2] != "7" {
+		t.Fatalf("int formatting = %q", tab.Rows[0][2])
+	}
+}

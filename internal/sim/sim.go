@@ -1,0 +1,169 @@
+// Package sim provides the discrete-event substrate of the performance
+// model: simulated time, serially reusable resources with calendar
+// scheduling, and span recording for timeline analysis.
+//
+// The paper's training pipelines are deterministic dataflows (every
+// iteration issues the same operations), so resources use calendar-based
+// scheduling: a task on a resource starts at max(readyTime, resourceFree)
+// and occupies it for its duration. Pipelines compose these calendars to
+// model overlap (e.g. Hotline hiding parameter gathering under popular
+// µ-batch execution) and the recorder keeps the resulting spans for
+// breakdown figures.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Unit constructors.
+func Nanoseconds(n float64) Duration  { return Duration(n) }
+func Microseconds(u float64) Duration { return Duration(u * 1e3) }
+func Milliseconds(m float64) Duration { return Duration(m * 1e6) }
+func SecondsDur(s float64) Duration   { return Duration(s * 1e9) }
+
+// Seconds converts a Time/Duration to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Millis converts to float milliseconds.
+func (t Time) Millis() float64 { return float64(t) / 1e6 }
+
+// Micros converts to float microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string {
+	switch {
+	case t >= 1e9:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= 1e6:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= 1e3:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// MaxTime returns the later of the given times.
+func MaxTime(ts ...Time) Time {
+	var m Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Resource is a serially reusable device (a GPU stream, a PCIe link, the
+// CPU memory subsystem, the accelerator). Zero value is a free resource at
+// time 0.
+type Resource struct {
+	Name string
+	free Time
+}
+
+// NewResource returns a named resource, free from time 0.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Free returns the time at which the resource next becomes available.
+func (r *Resource) Free() Time { return r.free }
+
+// Schedule books the resource for d starting no earlier than ready, and
+// returns the booked [start, end) interval. d must be non-negative.
+func (r *Resource) Schedule(ready Time, d Duration) (start, end Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative duration %d on %s", d, r.Name))
+	}
+	start = ready
+	if r.free > start {
+		start = r.free
+	}
+	end = start + d
+	r.free = end
+	return start, end
+}
+
+// Reset makes the resource free at time 0 again.
+func (r *Resource) Reset() { r.free = 0 }
+
+// Span is one recorded occupancy interval.
+type Span struct {
+	Resource string
+	Phase    string
+	Start    Time
+	End      Time
+}
+
+// Dur returns the span length.
+func (s Span) Dur() Duration { return s.End - s.Start }
+
+// Recorder collects spans for breakdown and Gantt-style analyses.
+type Recorder struct {
+	Spans []Span
+}
+
+// Record appends a span. Zero-length spans are kept (they carry phase
+// attribution for instantaneous events).
+func (r *Recorder) Record(resource, phase string, start, end Time) {
+	if end < start {
+		panic(fmt.Sprintf("sim: span end %d before start %d (%s/%s)", end, start, resource, phase))
+	}
+	r.Spans = append(r.Spans, Span{Resource: resource, Phase: phase, Start: start, End: end})
+}
+
+// BusyByPhase sums span durations per phase label. Note this is occupancy,
+// not critical-path time; overlapped spans both count.
+func (r *Recorder) BusyByPhase() map[string]Duration {
+	out := make(map[string]Duration)
+	for _, s := range r.Spans {
+		out[s.Phase] += s.Dur()
+	}
+	return out
+}
+
+// BusyByResource sums span durations per resource.
+func (r *Recorder) BusyByResource() map[string]Duration {
+	out := make(map[string]Duration)
+	for _, s := range r.Spans {
+		out[s.Resource] += s.Dur()
+	}
+	return out
+}
+
+// Makespan returns the latest span end time (0 for an empty recorder).
+func (r *Recorder) Makespan() Time {
+	var m Time
+	for _, s := range r.Spans {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// CheckNoOverlap verifies that no two spans on the same resource overlap —
+// the causality invariant of calendar scheduling. It returns the first
+// violating pair, if any.
+func (r *Recorder) CheckNoOverlap() error {
+	byRes := make(map[string][]Span)
+	for _, s := range r.Spans {
+		byRes[s.Resource] = append(byRes[s.Resource], s)
+	}
+	for res, spans := range byRes {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Start < spans[i-1].End {
+				return fmt.Errorf("sim: overlap on %s: [%v,%v) and [%v,%v)",
+					res, spans[i-1].Start, spans[i-1].End, spans[i].Start, spans[i].End)
+			}
+		}
+	}
+	return nil
+}

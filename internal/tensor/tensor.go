@@ -1,0 +1,257 @@
+// Package tensor provides the dense float32 linear-algebra kernels used by
+// the functional training layer (MLPs, feature interaction, attention).
+//
+// The package is deliberately small: recommendation models need dense GEMM,
+// element-wise maps, bias broadcast, and a seeded RNG for reproducible
+// initialisation. Everything operates on row-major Matrix values.
+package tensor
+
+import "fmt"
+
+// Matrix is a dense row-major float32 matrix.
+//
+// The zero value is an empty 0x0 matrix. Data has length Rows*Cols; element
+// (r, c) lives at Data[r*Cols+c].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data as a rows x cols matrix without copying.
+// len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (no copy) of row r.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Equal reports whether m and other have identical shape and contents.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if other.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact shape descriptor (not the contents).
+func (m *Matrix) String() string { return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols) }
+
+// MatMul computes dst = a x b. dst must be a.Rows x b.Cols and must not
+// alias a or b. It uses the cache-friendly i-k-j loop order.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j := 0; j < n; j++ {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransB computes dst = a x bᵀ. dst must be a.Rows x b.Rows.
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float32
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ x b. dst must be a.Cols x b.Cols.
+func MatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, aval := range arow {
+			if aval == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				drow[j] += aval * brow[j]
+			}
+		}
+	}
+}
+
+// AddBiasRow adds bias (length m.Cols) to every row of m in place.
+func AddBiasRow(m *Matrix, bias []float32) {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBiasRow bias len %d want %d", len(bias), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] += bias[c]
+		}
+	}
+}
+
+// SumRowsInto accumulates the column-wise sum of m into dst (length m.Cols).
+func SumRowsInto(dst []float32, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto dst len %d want %d", len(dst), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			dst[c] += row[c]
+		}
+	}
+}
+
+// Add computes dst = a + b element-wise; shapes must match.
+func Add(dst, a, b *Matrix) {
+	checkSameShape("Add", a, b)
+	checkSameShape("Add(dst)", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// AxpyInto computes dst += alpha*src element-wise.
+func AxpyInto(dst *Matrix, alpha float32, src *Matrix) {
+	checkSameShape("AxpyInto", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += alpha * src.Data[i]
+	}
+}
+
+// Scale multiplies every element of m by alpha in place.
+func Scale(m *Matrix, alpha float32) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// Apply maps f over every element of src into dst (shapes must match; dst
+// may alias src).
+func Apply(dst, src *Matrix, f func(float32) float32) {
+	checkSameShape("Apply", dst, src)
+	for i, v := range src.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// Hadamard computes dst = a ⊙ b element-wise.
+func Hadamard(dst, a, b *Matrix) {
+	checkSameShape("Hadamard", a, b)
+	checkSameShape("Hadamard(dst)", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Transpose returns mᵀ as a new matrix.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			out.Data[c*m.Rows+r] = row[c]
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the max absolute element-wise difference between a and b.
+func MaxAbsDiff(a, b *Matrix) float32 {
+	checkSameShape("MaxAbsDiff", a, b)
+	var max float32
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,41 @@
+// Command calib is the developer calibration harness: it sweeps every
+// training pipeline across GPU counts and datasets (weak scaling, as in
+// paper Figure 19) and prints iteration times and speedups normalised to
+// XDL. It exists to re-fit the cost-model constants in internal/cost
+// whenever they change; EXPERIMENTS.md records the bands the fit targets.
+//
+//	go run ./internal/tools/calib
+package main
+
+import (
+	"fmt"
+
+	"hotline/internal/cost"
+	"hotline/internal/data"
+	"hotline/internal/pipeline"
+)
+
+func main() {
+	for _, gpus := range []int{1, 2, 4} {
+		sys := cost.PaperSystem(gpus)
+		batch := 1024 * gpus // weak scaling as in Fig 19
+		fmt.Printf("=== %d GPU, batch %d ===\n", gpus, batch)
+		for _, cfg := range data.AllDatasets() {
+			w := pipeline.NewWorkload(cfg, batch, sys)
+			fmt.Printf("%-16s pop=%.2f cold=%.3f | ", cfg.Name, w.PopularFrac, w.ColdLookupFrac)
+			var xdl pipeline.IterStats
+			for _, p := range pipeline.All() {
+				st := p.Iteration(w)
+				if p.Name() == "XDL" {
+					xdl = st
+				}
+				if st.OOM {
+					fmt.Printf("%s=OOM ", p.Name())
+					continue
+				}
+				fmt.Printf("%s=%.2fms(%.2fx) ", p.Name(), st.Total.Millis(), pipeline.Speedup(xdl, st))
+			}
+			fmt.Println()
+		}
+	}
+}

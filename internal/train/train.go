@@ -1,0 +1,219 @@
+// Package train provides the functional training executors: the baseline
+// mini-batch SGD loop and the Hotline executor that fragments every
+// mini-batch into popular and non-popular µ-batches (classified by the
+// accelerator's EAL) and accumulates their gradients into a single update.
+//
+// This is the layer behind the paper's accuracy-parity claim (§IV-A,
+// Eq. 5): because L_hotline = L_popular + L_non-popular = L_baseline, both
+// executors produce the same updates on the same data, and the Figure 18 /
+// Table V metrics coincide.
+package train
+
+import (
+	"fmt"
+
+	"hotline/internal/accel"
+	"hotline/internal/data"
+	"hotline/internal/metrics"
+	"hotline/internal/model"
+	"hotline/internal/nn"
+	"hotline/internal/tensor"
+)
+
+// Trainer consumes mini-batches and updates a model.
+type Trainer interface {
+	Name() string
+	// Step trains on one mini-batch and returns the mean BCE loss.
+	Step(b *data.Batch) float64
+	// Model exposes the trained model for evaluation.
+	Model() *model.Model
+}
+
+// Baseline is the standard full-mini-batch SGD executor.
+type Baseline struct {
+	M  *model.Model
+	LR float32
+}
+
+// NewBaseline wraps a model in the standard executor.
+func NewBaseline(m *model.Model, lr float32) *Baseline { return &Baseline{M: m, LR: lr} }
+
+// Name implements Trainer.
+func (t *Baseline) Name() string { return "baseline" }
+
+// Model implements Trainer.
+func (t *Baseline) Model() *model.Model { return t.M }
+
+// Step implements Trainer.
+func (t *Baseline) Step(b *data.Batch) float64 { return t.M.TrainStep(b, t.LR) }
+
+// HotlineTrainer is the µ-batch executor: the accelerator classifies each
+// mini-batch, the popular µ-batch "runs first" (GPU in the paper), the
+// non-popular µ-batch follows, and one combined update is applied — at
+// parity with the baseline's gradients.
+type HotlineTrainer struct {
+	M   *model.Model
+	LR  float32
+	Acc *accel.Accelerator
+
+	// LearnSamples is how many initial inputs feed the EAL before the
+	// learning phase is considered warm (the paper samples ~5%% of the
+	// first epoch; the scaled datasets need a couple thousand inputs).
+	LearnSamples int
+	seenSamples  int
+
+	// stats
+	PopularInputs, TotalInputs int64
+}
+
+// NewHotline wraps a model in the Hotline executor with a default
+// accelerator configuration.
+func NewHotline(m *model.Model, lr float32) *HotlineTrainer {
+	cfg := accel.DefaultConfig()
+	return &HotlineTrainer{M: m, LR: lr, Acc: accel.New(cfg), LearnSamples: 1536}
+}
+
+// Name implements Trainer.
+func (t *HotlineTrainer) Name() string { return "hotline" }
+
+// Model implements Trainer.
+func (t *HotlineTrainer) Model() *model.Model { return t.M }
+
+// PopularFraction reports the classified popular-input fraction so far.
+func (t *HotlineTrainer) PopularFraction() float64 {
+	if t.TotalInputs == 0 {
+		return 0
+	}
+	return float64(t.PopularInputs) / float64(t.TotalInputs)
+}
+
+// Step implements Trainer: segregate, run both µ-batches, update once.
+func (t *HotlineTrainer) Step(b *data.Batch) float64 {
+	// Learning phase: the first ~LearnSamples inputs train the EAL; after
+	// that the accelerator keeps re-sampling 5% of batches to track drift.
+	if t.seenSamples < t.LearnSamples {
+		t.Acc.LearnBatch(b)
+		t.seenSamples += b.Size()
+	} else {
+		t.Acc.MaybeLearn(b)
+	}
+
+	cl := t.Acc.Classify(b)
+	t.PopularInputs += int64(len(cl.PopularIdx))
+	t.TotalInputs += int64(b.Size())
+
+	n := b.Size()
+	invN := float32(1) / float32(n)
+	t.M.ZeroAll()
+	var totalLoss float64
+	// Popular µ-batch first (it is dispatched to the GPUs immediately in
+	// the real system), then non-popular — order does not affect the
+	// combined gradient.
+	for _, idx := range [][]int{cl.PopularIdx, cl.NonPopularIdx} {
+		if len(idx) == 0 {
+			continue
+		}
+		sub := b.Subset(idx)
+		logits := t.M.Forward(sub)
+		loss, grad := nn.BCEWithLogits(logits, sub.Labels, nn.ReduceSum)
+		totalLoss += loss
+		// Scale sum-reduced gradients by 1/n so the accumulated update
+		// equals the baseline's mean-reduced mini-batch update (Eq. 5).
+		t.M.Backward(grad, invN)
+	}
+	opt := nn.NewSGD(t.M.DenseParams(), t.LR)
+	opt.Step()
+	t.M.ApplySparse(t.LR)
+	return totalLoss / float64(n)
+}
+
+// CurvePoint is one evaluation sample along a training run.
+type CurvePoint struct {
+	Iteration int
+	Loss      float64
+	Metrics   metrics.Summary
+}
+
+// RunConfig controls a training run.
+type RunConfig struct {
+	BatchSize int
+	Iters     int
+	EvalEvery int
+	EvalSize  int
+}
+
+// Run trains for cfg.Iters mini-batches from gen, evaluating on a held-out
+// batch every EvalEvery iterations, and returns the metric curve.
+func Run(t Trainer, gen *data.Generator, cfg RunConfig) []CurvePoint {
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 10
+	}
+	if cfg.EvalSize <= 0 {
+		cfg.EvalSize = 1024
+	}
+	evalGen := data.NewGenerator(gen.Cfg)
+	evalGen.SetDay(0)
+	// Skip ahead so the eval batch is disjoint from early training batches.
+	evalGen.NextBatch(cfg.EvalSize)
+	evalBatch := evalGen.NextBatch(cfg.EvalSize)
+
+	var curve []CurvePoint
+	var lastLoss float64
+	for i := 1; i <= cfg.Iters; i++ {
+		lastLoss = t.Step(gen.NextBatch(cfg.BatchSize))
+		if i%cfg.EvalEvery == 0 || i == cfg.Iters {
+			probs := t.Model().Predict(evalBatch)
+			curve = append(curve, CurvePoint{
+				Iteration: i,
+				Loss:      lastLoss,
+				Metrics:   metrics.Evaluate(probs, evalBatch.Labels),
+			})
+		}
+	}
+	return curve
+}
+
+// ParityReport compares two trainers on identical data streams and returns
+// the maximum divergence of their model states plus final metrics for both.
+type ParityReport struct {
+	MaxStateDiff float64
+	Baseline     metrics.Summary
+	Hotline      metrics.Summary
+	PopularFrac  float64
+}
+
+// Parity trains a baseline and a Hotline executor from identical initial
+// states on identical batches and reports the divergence (Figure 18 /
+// Table V's experiment).
+func Parity(cfg data.Config, seed uint64, run RunConfig) ParityReport {
+	base := NewBaseline(model.New(cfg, seed), 0.1)
+	hot := NewHotline(model.New(cfg, seed), 0.1)
+
+	genA := data.NewGenerator(cfg)
+	genB := data.NewGenerator(cfg)
+	for i := 0; i < run.Iters; i++ {
+		ba := genA.NextBatch(run.BatchSize)
+		bb := genB.NextBatch(run.BatchSize)
+		base.Step(ba)
+		hot.Step(bb)
+	}
+
+	evalGen := data.NewGenerator(cfg)
+	evalGen.NextBatch(run.EvalSize)
+	evalBatch := evalGen.NextBatch(run.EvalSize)
+	return ParityReport{
+		MaxStateDiff: model.MaxStateDiff(base.M, hot.M),
+		Baseline:     metrics.Evaluate(base.M.Predict(evalBatch), evalBatch.Labels),
+		Hotline:      metrics.Evaluate(hot.M.Predict(evalBatch), evalBatch.Labels),
+		PopularFrac:  hot.PopularFraction(),
+	}
+}
+
+// String renders the parity report.
+func (p ParityReport) String() string {
+	return fmt.Sprintf("max state diff %.3g | baseline %v | hotline %v | popular %.1f%%",
+		p.MaxStateDiff, p.Baseline, p.Hotline, p.PopularFrac*100)
+}
+
+// Seed helper used by tests/examples to derive per-run seeds.
+func Seed(base uint64, k int) uint64 { return base ^ tensor.NewRNG(uint64(k)).Uint64() }

@@ -1,0 +1,126 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"hotline/internal/data"
+	"hotline/internal/model"
+)
+
+func tinyCfg() data.Config {
+	return data.Config{
+		Name: "tiny-train", RM: "T1",
+		DenseFeatures: 4, NumTables: 3,
+		FullRowsPerTable:   []int64{2000, 1000, 400},
+		ScaledRowsPerTable: []int{200, 100, 40},
+		LookupsPerTable:    1, ZipfS: 1.2, DriftPerDay: 0.1, HotFracRows: 0.3,
+		EmbedDim: 8,
+		BotMLP:   []int{4, 16, 8},
+		TopMLP:   []int{16, 1},
+		Samples:  2048, Seed: 77, ScaleFactor: 10, FullSizeGB: 0.001,
+	}
+}
+
+func TestBaselineStepReducesLoss(t *testing.T) {
+	cfg := tinyCfg()
+	tr := NewBaseline(model.New(cfg, 1), 0.1)
+	gen := data.NewGenerator(cfg)
+	b := gen.NextBatch(256)
+	first := tr.Step(b)
+	var last float64
+	for i := 0; i < 50; i++ {
+		last = tr.Step(b)
+	}
+	if last > first-0.01 {
+		t.Fatalf("baseline loss did not fall: %g -> %g", first, last)
+	}
+}
+
+func TestHotlineClassifiesAndTrains(t *testing.T) {
+	cfg := tinyCfg()
+	tr := NewHotline(model.New(cfg, 2), 0.1)
+	gen := data.NewGenerator(cfg)
+	for i := 0; i < 20; i++ {
+		tr.Step(gen.NextBatch(128))
+	}
+	if tr.TotalInputs != 20*128 {
+		t.Fatalf("total inputs = %d", tr.TotalInputs)
+	}
+	if f := tr.PopularFraction(); f <= 0.2 || f > 1 {
+		t.Fatalf("popular fraction %.2f implausible", f)
+	}
+}
+
+// The core parity claim (Eq. 5): baseline and Hotline executors trained on
+// identical streams stay numerically together (differences only from float
+// summation order).
+func TestParityBaselineVsHotline(t *testing.T) {
+	cfg := tinyCfg()
+	rep := Parity(cfg, 9, RunConfig{BatchSize: 64, Iters: 30, EvalSize: 512})
+	if rep.MaxStateDiff > 1e-3 {
+		t.Fatalf("executors diverged: max diff %g", rep.MaxStateDiff)
+	}
+	if math.Abs(rep.Baseline.AUC-rep.Hotline.AUC) > 5e-3 {
+		t.Fatalf("AUC diverged: %v vs %v", rep.Baseline.AUC, rep.Hotline.AUC)
+	}
+	if math.Abs(rep.Baseline.LogLoss-rep.Hotline.LogLoss) > 5e-3 {
+		t.Fatalf("logloss diverged: %v vs %v", rep.Baseline.LogLoss, rep.Hotline.LogLoss)
+	}
+	if rep.String() == "" {
+		t.Fatal("report should render")
+	}
+}
+
+// Per-step loss parity: on the same batch from the same state, the Hotline
+// µ-batch loss must equal the baseline loss (Eq. 5 directly).
+func TestPerStepLossParity(t *testing.T) {
+	cfg := tinyCfg()
+	base := NewBaseline(model.New(cfg, 5), 0.05)
+	hot := NewHotline(model.New(cfg, 5), 0.05)
+	genA, genB := data.NewGenerator(cfg), data.NewGenerator(cfg)
+	for i := 0; i < 15; i++ {
+		la := base.Step(genA.NextBatch(64))
+		lb := hot.Step(genB.NextBatch(64))
+		if math.Abs(la-lb) > 1e-4 {
+			t.Fatalf("iter %d: baseline loss %g vs hotline %g", i, la, lb)
+		}
+	}
+}
+
+func TestRunProducesCurve(t *testing.T) {
+	cfg := tinyCfg()
+	tr := NewBaseline(model.New(cfg, 3), 0.1)
+	curve := Run(tr, data.NewGenerator(cfg), RunConfig{BatchSize: 64, Iters: 30, EvalEvery: 10, EvalSize: 256})
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points, want 3", len(curve))
+	}
+	if curve[len(curve)-1].Iteration != 30 {
+		t.Fatal("final point must be at the last iteration")
+	}
+	for _, p := range curve {
+		if p.Metrics.AUC < 0.3 || p.Metrics.AUC > 1 {
+			t.Fatalf("implausible AUC %g", p.Metrics.AUC)
+		}
+	}
+}
+
+// Training with the Hotline executor must still learn (AUC above chance).
+func TestHotlineLearns(t *testing.T) {
+	cfg := tinyCfg()
+	tr := NewHotline(model.New(cfg, 4), 0.1)
+	curve := Run(tr, data.NewGenerator(cfg), RunConfig{BatchSize: 128, Iters: 60, EvalEvery: 60, EvalSize: 512})
+	final := curve[len(curve)-1].Metrics.AUC
+	if final < 0.55 {
+		t.Fatalf("hotline executor failed to learn: AUC %.3f", final)
+	}
+}
+
+func TestSeedDerivation(t *testing.T) {
+	if Seed(1, 2) == Seed(1, 3) {
+		t.Fatal("different k must give different seeds")
+	}
+	if Seed(1, 2) != Seed(1, 2) {
+		t.Fatal("Seed must be deterministic")
+	}
+}
