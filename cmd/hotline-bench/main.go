@@ -1,25 +1,61 @@
 // Command hotline-bench regenerates the paper's tables and figures.
 //
+// Experiments fan out over a bounded worker pool (one worker per core by
+// default) and the tables print in stable id order; -json additionally
+// emits a machine-readable sweep report with wall time, per-experiment
+// durations and row counts.
+//
 // Usage:
 //
-//	hotline-bench -exp fig19        # one experiment
-//	hotline-bench -exp all          # everything, in order
-//	hotline-bench -list             # list experiment ids
+//	hotline-bench -exp fig19              # one experiment
+//	hotline-bench -exp all                # everything, concurrently
+//	hotline-bench -exp all -workers 1     # serial baseline for comparison
+//	hotline-bench -list                   # list experiment ids
 //	hotline-bench -exp fig18 -iters 200   # longer functional training
+//	hotline-bench -exp all -json report.json -quiet
+//	hotline-bench -smoke                  # fast CI smoke sweep
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"hotline"
 )
 
+// experimentReport is one sweep entry of the JSON report.
+type experimentReport struct {
+	ID         string  `json:"id"`
+	Title      string  `json:"title"`
+	Rows       int     `json:"rows"`
+	DurationMS float64 `json:"duration_ms"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// sweepReport is the machine-readable output of -json.
+type sweepReport struct {
+	Workers     int                `json:"workers"`
+	Parallelism int                `json:"parallelism"`
+	Experiments int                `json:"experiments"`
+	Failed      int                `json:"failed"`
+	WallMS      float64            `json:"wall_ms"`
+	Results     []experimentReport `json:"results"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e.g. fig19, tab5) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (e.g. fig19, tab5), comma-separated ids, or 'all'")
 	iters := flag.Int("iters", 40, "functional-training iterations for fig18/tab5")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	workers := flag.Int("workers", 0, "experiment sweep workers (0 = NumCPU)")
+	parallel := flag.Int("par", -1, "intra-experiment kernel workers (0 = NumCPU; -1 = auto: NumCPU for a single experiment, 1 while sweeping several to avoid oversubscription)")
+	jsonPath := flag.String("json", "", "write a JSON sweep report to this file ('-' = stdout)")
+	quiet := flag.Bool("quiet", false, "suppress table rendering (summary/JSON only)")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: shortest functional training")
 	flag.Parse()
 
 	if *list {
@@ -28,18 +64,86 @@ func main() {
 		}
 		return
 	}
+	if *smoke {
+		*iters = 6
+	}
 	hotline.SetExperimentTrainIters(*iters)
 
-	ids := []string{*exp}
+	var ids []string
 	if *exp == "all" {
 		ids = hotline.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
 	}
-	for _, id := range ids {
-		tab, err := hotline.RunExperiment(id)
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "hotline-bench: no experiment ids given (see -list)")
+		os.Exit(2)
+	}
+
+	sweepWorkers := hotline.EffectiveSweepWorkers(*workers, len(ids))
+	switch {
+	case *parallel >= 0:
+		hotline.Parallelism(*parallel)
+	case sweepWorkers > 1:
+		// The sweep already saturates the cores with whole experiments;
+		// per-kernel sharding on top would oversubscribe NumCPU^2-style.
+		hotline.Parallelism(1)
+	default:
+		hotline.Parallelism(0)
+	}
+
+	start := time.Now()
+	results := hotline.SweepExperiments(context.Background(), ids, *workers)
+	wall := time.Since(start)
+
+	rep := sweepReport{
+		Workers:     sweepWorkers,
+		Parallelism: hotline.NumWorkers(),
+		Experiments: len(results),
+		WallMS:      float64(wall.Microseconds()) / 1e3,
+	}
+	failed := false
+	for _, r := range results {
+		er := experimentReport{
+			ID:         r.ID,
+			Title:      r.Title,
+			DurationMS: float64(r.Duration.Microseconds()) / 1e3,
+		}
+		if r.Err != nil {
+			er.Error = r.Err.Error()
+			rep.Failed++
+			failed = true
+			fmt.Fprintf(os.Stderr, "hotline-bench: %s: %v\n", r.ID, r.Err)
+		} else {
+			er.Rows = len(r.Table.Rows)
+			if !*quiet {
+				fmt.Println(r.Table.Render())
+			}
+		}
+		rep.Results = append(rep.Results, er)
+	}
+	fmt.Fprintf(os.Stderr, "hotline-bench: %d experiment(s), %d worker(s), wall %s\n",
+		len(results), rep.Workers, wall.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hotline-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Println(tab.Render())
+		out = append(out, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hotline-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

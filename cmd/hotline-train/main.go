@@ -25,8 +25,10 @@ func main() {
 	lr := flag.Float64("lr", 0.1, "learning rate")
 	seed := flag.Uint64("seed", 42, "model init seed")
 	parity := flag.Bool("parity", false, "train both executors and compare (Table V)")
+	parallel := flag.Int("par", 0, "training kernel workers (0 = NumCPU); results are bit-identical for any value")
 	flag.Parse()
 
+	hotline.Parallelism(*parallel)
 	cfg, err := hotline.DatasetByName(*dataset)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotline-train:", err)

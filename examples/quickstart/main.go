@@ -11,6 +11,12 @@ import (
 )
 
 func main() {
+	// 0. Use every core: the tensor/embedding kernels shard batches across
+	// workers and the Hotline executor runs its two µ-batches concurrently,
+	// with bit-identical results for any worker count.
+	hotline.Parallelism(0) // 0 = one worker per CPU core
+	fmt.Printf("parallelism: %d worker(s)\n\n", hotline.NumWorkers())
+
 	// 1. Pick a workload (paper Table II shape, ~1000x downscaled rows).
 	cfg := hotline.CriteoKaggle()
 	fmt.Printf("dataset: %s — %d sparse features, %d paper-scale rows\n",

@@ -1,0 +1,38 @@
+// Experiment sweep: regenerate a slice of the paper's evaluation on a
+// bounded worker pool. RunAllExperiments fans experiments out across
+// workers, captures per-experiment failures without aborting the sweep, and
+// returns tables in stable id order — byte-identical to serial runs.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hotline"
+)
+
+func main() {
+	hotline.Parallelism(0)              // kernel workers: one per core
+	hotline.SetExperimentTrainIters(12) // keep the functional experiments brisk
+
+	// A representative slice: ISA table, two timing figures, one functional
+	// accuracy figure. Pass nil ids to sweep the entire registry instead.
+	ids := []string{"tab1", "fig19", "fig26", "fig18"}
+
+	start := time.Now()
+	results := hotline.SweepExperiments(context.Background(), ids, 0)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-6s FAILED: %v\n", r.ID, r.Err)
+			continue
+		}
+		fmt.Printf("%-6s %-55s %3d rows  %8s\n",
+			r.ID, r.Title, len(r.Table.Rows), r.Duration.Round(time.Millisecond))
+	}
+	fmt.Printf("\nsweep wall time: %s with %d kernel worker(s)\n",
+		time.Since(start).Round(time.Millisecond), hotline.NumWorkers())
+	fmt.Println("cmd/hotline-bench runs the full registry the same way (-json for a report).")
+}

@@ -1,0 +1,3 @@
+module hotline
+
+go 1.24

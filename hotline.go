@@ -23,10 +23,24 @@ import (
 	"hotline/internal/experiments"
 	"hotline/internal/metrics"
 	"hotline/internal/model"
+	"hotline/internal/par"
 	"hotline/internal/pipeline"
 	"hotline/internal/report"
 	"hotline/internal/train"
 )
+
+// --- parallelism -----------------------------------------------------------
+
+// Parallelism sets the worker count used by every parallel substrate — the
+// batch-sharded tensor/embedding kernels, the Hotline trainer's concurrent
+// µ-batch passes — and returns the previous setting. n <= 0 restores the
+// default (one worker per CPU core). Results are bit-identical for every
+// setting: shards only partition independent work, and cross-shard gradient
+// reductions happen in fixed index order.
+func Parallelism(n int) int { return par.SetWorkers(n) }
+
+// NumWorkers returns the effective worker count (>= 1).
+func NumWorkers() int { return par.Workers() }
 
 // --- datasets and generators ---------------------------------------------
 
@@ -167,6 +181,24 @@ var ExperimentTitle = experiments.Title
 
 // RunExperiment regenerates one table or figure by id, e.g. "fig19".
 func RunExperiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
+
+// ExperimentResult is one experiment's outcome within a concurrent sweep:
+// its table (or captured error) plus the wall-clock duration.
+type ExperimentResult = experiments.SweepResult
+
+// SweepExperiments runs the given experiment ids on a bounded worker pool
+// and returns one result per id in input order. workers <= 0 means NumCPU.
+var SweepExperiments = experiments.Sweep
+
+// EffectiveSweepWorkers reports the pool size SweepExperiments uses for a
+// requested worker count and job count.
+var EffectiveSweepWorkers = experiments.EffectiveWorkers
+
+// RunAllExperiments regenerates experiments concurrently (every registered
+// one when ids is empty) and returns their tables in stable id order. The
+// sweep is deterministic: tables are byte-identical to serial RunExperiment
+// calls for any worker count.
+var RunAllExperiments = experiments.RunAll
 
 // SetExperimentTrainIters adjusts functional-training experiment length.
 var SetExperimentTrainIters = experiments.SetTrainIters

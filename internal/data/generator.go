@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hotline/internal/tensor"
 )
@@ -58,10 +59,18 @@ func (b *Batch) Subset(idx []int) *Batch {
 // The popularity of embedding rows follows Zipf(cfg.ZipfS); rank r of table t
 // maps to a concrete row id through a per-day permutation so that the set of
 // popular rows drifts across days (evolving skew, Figure 9).
+//
+// A Generator is safe for concurrent use: NextBatch, SetDay and RowForRank
+// serialise on an internal mutex. The batch *stream* stays deterministic —
+// concurrent NextBatch callers each receive a well-formed batch from the
+// stream, though which caller gets which batch depends on arrival order;
+// callers that need a fixed caller-to-batch assignment should draw from
+// per-goroutine Generators (construction is cheap and seeded).
 type Generator struct {
 	Cfg Config
 	Day int
 
+	mu      sync.Mutex
 	rng     *tensor.RNG
 	zipfs   []*Zipf
 	perms   [][]int32 // per table: rank -> row id for the current day
@@ -94,6 +103,8 @@ func (g *Generator) SetDay(day int) {
 	if day < 0 {
 		panic(fmt.Sprintf("data: negative day %d", day))
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.Day = day
 	g.perms = make([][]int32, g.Cfg.NumTables)
 	for t := range g.perms {
@@ -128,11 +139,17 @@ func (g *Generator) dayPerm(table, day int) []int32 {
 
 // RowForRank exposes the current day's rank->row mapping (used by skew
 // analyses and tests).
-func (g *Generator) RowForRank(table, rank int) int32 { return g.perms[table][rank] }
+func (g *Generator) RowForRank(table, rank int) int32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.perms[table][rank]
+}
 
 // NextBatch draws n samples. Consecutive calls advance the RNG stream, so an
 // epoch is a sequence of NextBatch calls.
 func (g *Generator) NextBatch(n int) *Batch {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	cfg := g.Cfg
 	b := &Batch{
 		Dense:  tensor.New(n, cfg.DenseFeatures),

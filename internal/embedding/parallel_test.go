@@ -1,0 +1,74 @@
+package embedding
+
+import (
+	"testing"
+
+	"hotline/internal/par"
+	"hotline/internal/tensor"
+)
+
+// Bag lookups, sparse backward and sparse SGD must be bit-identical for
+// every worker count (the par determinism contract).
+func TestTableParallelBitIdentical(t *testing.T) {
+	const (
+		rows    = 500
+		dim     = 16
+		samples = 700
+		bag     = 4
+	)
+	rng := tensor.NewRNG(3)
+	indices := make([][]int32, samples)
+	for i := range indices {
+		idxs := make([]int32, bag)
+		for j := range idxs {
+			idxs[j] = int32(rng.Intn(rows))
+		}
+		// Duplicate within one bag occasionally: the backward pass must sum
+		// repeated contributions in order.
+		if i%7 == 0 {
+			idxs[1] = idxs[0]
+		}
+		indices[i] = idxs
+	}
+	gradOut := tensor.New(samples, dim)
+	for i := range gradOut.Data {
+		gradOut.Data[i] = float32(rng.NormFloat64())
+	}
+
+	type result struct {
+		out *tensor.Matrix
+		sg  SparseGrad
+		w   *tensor.Matrix
+	}
+	run := func(workers int) result {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		tab := NewTable(rows, dim, tensor.NewRNG(9))
+		out := tab.Forward(indices)
+		sg := tab.Backward(gradOut)
+		tab.ApplySparseSGD(sg, 0.05)
+		return result{out: out, sg: sg, w: tab.W}
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !want.out.Equal(got.out) {
+			t.Fatalf("Forward: workers=%d differs from workers=1", workers)
+		}
+		if len(want.sg.Rows) != len(got.sg.Rows) {
+			t.Fatalf("Backward touched %d rows vs %d", len(got.sg.Rows), len(want.sg.Rows))
+		}
+		for i := range want.sg.Rows {
+			if want.sg.Rows[i] != got.sg.Rows[i] {
+				t.Fatalf("Backward row order differs at %d", i)
+			}
+		}
+		if !want.sg.Grad.Equal(got.sg.Grad) {
+			t.Fatalf("Backward grads: workers=%d differ from workers=1", workers)
+		}
+		if !want.w.Equal(got.w) {
+			t.Fatalf("ApplySparseSGD: workers=%d weights differ from workers=1", workers)
+		}
+	}
+}

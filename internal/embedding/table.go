@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"hotline/internal/par"
 	"hotline/internal/tensor"
 )
 
@@ -39,18 +40,24 @@ func NewTable(rows, dim int, rng *tensor.RNG) *Table {
 // embedding rows. One-hot inputs simply use single-element lists.
 func (t *Table) Forward(indices [][]int32) *tensor.Matrix {
 	out := tensor.New(len(indices), t.Dim)
-	for b, idxs := range indices {
-		orow := out.Row(b)
-		for _, ix := range idxs {
-			if ix < 0 || int(ix) >= t.Rows {
-				panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, t.Rows))
-			}
-			erow := t.W.Row(int(ix))
-			for k := range orow {
-				orow[k] += erow[k]
+	lookups := int64(1)
+	if len(indices) > 0 {
+		lookups += int64(len(indices[0]))
+	}
+	par.ForWork(len(indices), lookups*int64(t.Dim), func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			orow := out.Row(b)
+			for _, ix := range indices[b] {
+				if ix < 0 || int(ix) >= t.Rows {
+					panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, t.Rows))
+				}
+				erow := t.W.Row(int(ix))
+				for k := range orow {
+					orow[k] += erow[k]
+				}
 			}
 		}
-	}
+	})
 	t.lastIndices = indices
 	return out
 }
@@ -80,41 +87,49 @@ func (t *Table) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) Spars
 		panic(fmt.Sprintf("embedding: Backward grad %dx%d want %dx%d",
 			gradOut.Rows, gradOut.Cols, len(indices), t.Dim))
 	}
-	acc := make(map[int32][]float32)
+	// Pass 1 (serial): record, per touched row, the ordered list of batch
+	// positions that contribute gradient (duplicates within one bag repeat).
+	touches := make(map[int32][]int32)
 	for b, idxs := range indices {
-		grow := gradOut.Row(b)
 		for _, ix := range idxs {
-			g, ok := acc[ix]
-			if !ok {
-				g = make([]float32, t.Dim)
-				acc[ix] = g
-			}
-			for k := range grow {
-				g[k] += grow[k]
-			}
+			touches[ix] = append(touches[ix], int32(b))
 		}
 	}
-	rows := make([]int32, 0, len(acc))
-	for ix := range acc {
+	rows := make([]int32, 0, len(touches))
+	for ix := range touches {
 		rows = append(rows, ix)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	// Pass 2 (parallel over distinct rows): sum each row's contributions in
+	// recorded batch order — the same addition sequence as a serial
+	// accumulation, so the result is bit-identical for any worker count.
 	grad := tensor.New(len(rows), t.Dim)
-	for i, ix := range rows {
-		copy(grad.Row(i), acc[ix])
-	}
+	par.ForWork(len(rows), 4*int64(t.Dim), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := grad.Row(i)
+			for _, b := range touches[rows[i]] {
+				grow := gradOut.Row(int(b))
+				for k := range g {
+					g[k] += grow[k]
+				}
+			}
+		}
+	})
 	return SparseGrad{Rows: rows, Grad: grad}
 }
 
-// ApplySparseSGD performs W[row] -= lr·grad for every row in sg.
+// ApplySparseSGD performs W[row] -= lr·grad for every row in sg. Rows in a
+// SparseGrad are distinct, so the per-row updates shard across workers.
 func (t *Table) ApplySparseSGD(sg SparseGrad, lr float32) {
-	for i, ix := range sg.Rows {
-		wrow := t.W.Row(int(ix))
-		grow := sg.Grad.Row(i)
-		for k := range wrow {
-			wrow[k] -= lr * grow[k]
+	par.ForWork(len(sg.Rows), int64(t.Dim)*2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wrow := t.W.Row(int(sg.Rows[i]))
+			grow := sg.Grad.Row(i)
+			for k := range wrow {
+				wrow[k] -= lr * grow[k]
+			}
 		}
-	}
+	})
 }
 
 // SizeBytes returns the table's parameter footprint (float32 entries).
@@ -124,6 +139,12 @@ func (t *Table) SizeBytes() int64 { return int64(t.Rows) * int64(t.Dim) * 4 }
 // from identical initial states).
 func (t *Table) Clone() *Table {
 	return &Table{Rows: t.Rows, Dim: t.Dim, W: t.W.Clone()}
+}
+
+// Shadow returns a Table sharing t's weight storage with a private forward
+// cache, for concurrent read-only lookups against the same parameters.
+func (t *Table) Shadow() *Table {
+	return &Table{Rows: t.Rows, Dim: t.Dim, W: t.W}
 }
 
 // Tables is the full sparse parameter set of a model, one Table per
@@ -162,6 +183,15 @@ func (ts Tables) Clone() Tables {
 	out := make(Tables, len(ts))
 	for i, t := range ts {
 		out[i] = t.Clone()
+	}
+	return out
+}
+
+// Shadow returns weight-sharing shadows of every table.
+func (ts Tables) Shadow() Tables {
+	out := make(Tables, len(ts))
+	for i, t := range ts {
+		out[i] = t.Shadow()
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hotline/internal/accel"
 	"hotline/internal/data"
@@ -10,15 +11,25 @@ import (
 	"hotline/internal/train"
 )
 
-// trainScale controls the functional-training experiment sizes. Tests and
-// benches use the default; cmd/hotline-bench can raise it via -iters.
-var trainIters = 40
+// trainItersSetting controls the functional-training experiment sizes
+// (0 = default 40). Tests and benches use the default; cmd/hotline-bench can
+// raise it via -iters. Atomic so generators running inside a concurrent
+// sweep can read it race-free.
+var trainItersSetting atomic.Int64
 
 // SetTrainIters adjusts the functional-training length (cmd flag hook).
 func SetTrainIters(n int) {
 	if n > 0 {
-		trainIters = n
+		trainItersSetting.Store(int64(n))
 	}
+}
+
+// TrainIters returns the configured functional-training iteration count.
+func TrainIters() int {
+	if n := trainItersSetting.Load(); n > 0 {
+		return int(n)
+	}
+	return 40
 }
 
 // Table1ISA validates Table I: every instruction encodes, decodes and
@@ -80,7 +91,8 @@ func Fig18AccuracyParity() *report.Table {
 		scaled := scaledTrainingConfig(cfg)
 		base := train.NewBaseline(model.New(scaled, 1234), 0.1)
 		hot := train.NewHotline(model.New(scaled, 1234), 0.1)
-		run := train.RunConfig{BatchSize: 64, Iters: trainIters, EvalEvery: trainIters / 4, EvalSize: 512}
+		iters := TrainIters()
+		run := train.RunConfig{BatchSize: 64, Iters: iters, EvalEvery: iters / 4, EvalSize: 512}
 		curveB := train.Run(base, data.NewGenerator(scaled), run)
 		curveH := train.Run(hot, data.NewGenerator(scaled), run)
 		for i := range curveB {
@@ -105,7 +117,7 @@ func Table5Accuracy() *report.Table {
 		"dataset", "exec", "accuracy", "AUC", "logloss", "max state diff", "popular %"}}
 	for _, cfg := range data.AllDatasets() {
 		scaled := scaledTrainingConfig(cfg)
-		rep := train.Parity(scaled, 99, train.RunConfig{BatchSize: 64, Iters: trainIters, EvalSize: 512})
+		rep := train.Parity(scaled, 99, train.RunConfig{BatchSize: 64, Iters: TrainIters(), EvalSize: 512})
 		t.AddRow(cfg.Name, "DLRM/TBSM",
 			fmt.Sprintf("%.2f%%", rep.Baseline.Accuracy*100),
 			fmt.Sprintf("%.4f", rep.Baseline.AUC),

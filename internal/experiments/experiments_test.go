@@ -5,11 +5,21 @@ import (
 	"testing"
 )
 
+// heavyExperiments run functional training or large design-space probes and
+// dominate the suite's wall time; -short skips them (the sweep tests still
+// cover a fast subset end-to-end).
+var heavyExperiments = map[string]bool{
+	"tab5": true, "fig18": true, "fig27": true, "fig28": true, "abl-eal": true,
+}
+
 func TestAllExperimentsRun(t *testing.T) {
 	SetTrainIters(12) // keep functional training short in tests
 	for _, id := range All() {
 		id := id
 		t.Run(id, func(t *testing.T) {
+			if testing.Short() && heavyExperiments[id] {
+				t.Skip("heavy experiment; run without -short")
+			}
 			tab, err := Run(id)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotline/internal/report"
+)
+
+// SweepResult is one experiment's outcome within a concurrent sweep.
+type SweepResult struct {
+	ID       string
+	Title    string
+	Table    *report.Table // nil when Err is set
+	Err      error
+	Duration time.Duration
+}
+
+// Sweep runs the given experiment ids on a bounded pool of workers and
+// returns one result per id, in the ids' order regardless of completion
+// order. workers <= 0 means NumCPU. Errors (including generator panics and
+// context cancellation) are captured per experiment, never propagated as
+// panics, so one failing experiment cannot take down a sweep.
+//
+// Every generator in the registry builds its own models, generators and
+// accelerators from fixed seeds, so a concurrent sweep produces tables
+// byte-identical to serial Run calls.
+func Sweep(ctx context.Context, ids []string, workers int) []SweepResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = EffectiveWorkers(workers, len(ids))
+	results := make([]SweepResult, len(ids))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(ids) {
+					return
+				}
+				results[i] = runOne(ctx, ids[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// EffectiveWorkers returns the pool size a Sweep over jobs experiments
+// actually uses for a requested worker count: <= 0 means NumCPU, capped at
+// the job count. Reporting tools use this instead of mirroring the rule.
+func EffectiveWorkers(requested, jobs int) int {
+	if requested <= 0 {
+		requested = runtime.NumCPU()
+	}
+	if requested > jobs {
+		requested = jobs
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// runOne executes a single experiment with panic and cancellation capture.
+func runOne(ctx context.Context, id string) (res SweepResult) {
+	res.ID = id
+	res.Title = Title(id)
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return
+	}
+	start := time.Now()
+	defer func() {
+		res.Duration = time.Since(start)
+		if r := recover(); r != nil {
+			res.Table = nil
+			res.Err = fmt.Errorf("experiments: %s panicked: %v", id, r)
+		}
+	}()
+	res.Table, res.Err = Run(id)
+	return
+}
+
+// RunAll sweeps the given experiments concurrently and returns their tables
+// in the ids' order (all registry experiments, in sorted id order, when ids
+// is empty). The returned error is the first per-experiment failure; tables
+// of the successful experiments are returned alongside it.
+func RunAll(ctx context.Context, ids []string, workers int) ([]*report.Table, error) {
+	if len(ids) == 0 {
+		ids = All()
+	}
+	res := Sweep(ctx, ids, workers)
+	tables := make([]*report.Table, 0, len(res))
+	var firstErr error
+	for _, r := range res {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", r.ID, r.Err)
+			}
+			continue
+		}
+		tables = append(tables, r.Table)
+	}
+	return tables, firstErr
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hotline/internal/par"
+	"hotline/internal/report"
+)
+
+// sweepIDs returns the id set for determinism tests: the full registry
+// normally, a fast representative subset (ISA, models, three timing figures)
+// under -short.
+func sweepIDs(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"tab1", "tab2", "fig19", "fig25", "fig26"}
+	}
+	return All()
+}
+
+// TestRunAllExperiments: every id yields a non-empty table, and the
+// concurrent sweep produces byte-identical tables to serial runs.
+func TestRunAllExperiments(t *testing.T) {
+	SetTrainIters(8)
+	ids := sweepIDs(t)
+
+	serial := make(map[string]string, len(ids))
+	for _, id := range ids {
+		tab, err := Run(id)
+		if err != nil {
+			t.Fatalf("serial %s: %v", id, err)
+		}
+		serial[id] = tab.Render()
+	}
+
+	tables, err := RunAll(context.Background(), ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(ids) {
+		t.Fatalf("sweep returned %d tables, want %d", len(tables), len(ids))
+	}
+	for i, tab := range tables {
+		if tab.ID != ids[i] {
+			t.Fatalf("table %d is %s, want %s (stable id order)", i, tab.ID, ids[i])
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", tab.ID)
+		}
+		if got := tab.Render(); got != serial[tab.ID] {
+			t.Errorf("%s: concurrent table differs from serial run:\n--- serial ---\n%s--- sweep ---\n%s",
+				tab.ID, serial[tab.ID], got)
+		}
+	}
+}
+
+func TestSweepCapturesErrors(t *testing.T) {
+	res := Sweep(context.Background(), []string{"tab1", "fig99"}, 2)
+	if res[0].Err != nil || res[0].Table == nil {
+		t.Fatalf("tab1 should succeed, got %v", res[0].Err)
+	}
+	if res[0].Duration <= 0 {
+		t.Fatal("successful result must carry a duration")
+	}
+	if res[1].Err == nil {
+		t.Fatal("unknown id must be captured as an error")
+	}
+	if _, err := RunAll(context.Background(), []string{"fig99"}, 1); err == nil {
+		t.Fatal("RunAll must surface the first failure")
+	}
+}
+
+func TestSweepCapturesPanics(t *testing.T) {
+	registry["boom"] = regEntry{"panicking experiment", func() *report.Table {
+		panic("kaboom")
+	}}
+	// A panic inside a parallel kernel shard must also be captured: par
+	// forwards worker-goroutine panics to the experiment's goroutine.
+	registry["boom-par"] = regEntry{"panicking parallel kernel", func() *report.Table {
+		par.ForWork(1_000_000, 1024, func(lo, hi int) { panic("shard kaboom") })
+		return &report.Table{}
+	}}
+	defer delete(registry, "boom")
+	defer delete(registry, "boom-par")
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	res := Sweep(context.Background(), []string{"boom", "boom-par", "tab1"}, 2)
+	if res[0].Err == nil || res[1].Err == nil {
+		t.Fatalf("panics must be captured as errors, got %v / %v", res[0].Err, res[1].Err)
+	}
+	if res[2].Err != nil {
+		t.Fatalf("panic must not poison sibling experiments: %v", res[2].Err)
+	}
+}
+
+func TestSweepHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Sweep(ctx, []string{"tab1", "tab2"}, 2)
+	for _, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", r.ID, r.Err)
+		}
+	}
+}
+
+func TestRunAllDefaultsToFullRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry sweep is slow; run without -short")
+	}
+	SetTrainIters(8)
+	tables, err := RunAll(context.Background(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(All()) {
+		t.Fatalf("default sweep produced %d tables, want %d", len(tables), len(All()))
+	}
+}

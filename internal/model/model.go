@@ -66,6 +66,40 @@ func New(cfg data.Config, seed uint64) *Model {
 // IsTBSM reports whether the model carries the attention/sequence structure.
 func (m *Model) IsTBSM() bool { return m.Attn != nil }
 
+// NewShadow returns a model that shares m's parameter storage (dense weights
+// and embedding tables) but owns private gradient accumulators, sparse-grad
+// stash and forward caches. Two µ-batches can then run forward/backward
+// concurrently — parameters are only read during the passes — and the
+// shadow's gradients are folded back with AbsorbShadow. The shadow stays
+// valid across updates because all optimizers mutate parameters in place.
+func NewShadow(m *Model) *Model {
+	s := &Model{Cfg: m.Cfg}
+	s.Bot = m.Bot.Shadow()
+	s.Top = m.Top.Shadow()
+	s.Inter = nn.NewDotInteraction(m.Cfg.EmbedDim, m.Cfg.NumTables)
+	if m.Attn != nil {
+		s.Attn = nn.NewAttention(m.Cfg.EmbedDim, m.Cfg.TimeSteps)
+	}
+	s.Tables = m.Tables.Shadow()
+	return s
+}
+
+// AbsorbShadow folds a shadow's accumulated gradients into m: dense
+// gradients add into m's accumulators in parameter order, and the shadow's
+// stashed sparse gradients append after m's own (fixed reduction order, so
+// the combined update is deterministic for any worker count).
+func (m *Model) AbsorbShadow(s *Model) {
+	pm, ps := m.DenseParams(), s.DenseParams()
+	if len(pm) != len(ps) {
+		panic("model: AbsorbShadow across different architectures")
+	}
+	for i := range pm {
+		tensor.AxpyInto(pm[i].Grad, 1, ps[i].Grad)
+	}
+	m.pendingSparse = append(m.pendingSparse, s.pendingSparse...)
+	s.pendingSparse = s.pendingSparse[:0]
+}
+
 // Forward computes the logits (B x 1) for a batch.
 func (m *Model) Forward(b *data.Batch) *tensor.Matrix {
 	m.lastBatch = b

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"hotline/internal/par"
 	"hotline/internal/tensor"
 )
 
@@ -17,13 +18,16 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward computes max(x, 0) element-wise.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	out := tensor.New(x.Rows, x.Cols)
-	r.mask = tensor.New(x.Rows, x.Cols)
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			r.mask.Data[i] = 1
+	mask := tensor.New(x.Rows, x.Cols)
+	par.ForWork(len(x.Data), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				out.Data[i] = v
+				mask.Data[i] = 1
+			}
 		}
-	}
+	})
+	r.mask = mask
 	return out
 }
 

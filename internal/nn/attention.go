@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"hotline/internal/par"
 	"hotline/internal/tensor"
 )
 
@@ -44,43 +45,43 @@ func (a *Attention) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
 	scale := float32(1 / math.Sqrt(float64(a.Dim)))
 	alphas := tensor.New(batch, a.Steps)
 	query := inputs[a.Steps-1]
-	for b := 0; b < batch; b++ {
-		q := query.Row(b)
-		arow := alphas.Row(b)
-		var maxScore float32 = float32(math.Inf(-1))
-		for t := 0; t < a.Steps; t++ {
-			h := inputs[t].Row(b)
-			var dot float32
-			for k := range q {
-				dot += q[k] * h[k]
-			}
-			arow[t] = dot * scale
-			if arow[t] > maxScore {
-				maxScore = arow[t]
-			}
-		}
-		var sum float32
-		for t := range arow {
-			arow[t] = float32(math.Exp(float64(arow[t] - maxScore)))
-			sum += arow[t]
-		}
-		for t := range arow {
-			arow[t] /= sum
-		}
-	}
-	a.lastAlphas = alphas
 	out := tensor.New(batch, a.Dim)
-	for b := 0; b < batch; b++ {
-		orow := out.Row(b)
-		arow := alphas.Row(b)
-		for t := 0; t < a.Steps; t++ {
-			h := inputs[t].Row(b)
-			w := arow[t]
-			for k := range orow {
-				orow[k] += w * h[k]
+	perSample := 4 * int64(a.Steps) * int64(a.Dim)
+	par.ForWork(batch, perSample, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			q := query.Row(b)
+			arow := alphas.Row(b)
+			var maxScore float32 = float32(math.Inf(-1))
+			for t := 0; t < a.Steps; t++ {
+				h := inputs[t].Row(b)
+				var dot float32
+				for k := range q {
+					dot += q[k] * h[k]
+				}
+				arow[t] = dot * scale
+				if arow[t] > maxScore {
+					maxScore = arow[t]
+				}
+			}
+			var sum float32
+			for t := range arow {
+				arow[t] = float32(math.Exp(float64(arow[t] - maxScore)))
+				sum += arow[t]
+			}
+			for t := range arow {
+				arow[t] /= sum
+			}
+			orow := out.Row(b)
+			for t := 0; t < a.Steps; t++ {
+				h := inputs[t].Row(b)
+				w := arow[t]
+				for k := range orow {
+					orow[k] += w * h[k]
+				}
 			}
 		}
-	}
+	})
+	a.lastAlphas = alphas
 	return out
 }
 
@@ -95,42 +96,45 @@ func (a *Attention) Backward(gradOut *tensor.Matrix) []*tensor.Matrix {
 	for t := range grads {
 		grads[t] = tensor.New(batch, a.Dim)
 	}
-	for b := 0; b < batch; b++ {
-		grow := gradOut.Row(b)
-		arow := a.lastAlphas.Row(b)
-		q := a.lastInputs[a.Steps-1].Row(b)
+	perSample := 6 * int64(a.Steps) * int64(a.Dim)
+	par.ForWork(batch, perSample, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			grow := gradOut.Row(b)
+			arow := a.lastAlphas.Row(b)
+			q := a.lastInputs[a.Steps-1].Row(b)
 
-		// dL/dα_t = g·h_t ; context = Σ α_t h_t contributes α_t·g to dh_t.
-		dAlpha := make([]float32, a.Steps)
-		for t := 0; t < a.Steps; t++ {
-			h := a.lastInputs[t].Row(b)
-			gt := grads[t].Row(b)
-			var dot float32
-			for k := range grow {
-				dot += grow[k] * h[k]
-				gt[k] += arow[t] * grow[k]
+			// dL/dα_t = g·h_t ; context = Σ α_t h_t contributes α_t·g to dh_t.
+			dAlpha := make([]float32, a.Steps)
+			for t := 0; t < a.Steps; t++ {
+				h := a.lastInputs[t].Row(b)
+				gt := grads[t].Row(b)
+				var dot float32
+				for k := range grow {
+					dot += grow[k] * h[k]
+					gt[k] += arow[t] * grow[k]
+				}
+				dAlpha[t] = dot
 			}
-			dAlpha[t] = dot
-		}
-		// Softmax backward: ds_t = α_t (dα_t − Σ_u α_u dα_u).
-		var inner float32
-		for t := range dAlpha {
-			inner += arow[t] * dAlpha[t]
-		}
-		for t := 0; t < a.Steps; t++ {
-			dScore := arow[t] * (dAlpha[t] - inner) * scale
-			if dScore == 0 {
-				continue
+			// Softmax backward: ds_t = α_t (dα_t − Σ_u α_u dα_u).
+			var inner float32
+			for t := range dAlpha {
+				inner += arow[t] * dAlpha[t]
 			}
-			// score_t = scale·(q·h_t): grad flows to h_t and to q (= h_{T-1}).
-			h := a.lastInputs[t].Row(b)
-			gt := grads[t].Row(b)
-			gq := grads[a.Steps-1].Row(b)
-			for k := range h {
-				gt[k] += dScore * q[k]
-				gq[k] += dScore * h[k]
+			for t := 0; t < a.Steps; t++ {
+				dScore := arow[t] * (dAlpha[t] - inner) * scale
+				if dScore == 0 {
+					continue
+				}
+				// score_t = scale·(q·h_t): grad flows to h_t and to q (= h_{T-1}).
+				h := a.lastInputs[t].Row(b)
+				gt := grads[t].Row(b)
+				gq := grads[a.Steps-1].Row(b)
+				for k := range h {
+					gt[k] += dScore * q[k]
+					gq[k] += dScore * h[k]
+				}
 			}
 		}
-	}
+	})
 	return grads
 }

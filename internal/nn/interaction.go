@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"hotline/internal/par"
 	"hotline/internal/tensor"
 )
 
@@ -45,23 +46,26 @@ func (d *DotInteraction) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
 	}
 	d.lastInputs = inputs
 	out := tensor.New(batch, d.OutWidth())
-	for b := 0; b < batch; b++ {
-		row := out.Row(b)
-		copy(row[:d.Dim], inputs[0].Row(b))
-		k := d.Dim
-		for i := 1; i < d.NumVec; i++ {
-			vi := inputs[i].Row(b)
-			for j := 0; j < i; j++ {
-				vj := inputs[j].Row(b)
-				var dot float32
-				for t := 0; t < d.Dim; t++ {
-					dot += vi[t] * vj[t]
+	perSample := int64(d.NumVec) * int64(d.NumVec) * int64(d.Dim)
+	par.ForWork(batch, perSample, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			row := out.Row(b)
+			copy(row[:d.Dim], inputs[0].Row(b))
+			k := d.Dim
+			for i := 1; i < d.NumVec; i++ {
+				vi := inputs[i].Row(b)
+				for j := 0; j < i; j++ {
+					vj := inputs[j].Row(b)
+					var dot float32
+					for t := 0; t < d.Dim; t++ {
+						dot += vi[t] * vj[t]
+					}
+					row[k] = dot
+					k++
 				}
-				row[k] = dot
-				k++
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -75,28 +79,31 @@ func (d *DotInteraction) Backward(gradOut *tensor.Matrix) []*tensor.Matrix {
 	for i := range grads {
 		grads[i] = tensor.New(batch, d.Dim)
 	}
-	for b := 0; b < batch; b++ {
-		grow := gradOut.Row(b)
-		// Pass-through gradient for the copied dense vector.
-		copy(grads[0].Row(b), grow[:d.Dim])
-		k := d.Dim
-		for i := 1; i < d.NumVec; i++ {
-			vi := d.lastInputs[i].Row(b)
-			gi := grads[i].Row(b)
-			for j := 0; j < i; j++ {
-				vj := d.lastInputs[j].Row(b)
-				gj := grads[j].Row(b)
-				g := grow[k]
-				k++
-				if g == 0 {
-					continue
-				}
-				for t := 0; t < d.Dim; t++ {
-					gi[t] += g * vj[t]
-					gj[t] += g * vi[t]
+	perSample := int64(d.NumVec) * int64(d.NumVec) * int64(d.Dim)
+	par.ForWork(batch, perSample, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			grow := gradOut.Row(b)
+			// Pass-through gradient for the copied dense vector.
+			copy(grads[0].Row(b), grow[:d.Dim])
+			k := d.Dim
+			for i := 1; i < d.NumVec; i++ {
+				vi := d.lastInputs[i].Row(b)
+				gi := grads[i].Row(b)
+				for j := 0; j < i; j++ {
+					vj := d.lastInputs[j].Row(b)
+					gj := grads[j].Row(b)
+					g := grow[k]
+					k++
+					if g == 0 {
+						continue
+					}
+					for t := 0; t < d.Dim; t++ {
+						gi[t] += g * vj[t]
+						gj[t] += g * vi[t]
+					}
 				}
 			}
 		}
-	}
+	})
 	return grads
 }

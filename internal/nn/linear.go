@@ -32,6 +32,17 @@ func NewLinear(in, out int, rng *tensor.RNG) *Linear {
 	return l
 }
 
+// Shadow returns a Linear that shares l's weight and bias storage but owns
+// private gradient accumulators and forward cache, so two µ-batches can run
+// forward/backward concurrently against the same parameters.
+func (l *Linear) Shadow() *Linear {
+	return &Linear{
+		In: l.In, Out: l.Out, W: l.W, B: l.B,
+		GradW: tensor.New(l.In, l.Out),
+		GradB: tensor.New(1, l.Out),
+	}
+}
+
 // Forward computes x·W + b for a batch x of shape (B x in).
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In {

@@ -32,6 +32,23 @@ func NewMLP(sizes []int, reluAfterLast bool, rng *tensor.RNG) *MLP {
 	return m
 }
 
+// Shadow returns an MLP sharing m's parameters with private gradient
+// accumulators and forward caches (see Linear.Shadow).
+func (m *MLP) Shadow() *MLP {
+	s := &MLP{Sizes: m.Sizes}
+	for _, l := range m.layers {
+		switch v := l.(type) {
+		case *Linear:
+			s.layers = append(s.layers, v.Shadow())
+		case *ReLU:
+			s.layers = append(s.layers, NewReLU())
+		default:
+			panic(fmt.Sprintf("nn: MLP.Shadow: unsupported layer %T", l))
+		}
+	}
+	return s
+}
+
 // Forward runs the stack on a batch.
 func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
 	for _, l := range m.layers {

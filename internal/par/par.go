@@ -1,0 +1,154 @@
+// Package par is the process-wide parallelism substrate for the functional
+// training layer. It provides a single worker-count knob (the public
+// hotline.Parallelism API) and data-parallel loop helpers that the tensor,
+// nn, embedding and model packages use to shard batch work across cores.
+//
+// Determinism contract: every kernel built on this package computes each
+// output element with the exact scalar operation sequence of its serial
+// loop — shards only partition *independent* output elements, never a
+// floating-point reduction. Results are therefore bit-identical for every
+// worker count, including 1.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds the configured worker count; 0 means "auto"
+// (runtime.NumCPU()).
+var workerOverride atomic.Int64
+
+// SetWorkers sets the worker count used by all parallel kernels and returns
+// the previous setting. n <= 0 restores the default (NumCPU). Safe for
+// concurrent use, though callers normally set it once at startup.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerOverride.Swap(int64(n)))
+}
+
+// Workers returns the effective worker count (>= 1).
+func Workers() int {
+	if n := int(workerOverride.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// minShardWork is the minimum number of scalar operations a shard must carry
+// before forking is worth a goroutine handoff (~a few microseconds of math).
+const minShardWork = 1 << 15
+
+// ForWork runs fn over contiguous shards covering [0, n). perItem estimates
+// the scalar-operation cost of one item; loops whose total work is below
+// 2*minShardWork — or when Workers() == 1 — run serially as fn(0, n) on the
+// calling goroutine.
+//
+// fn must compute items independently: no cross-item accumulation may span a
+// shard boundary (see the package determinism contract).
+func ForWork(n int, perItem int64, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if perItem < 1 {
+		perItem = 1
+	}
+	if w <= 1 || int64(n)*perItem < 2*minShardWork {
+		fn(0, n)
+		return
+	}
+	itemsPerShard := int(minShardWork / perItem)
+	if itemsPerShard < 1 {
+		itemsPerShard = 1
+	}
+	shards := (n + itemsPerShard - 1) / itemsPerShard
+	if shards > w {
+		shards = w
+	}
+	if shards <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	var trap panicTrap
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer trap.capture()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	trap.repanic()
+}
+
+// panicTrap forwards the first panic from a worker goroutine to the caller,
+// so a panic inside a parallel kernel behaves like its serial counterpart —
+// recoverable by the caller (the sweep's per-experiment capture relies on
+// this) instead of crashing the process from an unjoined goroutine.
+type panicTrap struct {
+	mu  sync.Mutex
+	val any
+}
+
+// capture is deferred inside each worker goroutine.
+func (p *panicTrap) capture() {
+	if r := recover(); r != nil {
+		p.mu.Lock()
+		if p.val == nil {
+			p.val = r
+		}
+		p.mu.Unlock()
+	}
+}
+
+// repanic rethrows the first captured panic on the calling goroutine. Must
+// run after every worker has been joined.
+func (p *panicTrap) repanic() {
+	if p.val != nil {
+		panic(p.val)
+	}
+}
+
+// Do runs the given thunks concurrently (bounded only by their count) and
+// waits for all of them. With Workers() == 1 the thunks run sequentially in
+// order. The train layer uses this for the popular / non-popular µ-batch
+// passes, whose gradients are later reduced in fixed index order.
+func Do(thunks ...func()) {
+	if Workers() <= 1 || len(thunks) <= 1 {
+		for _, f := range thunks {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var trap panicTrap
+	for _, f := range thunks[1:] {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			defer trap.capture()
+			f()
+		}(f)
+	}
+	func() {
+		defer trap.capture()
+		thunks[0]()
+	}()
+	wg.Wait()
+	trap.repanic()
+}

@@ -1,0 +1,124 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f under a fixed worker count and restores the previous
+// setting afterwards.
+func withWorkers(n int, f func()) {
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	if got := SetWorkers(0); got != 3 {
+		t.Fatalf("SetWorkers returned %d, want previous 3", got)
+	}
+	if Workers() < 1 {
+		t.Fatalf("auto Workers() = %d, want >= 1", Workers())
+	}
+}
+
+func TestForWorkCoversRangeExactlyOnce(t *testing.T) {
+	const n = 10_000
+	withWorkers(8, func() {
+		visits := make([]int32, n)
+		ForWork(n, minShardWork, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad shard [%d, %d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("index %d visited %d times", i, v)
+			}
+		}
+	})
+}
+
+func TestForWorkSerialFallbacks(t *testing.T) {
+	countCalls := func(n int, perItem int64) int {
+		var mu sync.Mutex
+		calls := 0
+		ForWork(n, perItem, func(lo, hi int) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+		})
+		return calls
+	}
+	withWorkers(1, func() {
+		if c := countCalls(1_000_000, 1024); c != 1 {
+			t.Fatalf("workers=1 made %d calls, want 1 serial call", c)
+		}
+	})
+	withWorkers(8, func() {
+		if c := countCalls(16, 1); c != 1 {
+			t.Fatalf("tiny loop made %d calls, want 1 serial call", c)
+		}
+		if c := countCalls(1_000_000, 1024); c <= 1 {
+			t.Fatalf("large loop made %d calls, want > 1 shard", c)
+		}
+	})
+	ForWork(0, 1, func(lo, hi int) { t.Fatal("n=0 must not invoke fn") })
+}
+
+// Panics inside worker goroutines must surface on the calling goroutine —
+// recoverable like a serial kernel panic — not crash the process.
+func TestForWorkPropagatesPanic(t *testing.T) {
+	withWorkers(4, func() {
+		defer func() {
+			if r := recover(); r != "kernel boom" {
+				t.Fatalf("recovered %v, want the worker panic", r)
+			}
+		}()
+		ForWork(1_000_000, 1024, func(lo, hi int) { panic("kernel boom") })
+		t.Fatal("ForWork must re-panic")
+	})
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	for _, idx := range []int{0, 1} {
+		withWorkers(4, func() {
+			defer func() {
+				if r := recover(); r != "thunk boom" {
+					t.Fatalf("thunk %d: recovered %v, want the thunk panic", idx, r)
+				}
+			}()
+			thunks := []func(){func() {}, func() {}}
+			thunks[idx] = func() { panic("thunk boom") }
+			Do(thunks...)
+			t.Fatal("Do must re-panic")
+		})
+	}
+}
+
+func TestDoRunsAllThunks(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(w, func() {
+			var ran [3]atomic.Bool
+			Do(
+				func() { ran[0].Store(true) },
+				func() { ran[1].Store(true) },
+				func() { ran[2].Store(true) },
+			)
+			for i := range ran {
+				if !ran[i].Load() {
+					t.Fatalf("workers=%d: thunk %d did not run", w, i)
+				}
+			}
+		})
+	}
+}

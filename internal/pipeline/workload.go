@@ -81,10 +81,21 @@ type Workload struct {
 // workloadStats caches measured popularity statistics per dataset.
 var workloadStats sync.Map // string -> [2]float64{popularFrac, coldLookupFrac}
 
+// workloadStatsMu serialises first-time probes so a concurrent experiment
+// sweep measures each dataset once instead of duplicating the epoch profile.
+var workloadStatsMu sync.Mutex
+
 // MeasureStats runs the functional layer once per config to measure the
 // popular-input fraction and cold-lookup fraction under the config's hot
-// budget. Results are cached per dataset name.
+// budget. Results are cached per dataset name; the function is safe for
+// concurrent use from any number of workloads.
 func MeasureStats(cfg data.Config) (popularFrac, coldLookupFrac float64) {
+	if v, ok := workloadStats.Load(cfg.Name); ok {
+		s := v.([2]float64)
+		return s[0], s[1]
+	}
+	workloadStatsMu.Lock()
+	defer workloadStatsMu.Unlock()
 	if v, ok := workloadStats.Load(cfg.Name); ok {
 		s := v.([2]float64)
 		return s[0], s[1]

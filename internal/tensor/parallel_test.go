@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"testing"
+
+	"hotline/internal/par"
+)
+
+// randMatrix fills a matrix with normal values, zeroing ~10% of entries so
+// the skip-zero fast paths run in both serial and parallel forms.
+func randMatrix(rows, cols int, rng *RNG) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		if rng.Float32() < 0.1 {
+			continue
+		}
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// The determinism contract of internal/par: every kernel produces
+// bit-identical results for every worker count. Odd shapes stress shard
+// boundary handling.
+func TestKernelsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	rng := NewRNG(7)
+	a := randMatrix(97, 53, rng)
+	b := randMatrix(53, 61, rng)
+	c := randMatrix(97, 61, rng)
+	d := randMatrix(97, 53, rng)
+
+	type result struct {
+		mm, mta, mtb, axpy, apply, had *Matrix
+		sums                           []float32
+	}
+	run := func(workers int) result {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		r := result{
+			mm:    New(97, 61),
+			mta:   New(53, 61), // aᵀ x c
+			mtb:   New(97, 97), // a x dᵀ
+			axpy:  a.Clone(),
+			apply: New(97, 53),
+			had:   New(97, 53),
+			sums:  make([]float32, 61),
+		}
+		MatMul(r.mm, a, b)
+		MatMulTransA(r.mta, a, c)
+		MatMulTransB(r.mtb, a, d)
+		AxpyInto(r.axpy, 0.5, d)
+		Apply(r.apply, a, func(v float32) float32 { return v * v })
+		Hadamard(r.had, a, d)
+		for i := range r.sums {
+			r.sums[i] = 0.25 // non-zero start: SumRowsInto accumulates
+		}
+		SumRowsInto(r.sums, c)
+		return r
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := run(workers)
+		pairs := []struct {
+			name string
+			a, b *Matrix
+		}{
+			{"MatMul", want.mm, got.mm},
+			{"MatMulTransA", want.mta, got.mta},
+			{"MatMulTransB", want.mtb, got.mtb},
+			{"AxpyInto", want.axpy, got.axpy},
+			{"Apply", want.apply, got.apply},
+			{"Hadamard", want.had, got.had},
+		}
+		for _, p := range pairs {
+			if !p.a.Equal(p.b) {
+				t.Fatalf("%s: workers=%d differs from workers=1", p.name, workers)
+			}
+		}
+		for i := range want.sums {
+			if want.sums[i] != got.sums[i] {
+				t.Fatalf("SumRowsInto[%d]: workers=%d %v != workers=1 %v",
+					i, workers, got.sums[i], want.sums[i])
+			}
+		}
+	}
+}

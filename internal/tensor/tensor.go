@@ -4,9 +4,18 @@
 // The package is deliberately small: recommendation models need dense GEMM,
 // element-wise maps, bias broadcast, and a seeded RNG for reproducible
 // initialisation. Everything operates on row-major Matrix values.
+//
+// Above a size threshold the GEMM and element-wise kernels shard their
+// independent output rows/elements across the par worker pool. Each output
+// element is always computed by one goroutine with the serial loop's exact
+// operation order, so results are bit-identical for every worker count.
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"hotline/internal/par"
+)
 
 // Matrix is a dense row-major float32 matrix.
 //
@@ -91,20 +100,22 @@ func MatMul(dst, a, b *Matrix) {
 	}
 	dst.Zero()
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.Data[k*n : k*n+n]
-			for j := 0; j < n; j++ {
-				drow[j] += aik * brow[j]
+	par.ForWork(a.Rows, 2*int64(a.Cols)*int64(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k := 0; k < a.Cols; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Data[k*n : k*n+n]
+				for j := 0; j < n; j++ {
+					drow[j] += aik * brow[j]
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulTransB computes dst = a x bᵀ. dst must be a.Rows x b.Rows.
@@ -115,18 +126,20 @@ func MatMulTransB(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var sum float32
-			for k := range arow {
-				sum += arow[k] * brow[k]
+	par.ForWork(a.Rows, 2*int64(a.Cols)*int64(b.Rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var sum float32
+				for k := range arow {
+					sum += arow[k] * brow[k]
+				}
+				drow[j] = sum
 			}
-			drow[j] = sum
 		}
-	}
+	})
 }
 
 // MatMulTransA computes dst = aᵀ x b. dst must be a.Cols x b.Cols.
@@ -139,19 +152,42 @@ func MatMulTransA(dst, a, b *Matrix) {
 	}
 	dst.Zero()
 	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Row(r)
-		brow := b.Row(r)
-		for i, aval := range arow {
-			if aval == 0 {
-				continue
-			}
-			drow := dst.Data[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				drow[j] += aval * brow[j]
+	if par.Workers() <= 1 {
+		// Cache-friendly r-outer accumulation on a single core.
+		for r := 0; r < a.Rows; r++ {
+			arow := a.Row(r)
+			brow := b.Row(r)
+			for i, aval := range arow {
+				if aval == 0 {
+					continue
+				}
+				drow := dst.Data[i*n : i*n+n]
+				for j := 0; j < n; j++ {
+					drow[j] += aval * brow[j]
+				}
 			}
 		}
+		return
 	}
+	// Parallel form: each goroutine owns whole output rows (columns of a),
+	// accumulating over r in ascending order — the same per-element addition
+	// sequence as the serial loop, so the result is bit-identical.
+	ac := a.Cols
+	par.ForWork(ac, 2*int64(a.Rows)*int64(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst.Data[i*n : i*n+n]
+			for r := 0; r < a.Rows; r++ {
+				aval := a.Data[r*ac+i]
+				if aval == 0 {
+					continue
+				}
+				brow := b.Data[r*n : r*n+n]
+				for j := 0; j < n; j++ {
+					drow[j] += aval * brow[j]
+				}
+			}
+		}
+	})
 }
 
 // AddBiasRow adds bias (length m.Cols) to every row of m in place.
@@ -172,12 +208,25 @@ func SumRowsInto(dst []float32, m *Matrix) {
 	if len(dst) != m.Cols {
 		panic(fmt.Sprintf("tensor: SumRowsInto dst len %d want %d", len(dst), m.Cols))
 	}
-	for r := 0; r < m.Rows; r++ {
-		row := m.Row(r)
-		for c := range row {
-			dst[c] += row[c]
+	if par.Workers() <= 1 {
+		for r := 0; r < m.Rows; r++ {
+			row := m.Row(r)
+			for c := range row {
+				dst[c] += row[c]
+			}
 		}
+		return
 	}
+	// Column-parallel form: each goroutine sums whole columns over r in
+	// ascending order — bit-identical to the serial row-outer loop.
+	cols := m.Cols
+	par.ForWork(cols, int64(m.Rows), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			for r := 0; r < m.Rows; r++ {
+				dst[c] += m.Data[r*cols+c]
+			}
+		}
+	})
 }
 
 // Add computes dst = a + b element-wise; shapes must match.
@@ -192,9 +241,11 @@ func Add(dst, a, b *Matrix) {
 // AxpyInto computes dst += alpha*src element-wise.
 func AxpyInto(dst *Matrix, alpha float32, src *Matrix) {
 	checkSameShape("AxpyInto", dst, src)
-	for i := range dst.Data {
-		dst.Data[i] += alpha * src.Data[i]
-	}
+	par.ForWork(len(dst.Data), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] += alpha * src.Data[i]
+		}
+	})
 }
 
 // Scale multiplies every element of m by alpha in place.
@@ -208,18 +259,22 @@ func Scale(m *Matrix, alpha float32) {
 // may alias src).
 func Apply(dst, src *Matrix, f func(float32) float32) {
 	checkSameShape("Apply", dst, src)
-	for i, v := range src.Data {
-		dst.Data[i] = f(v)
-	}
+	par.ForWork(len(src.Data), 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = f(src.Data[i])
+		}
+	})
 }
 
 // Hadamard computes dst = a ⊙ b element-wise.
 func Hadamard(dst, a, b *Matrix) {
 	checkSameShape("Hadamard", a, b)
 	checkSameShape("Hadamard(dst)", dst, a)
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] * b.Data[i]
-	}
+	par.ForWork(len(dst.Data), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 }
 
 // Transpose returns mᵀ as a new matrix.

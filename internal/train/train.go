@@ -17,6 +17,7 @@ import (
 	"hotline/internal/metrics"
 	"hotline/internal/model"
 	"hotline/internal/nn"
+	"hotline/internal/par"
 	"hotline/internal/tensor"
 )
 
@@ -62,6 +63,10 @@ type HotlineTrainer struct {
 	LearnSamples int
 	seenSamples  int
 
+	// shadow shares M's parameters with private gradient state so the
+	// non-popular µ-batch can run concurrently with the popular one.
+	shadow *model.Model
+
 	// stats
 	PopularInputs, TotalInputs int64
 }
@@ -106,25 +111,50 @@ func (t *HotlineTrainer) Step(b *data.Batch) float64 {
 	invN := float32(1) / float32(n)
 	t.M.ZeroAll()
 	var totalLoss float64
-	// Popular µ-batch first (it is dispatched to the GPUs immediately in
-	// the real system), then non-popular — order does not affect the
-	// combined gradient.
-	for _, idx := range [][]int{cl.PopularIdx, cl.NonPopularIdx} {
-		if len(idx) == 0 {
-			continue
+	pop, non := cl.PopularIdx, cl.NonPopularIdx
+	if len(pop) == 0 || len(non) == 0 {
+		// Degenerate split: a single µ-batch runs on the primary model.
+		for _, idx := range [][]int{pop, non} {
+			if len(idx) == 0 {
+				continue
+			}
+			totalLoss += microBatchPass(t.M, b, idx, invN)
 		}
-		sub := b.Subset(idx)
-		logits := t.M.Forward(sub)
-		loss, grad := nn.BCEWithLogits(logits, sub.Labels, nn.ReduceSum)
-		totalLoss += loss
-		// Scale sum-reduced gradients by 1/n so the accumulated update
-		// equals the baseline's mean-reduced mini-batch update (Eq. 5).
-		t.M.Backward(grad, invN)
+	} else {
+		// Popular µ-batch on the primary model (it is dispatched to the
+		// GPUs immediately in the real system); non-popular on a
+		// weight-sharing shadow. Both passes only read parameters, so they
+		// run concurrently when workers allow, and the gradients reduce in
+		// fixed order — popular, then non-popular — which keeps the result
+		// bit-identical for every worker count and, per Eq. 5, equal to the
+		// baseline's full-mini-batch update.
+		if t.shadow == nil {
+			t.shadow = model.NewShadow(t.M)
+		}
+		t.shadow.ZeroAll()
+		var lossPop, lossNon float64
+		par.Do(
+			func() { lossPop = microBatchPass(t.M, b, pop, invN) },
+			func() { lossNon = microBatchPass(t.shadow, b, non, invN) },
+		)
+		t.M.AbsorbShadow(t.shadow)
+		totalLoss = lossPop + lossNon
 	}
 	opt := nn.NewSGD(t.M.DenseParams(), t.LR)
 	opt.Step()
 	t.M.ApplySparse(t.LR)
 	return totalLoss / float64(n)
+}
+
+// microBatchPass runs forward/backward for one µ-batch on m. Sum-reduced
+// gradients are scaled by 1/n (the full mini-batch size) so the accumulated
+// update equals the baseline's mean-reduced mini-batch update (Eq. 5).
+func microBatchPass(m *model.Model, b *data.Batch, idx []int, invN float32) float64 {
+	sub := b.Subset(idx)
+	logits := m.Forward(sub)
+	loss, grad := nn.BCEWithLogits(logits, sub.Labels, nn.ReduceSum)
+	m.Backward(grad, invN)
+	return loss
 }
 
 // CurvePoint is one evaluation sample along a training run.

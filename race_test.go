@@ -1,0 +1,90 @@
+// Race harness: exercises every concurrency surface of the public API —
+// the experiment sweep, parallel training, and shared Generator / Workload
+// use — so `go test -race` proves the engine is data-race free.
+package hotline_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"hotline"
+	"hotline/internal/cost"
+	"hotline/internal/data"
+	"hotline/internal/pipeline"
+)
+
+// raceSweepIDs is a small mixed id set: ISA + analytic timing figures plus
+// one functional-training experiment, enough to drive every substrate
+// concurrently without a long wall time.
+var raceSweepIDs = []string{"tab1", "tab2", "fig19", "fig25", "fig26", "fig6"}
+
+func TestRunAllExperimentsRace(t *testing.T) {
+	prev := hotline.Parallelism(4)
+	defer hotline.Parallelism(prev)
+	tables, err := hotline.RunAllExperiments(context.Background(), raceSweepIDs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(raceSweepIDs) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(raceSweepIDs))
+	}
+}
+
+func TestParallelTrainStepRace(t *testing.T) {
+	prev := hotline.Parallelism(4)
+	defer hotline.Parallelism(prev)
+	cfg := hotline.CriteoKaggle()
+	cfg.BotMLP = []int{13, 64, 16}
+	cfg.TopMLP = []int{64, 1}
+
+	m := hotline.NewModel(cfg, 1)
+	gen := hotline.NewGenerator(cfg)
+	for i := 0; i < 3; i++ {
+		m.TrainStep(gen.NextBatch(128), 0.1)
+	}
+
+	hot := hotline.NewHotlineTrainer(hotline.NewModel(cfg, 2), 0.1)
+	for i := 0; i < 3; i++ {
+		hot.Step(gen.NextBatch(128))
+	}
+}
+
+func TestConcurrentGeneratorRace(t *testing.T) {
+	cfg := hotline.CriteoKaggle()
+	gen := hotline.NewGenerator(cfg)
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				b := gen.NextBatch(64)
+				if b.Size() != 64 {
+					t.Errorf("batch size %d", b.Size())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentWorkloadRace(t *testing.T) {
+	cfg := data.TaobaoAlibaba()
+	var wg sync.WaitGroup
+	pipes := pipeline.All() // shared across goroutines: Iteration must be pure
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(gpus int) {
+			defer wg.Done()
+			w := pipeline.NewWorkload(cfg, 1024*gpus, cost.PaperSystem(gpus))
+			for _, p := range pipes {
+				st := p.Iteration(w)
+				if !st.OOM && st.Total <= 0 {
+					t.Errorf("%s: non-positive iteration time", p.Name())
+				}
+			}
+		}(1 + k%4)
+	}
+	wg.Wait()
+}
