@@ -1,4 +1,7 @@
-// Command hotline-bench regenerates the paper's tables and figures.
+// Command hotline-bench regenerates the paper's tables and figures, the
+// design-choice ablations (abl-*), and the multi-node sharded-embedding
+// scenarios (mn-*: node-count scaling, cache-size ablation, evolving skew,
+// eviction policy — all measured against real shard and cache state).
 //
 // Experiments fan out over a bounded worker pool (one worker per core by
 // default) and the tables print in stable id order; -json additionally
@@ -8,6 +11,7 @@
 // Usage:
 //
 //	hotline-bench -exp fig19              # one experiment
+//	hotline-bench -exp mn-scale,mn-cache  # multi-node sharding scenarios
 //	hotline-bench -exp all                # everything, concurrently
 //	hotline-bench -exp all -workers 1     # serial baseline for comparison
 //	hotline-bench -list                   # list experiment ids
@@ -65,7 +69,16 @@ func main() {
 		return
 	}
 	if *smoke {
-		*iters = 6
+		// Shortest functional training, unless -iters was given explicitly.
+		itersSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "iters" {
+				itersSet = true
+			}
+		})
+		if !itersSet {
+			*iters = 6
+		}
 	}
 	hotline.SetExperimentTrainIters(*iters)
 

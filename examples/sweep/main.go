@@ -15,11 +15,15 @@ import (
 )
 
 func main() {
-	hotline.Parallelism(0)              // kernel workers: one per core
+	// The sweep already saturates the cores with whole experiments, so keep
+	// the per-kernel sharding at one worker (cmd/hotline-bench's auto mode
+	// makes the same choice to avoid NumCPU² oversubscription).
+	hotline.Parallelism(1)
 	hotline.SetExperimentTrainIters(12) // keep the functional experiments brisk
 
 	// A representative slice: ISA table, two timing figures, one functional
-	// accuracy figure. Pass nil ids to sweep the entire registry instead.
+	// accuracy figure. RunAllExperiments(ctx, nil, 0) sweeps the entire
+	// registry instead.
 	ids := []string{"tab1", "fig19", "fig26", "fig18"}
 
 	start := time.Now()

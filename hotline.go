@@ -26,6 +26,7 @@ import (
 	"hotline/internal/par"
 	"hotline/internal/pipeline"
 	"hotline/internal/report"
+	"hotline/internal/shard"
 	"hotline/internal/train"
 )
 
@@ -55,12 +56,18 @@ type Batch = data.Batch
 
 // Dataset constructors (paper Table II).
 var (
-	CriteoKaggle   = data.CriteoKaggle
-	TaobaoAlibaba  = data.TaobaoAlibaba
+	// CriteoKaggle returns the RM2 workload (DLRM, 26 sparse features).
+	CriteoKaggle = data.CriteoKaggle
+	// TaobaoAlibaba returns the RM1 workload (TBSM with attention).
+	TaobaoAlibaba = data.TaobaoAlibaba
+	// CriteoTerabyte returns the RM3 workload (DLRM, 266M rows).
 	CriteoTerabyte = data.CriteoTerabyte
-	Avazu          = data.Avazu
-	SynM1          = data.SynM1
-	SynM2          = data.SynM2
+	// Avazu returns the RM4 workload (DLRM, 21 sparse features).
+	Avazu = data.Avazu
+	// SynM1 returns the 196 GB multi-hot synthetic model (Fig 28/30).
+	SynM1 = data.SynM1
+	// SynM2 returns the 390 GB multi-hot synthetic model.
+	SynM2 = data.SynM2
 )
 
 // Datasets returns the four real-world workloads in paper order.
@@ -113,6 +120,63 @@ var RunParity = train.Parity
 // Evaluate computes accuracy/AUC/logloss for predictions.
 var Evaluate = metrics.Evaluate
 
+// MaxModelStateDiff returns the largest absolute parameter difference
+// between two models across dense and sparse state (0 when bit-identical).
+var MaxModelStateDiff = model.MaxStateDiff
+
+// --- sharded embedding service --------------------------------------------
+
+// ShardConfig sizes a sharded embedding service: node count, per-node
+// device-cache budget, row footprint and eviction policy.
+type ShardConfig = shard.Config
+
+// ShardService partitions embedding rows across simulated nodes with
+// bounded per-node hot-entry device caches, and accounts every gather and
+// gradient scatter the topology incurs.
+type ShardService = shard.Service
+
+// ShardStats is a snapshot of a service's measured traffic: cache
+// hits/misses, gather/scatter rows and bytes, fills and evictions.
+type ShardStats = shard.Stats
+
+// CachePolicy selects the device-cache eviction policy.
+type CachePolicy = shard.Policy
+
+// Device-cache eviction policies.
+const (
+	CacheLRU   = shard.PolicyLRU
+	CacheSRRIP = shard.PolicySRRIP
+)
+
+// NewShardService builds a sharded embedding service. The classifier
+// decides which rows may replicate into device caches (nil admits all).
+var NewShardService = shard.New
+
+// NewHotlineShardedTrainer wraps a model in the Hotline executor with its
+// embedding tables partitioned across the service's nodes. Training is
+// bit-identical to NewHotlineTrainer for every node count; the service
+// additionally reports the measured cache and all-to-all traffic.
+func NewHotlineShardedTrainer(m *Model, lr float32, svc *ShardService) *train.HotlineTrainer {
+	return train.NewHotlineSharded(m, lr, svc)
+}
+
+// ShardMeasurement carries measured sharding statistics (hit-rates,
+// gather/scatter fractions, bytes per iteration) for the timing models.
+type ShardMeasurement = pipeline.ShardMeasurement
+
+// MeasureShardStats replays a real access stream against a sharded service
+// and returns steady-state measurements (memoised per configuration).
+var MeasureShardStats = pipeline.MeasureShardStats
+
+// NewShardedWorkload assembles a workload whose timing models consume
+// measured sharding statistics instead of analytic popularity fractions.
+// cacheBytes <= 0 selects the dataset's scaled hot-set budget.
+var NewShardedWorkload = pipeline.NewShardedWorkload
+
+// DefaultShardCacheBytes returns the default per-node device-cache budget
+// for a dataset (its scaled hot-set budget).
+var DefaultShardCacheBytes = pipeline.DefaultShardCacheBytes
+
 // --- accelerator ----------------------------------------------------------
 
 // Accelerator is the functional + timing model of the Hotline accelerator.
@@ -153,12 +217,19 @@ type IterStats = pipeline.IterStats
 
 // Pipeline constructors for every system the paper compares.
 var (
-	NewHotlinePipeline     = pipeline.NewHotline
-	NewHotlineCPUPipeline  = pipeline.NewHotlineCPU
-	NewIntelDLRMPipeline   = pipeline.NewIntelDLRM
-	NewXDLPipeline         = pipeline.NewXDL
-	NewFAEPipeline         = pipeline.NewFAE
-	NewHugeCTRPipeline     = pipeline.NewHugeCTR
+	// NewHotlinePipeline is the accelerator-pipelined Hotline system.
+	NewHotlinePipeline = pipeline.NewHotline
+	// NewHotlineCPUPipeline is the CPU-segregation ablation (§VII-D).
+	NewHotlineCPUPipeline = pipeline.NewHotlineCPU
+	// NewIntelDLRMPipeline is the hybrid CPU-GPU Intel-optimized baseline.
+	NewIntelDLRMPipeline = pipeline.NewIntelDLRM
+	// NewXDLPipeline is the parameter-server XDL baseline.
+	NewXDLPipeline = pipeline.NewXDL
+	// NewFAEPipeline is the static popularity scheduler baseline.
+	NewFAEPipeline = pipeline.NewFAE
+	// NewHugeCTRPipeline is the GPU-only (model-parallel HBM) baseline.
+	NewHugeCTRPipeline = pipeline.NewHugeCTR
+	// NewScratchPipePipeline is the idealised lookahead-cache comparator.
 	NewScratchPipePipeline = pipeline.NewScratchPipeIdeal
 )
 

@@ -1,0 +1,14 @@
+// Package accel is a cycle-approximate functional model of the Hotline
+// hardware accelerator (paper §V): the Embedding Access Logger (a
+// multi-banked SRAM tracker with SRRIP replacement), the parallel lookup
+// engine array with its Feistel-network randomizer, the data dispatcher and
+// reducer, the instruction set (Table I), and the area/energy model
+// (Table IV / Figure 29).
+//
+// In the DESIGN.md layering the package sits beside internal/train: the
+// Hotline executor feeds sampled batches into the EAL during the learning
+// phase and asks the accelerator to classify every mini-batch into popular
+// and non-popular µ-batches during the acceleration phase. The timing side
+// (segregation throughput, reducer bandwidth) feeds internal/pipeline's
+// Hotline model.
+package accel

@@ -1,9 +1,3 @@
-// Package accel is a cycle-approximate functional model of the Hotline
-// hardware accelerator (paper §V): the Embedding Access Logger (a
-// multi-banked SRAM tracker with SRRIP replacement), the parallel lookup
-// engine array with its Feistel-network randomizer, the data dispatcher and
-// reducer, the instruction set (Table I), and the area/energy model
-// (Table IV / Figure 29).
 package accel
 
 // Feistel is the low-latency 4-round Feistel network the lookup engine uses

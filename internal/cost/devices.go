@@ -1,8 +1,3 @@
-// Package cost holds the device catalog (paper Table III) and the analytic
-// cost models that translate work (FLOPs, bytes, lookups) into simulated
-// time on each device and link. All pipelines share these models, so
-// relative speedups reflect scheduling and placement rather than
-// per-pipeline constants.
 package cost
 
 import "hotline/internal/sim"

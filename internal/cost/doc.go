@@ -1,0 +1,12 @@
+// Package cost holds the device catalog (paper Table III) and the analytic
+// cost models that translate work (FLOPs, bytes, lookups) into simulated
+// time on each device and link. All pipelines share these models, so
+// relative speedups reflect scheduling and placement rather than
+// per-pipeline constants.
+//
+// In the DESIGN.md layering the package is the pricing layer between
+// internal/sim (simulated time and resources) and internal/pipeline (the
+// training-system timing models). internal/shard also feeds its *measured*
+// gather/scatter volumes through the collective models here, so measured
+// and analytic traffic are priced identically.
+package cost

@@ -1,0 +1,101 @@
+package cost
+
+import "testing"
+
+// The shard accounting prices its measured gather/scatter volumes with
+// these transfer models, so their monotonic structure is load-bearing:
+// more bytes or more participants must never get cheaper.
+
+func TestAllToAllMonotoneInBytes(t *testing.T) {
+	for _, link := range []LinkSpec{NVLink2(), InfiniBand100()} {
+		prev := AllToAllTime(link, 1<<10, 4)
+		for _, bytes := range []int64{1 << 14, 1 << 18, 1 << 22, 1 << 26} {
+			cur := AllToAllTime(link, bytes, 4)
+			if cur <= prev {
+				t.Fatalf("%s: all-to-all not monotone in bytes: %v at %d bytes", link.Name, cur, bytes)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestAllToAllMonotoneInParticipants(t *testing.T) {
+	link := InfiniBand100()
+	prev := AllToAllTime(link, 1<<20, 1)
+	for _, n := range []int{2, 4, 8, 16} {
+		cur := AllToAllTime(link, 1<<20, n)
+		if cur <= prev {
+			t.Fatalf("all-to-all not monotone in participants: %v at n=%d", cur, n)
+		}
+		prev = cur
+	}
+}
+
+func TestCrossNodeAllToAllMonotoneInNodes(t *testing.T) {
+	bytes := int64(4 << 20)
+	prev := CrossNodeAllToAllTime(PaperSystem(4), bytes)
+	for _, nodes := range []int{2, 4, 8} {
+		cur := CrossNodeAllToAllTime(PaperCluster(nodes), bytes)
+		if cur <= prev {
+			t.Fatalf("cross-node all-to-all not monotone in nodes: %v at %d nodes", cur, nodes)
+		}
+		prev = cur
+	}
+}
+
+func TestCrossNodeAllToAllMonotoneInBatch(t *testing.T) {
+	// Per-GPU bytes scale linearly with the mini-batch; the exchange time
+	// must follow.
+	sys := PaperCluster(4)
+	rowBytes := int64(64)
+	prev := CrossNodeAllToAllTime(sys, 1024*rowBytes)
+	for _, batch := range []int64{4096, 16384, 65536} {
+		cur := CrossNodeAllToAllTime(sys, batch*rowBytes)
+		if cur <= prev {
+			t.Fatalf("cross-node all-to-all not monotone in batch: %v at %d", cur, batch)
+		}
+		prev = cur
+	}
+}
+
+func TestHierarchicalAllReduceMonotone(t *testing.T) {
+	prev := HierarchicalAllReduceTime(PaperCluster(1), 8<<20)
+	for _, nodes := range []int{2, 4, 8} {
+		cur := HierarchicalAllReduceTime(PaperCluster(nodes), 8<<20)
+		if cur <= prev {
+			t.Fatalf("hierarchical all-reduce not monotone in nodes: %v at %d", cur, nodes)
+		}
+		prev = cur
+	}
+	small := HierarchicalAllReduceTime(PaperCluster(4), 1<<20)
+	large := HierarchicalAllReduceTime(PaperCluster(4), 32<<20)
+	if large <= small {
+		t.Fatal("hierarchical all-reduce not monotone in bytes")
+	}
+}
+
+func TestDMAGatherMonotoneInRows(t *testing.T) {
+	sys := PaperSystem(1)
+	prev := DMAGatherTime(sys, 256, 64)
+	for _, rows := range []int64{1024, 4096, 16384} {
+		cur := DMAGatherTime(sys, rows, 64)
+		if cur <= prev {
+			t.Fatalf("DMA gather not monotone in rows: %v at %d rows", cur, rows)
+		}
+		prev = cur
+	}
+}
+
+func TestEmbUpdateMonotoneInRowsAndWidth(t *testing.T) {
+	c := XeonSilver4116()
+	if CPUEmbUpdateTime(c, 2000, 64) <= CPUEmbUpdateTime(c, 1000, 64) {
+		t.Fatal("CPU update not monotone in rows")
+	}
+	if CPUEmbUpdateTime(c, 1000, 512) <= CPUEmbUpdateTime(c, 1000, 64) {
+		t.Fatal("CPU update not monotone in row width")
+	}
+	g := V100()
+	if GPUEmbUpdateTime(g, 2000, 64) <= GPUEmbUpdateTime(g, 1000, 64) {
+		t.Fatal("GPU update not monotone in rows")
+	}
+}

@@ -1,0 +1,15 @@
+// Package data provides the synthetic workload substrate that stands in for
+// the paper's Criteo Kaggle / Criteo Terabyte / Taobao Alibaba / Avazu
+// datasets. Generators draw embedding indices from Zipfian popularity
+// distributions whose skew parameters are fitted so that the popular-input
+// fractions and access skews match the paper's Figure 6, and support
+// day-to-day popularity drift (Figure 9).
+//
+// In the DESIGN.md layering this is the bottom layer: every functional
+// substrate (model, train, accel) consumes its deterministic Batch streams,
+// and the profiling helpers (AccessProfile, ScaledHotBudget) seed the
+// access-aware placements that embedding, shard and pipeline build on.
+// Each Config carries both the paper-scale footprint (for the performance
+// simulator's capacity math) and a ~1000x downscaled shape (so functional
+// training runs on a laptop).
+package data

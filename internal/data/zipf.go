@@ -1,9 +1,3 @@
-// Package data provides the synthetic workload substrate that stands in for
-// the paper's Criteo Kaggle / Criteo Terabyte / Taobao Alibaba / Avazu
-// datasets. Generators draw embedding indices from Zipfian popularity
-// distributions whose skew parameters are fitted so that the popular-input
-// fractions and access skews match the paper's Figure 6, and support
-// day-to-day popularity drift (Figure 9).
 package data
 
 import (

@@ -1,0 +1,161 @@
+package embedding
+
+import (
+	"fmt"
+
+	"hotline/internal/par"
+	"hotline/internal/shard"
+	"hotline/internal/tensor"
+)
+
+// ShardedBag is the multi-node embedding-bag: the table's rows are
+// partitioned round-robin across the nodes of a shard.Service (row r lives
+// on node r mod N, packed at local index r/N), and every lookup and
+// gradient push is routed through the service for device-cache simulation
+// and all-to-all accounting.
+//
+// The operator math is bit-identical to the single-node Table for every
+// node count: partitioning only relocates rows, the per-bag summation order
+// and the sparse-gradient reduction order are exactly the serial ones, and
+// the Service's accounting never touches values. TestShardedBagBitIdentical
+// enforces this for node counts {1,2,4,8}.
+type ShardedBag struct {
+	Rows, Dim int
+	// TableIdx keys the service's cache and traffic accounting.
+	TableIdx int
+
+	svc    *shard.Service
+	shards []*tensor.Matrix // shards[n] packs the rows owned by node n
+
+	lastIndices [][]int32
+}
+
+// ShardBag partitions a table's rows across the service's nodes, copying
+// each row into its owner shard. The source table is not retained.
+func ShardBag(t *Table, svc *shard.Service, tableIdx int) *ShardedBag {
+	nodes := svc.Nodes()
+	s := &ShardedBag{
+		Rows: t.Rows, Dim: t.Dim, TableIdx: tableIdx,
+		svc: svc, shards: make([]*tensor.Matrix, nodes),
+	}
+	for n := 0; n < nodes; n++ {
+		owned := 0
+		if t.Rows > n {
+			owned = (t.Rows - n + nodes - 1) / nodes
+		}
+		s.shards[n] = tensor.New(owned, t.Dim)
+	}
+	for r := 0; r < t.Rows; r++ {
+		copy(s.shards[r%nodes].Row(r/nodes), t.W.Row(r))
+	}
+	return s
+}
+
+// Service returns the shard service the bag routes through.
+func (s *ShardedBag) Service() *shard.Service { return s.svc }
+
+// RowView implements Bag: a live view of row r inside its owner shard.
+func (s *ShardedBag) RowView(r int) []float32 {
+	nodes := len(s.shards)
+	return s.shards[r%nodes].Row(r / nodes)
+}
+
+// Forward implements Bag: the sum-pooled lookup with shard routing. The
+// service accounting runs as a serial pre-pass (cache state must evolve in
+// batch order); the arithmetic then shards across workers exactly like the
+// single-node operator.
+func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
+	s.svc.RecordGather(s.TableIdx, indices)
+	out := tensor.New(len(indices), s.Dim)
+	lookups := int64(1)
+	if len(indices) > 0 {
+		lookups += int64(len(indices[0]))
+	}
+	par.ForWork(len(indices), lookups*int64(s.Dim), func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			orow := out.Row(b)
+			for _, ix := range indices[b] {
+				if ix < 0 || int(ix) >= s.Rows {
+					panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, s.Rows))
+				}
+				erow := s.RowView(int(ix))
+				for k := range orow {
+					orow[k] += erow[k]
+				}
+			}
+		}
+	})
+	s.lastIndices = indices
+	return out
+}
+
+// Backward implements Bag.
+func (s *ShardedBag) Backward(gradOut *tensor.Matrix) SparseGrad {
+	if s.lastIndices == nil {
+		panic("embedding: Backward before Forward")
+	}
+	return s.BackwardIndices(s.lastIndices, gradOut)
+}
+
+// BackwardIndices implements Bag: the storage-independent adjoint plus the
+// gradient scatter accounting (each node pre-reduces locally and pushes one
+// message per distinct remote row to its owner).
+func (s *ShardedBag) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) SparseGrad {
+	if gradOut.Rows != len(indices) || gradOut.Cols != s.Dim {
+		panic(fmt.Sprintf("embedding: Backward grad %dx%d want %dx%d",
+			gradOut.Rows, gradOut.Cols, len(indices), s.Dim))
+	}
+	s.svc.RecordScatter(s.TableIdx, indices)
+	return bagBackward(indices, gradOut, s.Dim)
+}
+
+// ApplySparseSGD implements Bag: each owner node updates its resident rows.
+func (s *ShardedBag) ApplySparseSGD(sg SparseGrad, lr float32) {
+	par.ForWork(len(sg.Rows), int64(s.Dim)*2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wrow := s.RowView(int(sg.Rows[i]))
+			grow := sg.Grad.Row(i)
+			for k := range wrow {
+				wrow[k] -= lr * grow[k]
+			}
+		}
+	})
+}
+
+// NumRows implements Bag.
+func (s *ShardedBag) NumRows() int { return s.Rows }
+
+// EmbedDim implements Bag.
+func (s *ShardedBag) EmbedDim() int { return s.Dim }
+
+// SizeBytes implements Bag (the logical footprint; shards add no padding).
+func (s *ShardedBag) SizeBytes() int64 { return int64(s.Rows) * int64(s.Dim) * 4 }
+
+// ShadowBag implements Bag: the shadow shares shard storage and the service
+// (its accounting is mutex-guarded) with a private forward cache.
+func (s *ShardedBag) ShadowBag() Bag {
+	return &ShardedBag{
+		Rows: s.Rows, Dim: s.Dim, TableIdx: s.TableIdx,
+		svc: s.svc, shards: s.shards,
+	}
+}
+
+// Materialize reassembles the partitioned rows into one contiguous matrix
+// (tests and state comparisons).
+func (s *ShardedBag) Materialize() *tensor.Matrix {
+	out := tensor.New(s.Rows, s.Dim)
+	for r := 0; r < s.Rows; r++ {
+		copy(out.Row(r), s.RowView(r))
+	}
+	return out
+}
+
+// ShardBags partitions every table across the service, preserving table
+// order (table i keeps accounting key i).
+func ShardBags(ts Tables, svc *shard.Service) Bags {
+	out := make(Bags, len(ts))
+	for i, t := range ts {
+		out[i] = ShardBag(t, svc, i)
+	}
+	return out
+}

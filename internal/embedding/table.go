@@ -1,8 +1,3 @@
-// Package embedding implements the sparse side of recommendation models:
-// embedding tables with sum-pooled bag lookups (the EmbeddingBag operator),
-// deterministic sparse gradients and SGD updates, and the two-tier
-// (GPU-HBM / CPU-DRAM) placement map that Hotline's access-aware layout
-// produces.
 package embedding
 
 import (
@@ -87,6 +82,13 @@ func (t *Table) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) Spars
 		panic(fmt.Sprintf("embedding: Backward grad %dx%d want %dx%d",
 			gradOut.Rows, gradOut.Cols, len(indices), t.Dim))
 	}
+	return bagBackward(indices, gradOut, t.Dim)
+}
+
+// bagBackward is the storage-independent adjoint of sum pooling, shared by
+// Table and ShardedBag (the sparse gradient depends only on indices and the
+// output gradient, never on where rows live).
+func bagBackward(indices [][]int32, gradOut *tensor.Matrix, dim int) SparseGrad {
 	// Pass 1 (serial): record, per touched row, the ordered list of batch
 	// positions that contribute gradient (duplicates within one bag repeat).
 	touches := make(map[int32][]int32)
@@ -103,8 +105,8 @@ func (t *Table) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) Spars
 	// Pass 2 (parallel over distinct rows): sum each row's contributions in
 	// recorded batch order — the same addition sequence as a serial
 	// accumulation, so the result is bit-identical for any worker count.
-	grad := tensor.New(len(rows), t.Dim)
-	par.ForWork(len(rows), 4*int64(t.Dim), func(lo, hi int) {
+	grad := tensor.New(len(rows), dim)
+	par.ForWork(len(rows), 4*int64(dim), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			g := grad.Row(i)
 			for _, b := range touches[rows[i]] {
@@ -134,6 +136,18 @@ func (t *Table) ApplySparseSGD(sg SparseGrad, lr float32) {
 
 // SizeBytes returns the table's parameter footprint (float32 entries).
 func (t *Table) SizeBytes() int64 { return int64(t.Rows) * int64(t.Dim) * 4 }
+
+// NumRows implements Bag.
+func (t *Table) NumRows() int { return t.Rows }
+
+// EmbedDim implements Bag.
+func (t *Table) EmbedDim() int { return t.Dim }
+
+// RowView implements Bag: a live view of one row's weights.
+func (t *Table) RowView(r int) []float32 { return t.W.Row(r) }
+
+// ShadowBag implements Bag.
+func (t *Table) ShadowBag() Bag { return t.Shadow() }
 
 // Clone deep-copies the table (used to run baseline and Hotline executors
 // from identical initial states).

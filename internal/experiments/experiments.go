@@ -1,7 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§VI-§VII) from this repository's substrates. Each experiment
-// returns a report.Table whose rows mirror the paper's series; EXPERIMENTS.md
-// records the paper-vs-measured comparison.
 package experiments
 
 import (

@@ -58,14 +58,18 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("missing experiment %s", id)
 		}
 	}
-	// plus the four design-choice ablations
-	for _, id := range []string{"abl-eal", "abl-feistel", "abl-overlap", "abl-sampling"} {
+	// plus the design-choice ablations and multi-node sharding scenarios
+	extras := []string{
+		"abl-eal", "abl-feistel", "abl-overlap", "abl-sampling",
+		"mn-scale", "mn-cache", "mn-skew", "mn-policy",
+	}
+	for _, id := range extras {
 		if !have[id] {
-			t.Errorf("missing ablation %s", id)
+			t.Errorf("missing experiment %s", id)
 		}
 	}
-	if len(All()) != len(want)+4 {
-		t.Errorf("registry has %d experiments, expected %d", len(All()), len(want)+4)
+	if len(All()) != len(want)+len(extras) {
+		t.Errorf("registry has %d experiments, expected %d", len(All()), len(want)+len(extras))
 	}
 }
 

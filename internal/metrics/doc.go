@@ -1,0 +1,7 @@
+// Package metrics implements the evaluation metrics the paper reports
+// (Table V, Figure 18): ROC AUC, binary accuracy, and log-loss.
+//
+// In the DESIGN.md layering the package is a leaf consumed by
+// internal/train (evaluation along training curves) and the accuracy
+// experiments; it depends on nothing but the standard library.
+package metrics

@@ -1,5 +1,3 @@
-// Package metrics implements the evaluation metrics the paper reports
-// (Table V, Figure 18): ROC AUC, binary accuracy, and log-loss.
 package metrics
 
 import (

@@ -1,0 +1,17 @@
+// Package model assembles full recommendation models from the nn and
+// embedding substrates: DLRM (RM2, RM3, RM4 and the SYN models) and TBSM
+// (RM1, with a behaviour-sequence table and an attention layer), following
+// the architectures in the paper's Table II.
+//
+// A Model supports full functional training (forward, backward, SGD), with
+// gradient accumulation across multiple Backward calls so the Hotline
+// executor can run popular and non-popular µ-batches separately and update
+// once — the mechanism behind the paper's accuracy-parity proof (Eq. 5).
+//
+// In the DESIGN.md layering the package sits between the kernel layers
+// (tensor/nn/embedding) and the executors (train). Sparse parameters live
+// behind the embedding.Bag interface: ShardEmbeddings swaps the single-node
+// tables for shard-service-backed bags without changing any training math,
+// and NewShadow provides the weight-sharing shadows the concurrent µ-batch
+// executor needs.
+package model

@@ -1,12 +1,3 @@
-// Package model assembles full recommendation models from the nn and
-// embedding substrates: DLRM (RM2, RM3, RM4 and the SYN models) and TBSM
-// (RM1, with a behaviour-sequence table and an attention layer), following
-// the architectures in the paper's Table II.
-//
-// A Model supports full functional training (forward, backward, SGD), with
-// gradient accumulation across multiple Backward calls so the Hotline
-// executor can run popular and non-popular µ-batches separately and update
-// once — the mechanism behind the paper's accuracy-parity proof (Eq. 5).
 package model
 
 import (
@@ -15,6 +6,7 @@ import (
 	"hotline/internal/data"
 	"hotline/internal/embedding"
 	"hotline/internal/nn"
+	"hotline/internal/shard"
 	"hotline/internal/tensor"
 )
 
@@ -22,11 +14,13 @@ import (
 type Model struct {
 	Cfg data.Config
 
-	Bot    *nn.MLP
-	Top    *nn.MLP
-	Inter  *nn.DotInteraction
-	Attn   *nn.Attention // non-nil only for TBSM configs
-	Tables embedding.Tables
+	Bot   *nn.MLP
+	Top   *nn.MLP
+	Inter *nn.DotInteraction
+	Attn  *nn.Attention // non-nil only for TBSM configs
+	// Tables is the sparse parameter set behind the Bag interface: plain
+	// single-node tables by default, ShardedBags after ShardEmbeddings.
+	Tables embedding.Bags
 
 	// pendingSparse accumulates sparse gradients across Backward calls
 	// until ApplySparse or ZeroAll.
@@ -59,8 +53,23 @@ func New(cfg data.Config, seed uint64) *Model {
 	if cfg.TimeSteps > 1 {
 		m.Attn = nn.NewAttention(cfg.EmbedDim, cfg.TimeSteps)
 	}
-	m.Tables = embedding.NewTables(cfg.ScaledRowsPerTable, cfg.EmbedDim, rng)
+	m.Tables = embedding.NewTables(cfg.ScaledRowsPerTable, cfg.EmbedDim, rng).Bags()
 	return m
+}
+
+// ShardEmbeddings partitions every embedding table across the nodes of a
+// shard.Service (row-wise, with per-node hot-entry device caches). The
+// model's training math is bit-identical before and after — only the
+// simulated row placement and the service's traffic accounting change.
+// It panics if the embeddings are already sharded.
+func (m *Model) ShardEmbeddings(svc *shard.Service) {
+	for t, b := range m.Tables {
+		tab, ok := b.(*embedding.Table)
+		if !ok {
+			panic("model: embeddings already sharded")
+		}
+		m.Tables[t] = embedding.ShardBag(tab, svc, t)
+	}
 }
 
 // IsTBSM reports whether the model carries the attention/sequence structure.
@@ -218,7 +227,7 @@ func (m *Model) Predict(b *data.Batch) []float32 {
 func (m *Model) ParameterCounts() (dense, sparse int64) {
 	dense = int64(nn.NumParams(m.DenseParams()))
 	for _, t := range m.Tables {
-		sparse += int64(t.Rows) * int64(t.Dim)
+		sparse += int64(t.NumRows()) * int64(t.EmbedDim())
 	}
 	return dense, sparse
 }
@@ -239,17 +248,9 @@ func DenseStateEqual(a, b *Model) bool {
 }
 
 // SparseStateEqual reports whether two models have bit-identical embedding
-// tables.
+// tables (physical layout — sharded or not — does not matter).
 func SparseStateEqual(a, b *Model) bool {
-	if len(a.Tables) != len(b.Tables) {
-		return false
-	}
-	for i := range a.Tables {
-		if !a.Tables[i].W.Equal(b.Tables[i].W) {
-			return false
-		}
-	}
-	return true
+	return embedding.BagsEqual(a.Tables, b.Tables)
 }
 
 // MaxStateDiff returns the largest absolute parameter difference between two
@@ -262,10 +263,8 @@ func MaxStateDiff(a, b *Model) float64 {
 			max = d
 		}
 	}
-	for i := range a.Tables {
-		if d := float64(tensor.MaxAbsDiff(a.Tables[i].W, b.Tables[i].W)); d > max {
-			max = d
-		}
+	if d := embedding.MaxAbsDiffBags(a.Tables, b.Tables); d > max {
+		max = d
 	}
 	return max
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hotline/internal/data"
+	"hotline/internal/embedding"
 	"hotline/internal/metrics"
 	"hotline/internal/nn"
 	"hotline/internal/tensor"
@@ -194,17 +195,18 @@ func TestApplySparseClearsPending(t *testing.T) {
 	if len(m.pendingSparse) == 0 {
 		t.Fatal("Backward should stash sparse grads")
 	}
-	before := m.Tables[0].W.Clone()
+	table0 := m.Tables[0].(*embedding.Table)
+	before := table0.W.Clone()
 	m.ApplySparse(0.5)
 	if len(m.pendingSparse) != 0 {
 		t.Fatal("ApplySparse must clear the stash")
 	}
-	if tensor.MaxAbsDiff(before, m.Tables[0].W) == 0 {
+	if tensor.MaxAbsDiff(before, table0.W) == 0 {
 		t.Fatal("ApplySparse should change embeddings")
 	}
-	after := m.Tables[0].W.Clone()
+	after := table0.W.Clone()
 	m.ApplySparse(0.5) // no-op now
-	if tensor.MaxAbsDiff(after, m.Tables[0].W) != 0 {
+	if tensor.MaxAbsDiff(after, table0.W) != 0 {
 		t.Fatal("second ApplySparse must be a no-op")
 	}
 }

@@ -1,11 +1,3 @@
-// Package nn implements the dense neural-network components of DLRM and
-// TBSM: linear layers, activations, MLP stacks, the DLRM dot-product feature
-// interaction, the TBSM attention layer, binary cross-entropy loss and SGD.
-//
-// All layers use hand-written backpropagation over internal/tensor matrices.
-// Every forward call caches what its backward pass needs; Backward must be
-// called after Forward with a gradient of the same shape as the forward
-// output, and returns the gradient with respect to the layer input.
 package nn
 
 import "hotline/internal/tensor"

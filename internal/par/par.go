@@ -1,13 +1,3 @@
-// Package par is the process-wide parallelism substrate for the functional
-// training layer. It provides a single worker-count knob (the public
-// hotline.Parallelism API) and data-parallel loop helpers that the tensor,
-// nn, embedding and model packages use to shard batch work across cores.
-//
-// Determinism contract: every kernel built on this package computes each
-// output element with the exact scalar operation sequence of its serial
-// loop — shards only partition *independent* output elements, never a
-// floating-point reduction. Results are therefore bit-identical for every
-// worker count, including 1.
 package par
 
 import (

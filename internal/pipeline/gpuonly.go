@@ -54,7 +54,12 @@ func (g *GPUOnly) Iteration(w Workload) IterStats {
 	ph[PhaseEmbFwd] = cost.GPUEmbLookupTime(sys.GPU, perGPULookups, w.RowBytes())
 
 	// 2. Forward all-to-all: pooled vectors travel to their sample's owner.
+	// A sharded workload prices the measured remote-row exchange instead of
+	// the analytic pooled-activation estimate.
 	a2aBytes := w.PooledEmbBytes(w.Batch) / int64(nGPU)
+	if w.Shard != nil {
+		a2aBytes = scaleI64(w.TotalLookups(), w.Shard.RemoteFrac) * w.RowBytes() / int64(nGPU)
+	}
 	a2aFwd := cost.CrossNodeAllToAllTime(sys, a2aBytes)
 
 	// 3. Dense network, data parallel.

@@ -75,8 +75,14 @@ func (h *Hotline) Iteration(w Workload) IterStats {
 	// Accelerator: gather cold rows from CPU DRAM, pool them (reducer),
 	// stream to GPUs. DMAGatherTime already pipelines DRAM with PCIe. In
 	// the NoOverlap ablation the gather only starts once the popular
-	// µ-batch finishes.
-	coldRows := scaleI64(w.TotalLookups(), w.ColdLookupFrac*h.DedupFrac)
+	// µ-batch finishes. A sharded workload replaces the analytic
+	// cold × dedup estimate with the gather fraction measured against real
+	// device-cache state.
+	coldFrac := w.ColdLookupFrac * h.DedupFrac
+	if w.Shard != nil {
+		coldFrac = w.Shard.GatherFrac
+	}
+	coldRows := scaleI64(w.TotalLookups(), coldFrac)
 	gather := cost.DMAGatherTime(sys, coldRows, w.RowBytes())
 	reducer := h.Accel.Reducer.ReduceTime(coldRows, w.Cfg.EmbedDim)
 	gatherStart := sim.Time(0)

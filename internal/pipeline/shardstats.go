@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"hotline/internal/cost"
+	"hotline/internal/data"
+	"hotline/internal/embedding"
+	"hotline/internal/shard"
+)
+
+// ShardMeasurement carries *measured* sharding statistics for a workload:
+// the timing models use these fractions instead of the analytic
+// cold-lookup × dedup products when a workload was built sharded. All
+// fractions are relative to total embedding lookups and are scale-free, so
+// measurements taken on the downscaled functional tables apply to the
+// paper-scale lookup counts the pipelines price.
+type ShardMeasurement struct {
+	Nodes             int
+	CacheBytesPerNode int64
+	// HitRate is the device-cache hit rate over remote lookups.
+	HitRate float64
+	// RemoteFrac is the fraction of lookups that land on a remote shard
+	// before any caching (the GPU-only all-to-all exchange fraction).
+	RemoteFrac float64
+	// GatherFrac is the fraction of lookups that cross the fabric after
+	// caching and intra-iteration dedup (Hotline's cold-gather fraction).
+	GatherFrac float64
+	// ScatterFrac is the gradient push-back fraction after per-node
+	// pre-reduction.
+	ScatterFrac float64
+	// A2ABytesPerIter is the measured gather+scatter volume per iteration
+	// at the measurement batch size, on the scaled tables (scenario
+	// reporting; the pipelines rescale via the fractions above).
+	A2ABytesPerIter int64
+	// CacheOccupancy is the mean device-cache fill after warm-up.
+	CacheOccupancy float64
+	// Evictions counts device-cache displacements during the measured
+	// window (cache-pressure indicator for the ablations).
+	Evictions int64
+}
+
+// shardStatsCache memoises measurements per (dataset, nodes, cache, batch).
+var shardStatsCache sync.Map // string -> ShardMeasurement
+
+// shardStatsMu serialises first-time measurement like workloadStatsMu.
+var shardStatsMu sync.Mutex
+
+// measureIters is how many post-warm-up iterations a measurement averages.
+const measureIters = 4
+
+// MeasureShardStats replays a real access stream against a sharded service:
+// it profiles an epoch, builds the access-aware placement (the EAL-learned
+// hot set), preloads the hot rows into the per-node device caches, streams
+// warm-up batches, then measures steady-state cache hit-rates and
+// gather/scatter volumes over several iterations. Results are memoised per
+// configuration and deterministic for any concurrency.
+func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int) ShardMeasurement {
+	key := fmt.Sprintf("%s/%d/%d/%d", cfg.Name, nodes, cacheBytes, batch)
+	if v, ok := shardStatsCache.Load(key); ok {
+		return v.(ShardMeasurement)
+	}
+	shardStatsMu.Lock()
+	defer shardStatsMu.Unlock()
+	if v, ok := shardStatsCache.Load(key); ok {
+		return v.(ShardMeasurement)
+	}
+
+	probe := cfg
+	if probe.Samples > 4096 {
+		probe.Samples = 4096
+	}
+	if batch > 2048 {
+		batch = 2048
+	}
+	prof := data.ProfileEpoch(data.NewGenerator(probe), 512)
+	placement := embedding.PlacementFromCounts(
+		prof.Counts(), probe.NumTables, probe.EmbedDim, data.ScaledHotBudget(probe))
+
+	svc := shard.New(shard.Config{
+		Nodes: nodes, CacheBytes: cacheBytes, RowBytes: int64(probe.EmbedDim) * 4,
+	}, placement)
+	// Replicate the learned hot set (bounded caches keep what fits).
+	for t := 0; t < probe.NumTables; t++ {
+		svc.Preload(t, placement.HotRows(t))
+	}
+
+	gen := data.NewGenerator(probe)
+	iteration := func() {
+		b := gen.NextBatch(batch)
+		for t := range b.Sparse {
+			svc.RecordGather(t, b.Sparse[t])
+			svc.RecordScatter(t, b.Sparse[t])
+		}
+	}
+	for i := 0; i < 2; i++ { // warm-up: cache state reaches steady flow
+		iteration()
+	}
+	svc.ResetStats()
+	before := svc.CacheEvictions()
+	for i := 0; i < measureIters; i++ {
+		iteration()
+	}
+	st := svc.Snapshot()
+
+	m := ShardMeasurement{
+		Nodes:             nodes,
+		CacheBytesPerNode: cacheBytes,
+		HitRate:           st.HitRate(),
+		RemoteFrac:        st.RemoteFrac(),
+		GatherFrac:        st.GatherFrac(),
+		ScatterFrac:       st.ScatterFrac(),
+		A2ABytesPerIter:   st.A2ABytes() / measureIters,
+		CacheOccupancy:    svc.CacheOccupancy(),
+		Evictions:         svc.CacheEvictions() - before,
+	}
+	shardStatsCache.Store(key, m)
+	return m
+}
+
+// DefaultShardCacheBytes is the per-node device-cache budget used when none
+// is given: the dataset's scaled hot-set budget, i.e. each node can hold
+// one full replica of the learned hot set (the paper's ≤512 MB HBM tier).
+func DefaultShardCacheBytes(cfg data.Config) int64 { return data.ScaledHotBudget(cfg) }
+
+// NewShardedWorkload assembles a workload whose timing models consume
+// measured sharding statistics (sys.Nodes simulated nodes, cacheBytes of
+// device cache per node) instead of the analytic popularity fractions.
+func NewShardedWorkload(cfg data.Config, batch int, sys cost.System, cacheBytes int64) Workload {
+	w := NewWorkload(cfg, batch, sys)
+	if cacheBytes <= 0 {
+		cacheBytes = DefaultShardCacheBytes(cfg)
+	}
+	m := MeasureShardStats(cfg, sys.Nodes, cacheBytes, batch)
+	w.Shard = &m
+	return w
+}

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"testing"
+
+	"hotline/internal/cost"
+	"hotline/internal/data"
+)
+
+func TestMeasureShardStatsBasics(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	m := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg), 1024)
+	if m.Nodes != 4 {
+		t.Fatalf("nodes = %d", m.Nodes)
+	}
+	if m.RemoteFrac <= 0 || m.RemoteFrac > 1 {
+		t.Fatalf("remote frac = %g", m.RemoteFrac)
+	}
+	// The hot set is preloaded into ample caches, so the skewed head must
+	// hit: hit rate well above zero, and the fabric fraction strictly below
+	// the raw remote fraction.
+	if m.HitRate <= 0.2 {
+		t.Fatalf("hit rate = %g, want > 0.2 with a full hot-set cache", m.HitRate)
+	}
+	if m.GatherFrac >= m.RemoteFrac {
+		t.Fatalf("gather frac %g must be < remote frac %g (caching + dedup)", m.GatherFrac, m.RemoteFrac)
+	}
+	if m.A2ABytesPerIter <= 0 {
+		t.Fatal("a2a bytes must be measured")
+	}
+}
+
+func TestMeasureShardStatsSingleNode(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	m := MeasureShardStats(cfg, 1, DefaultShardCacheBytes(cfg), 1024)
+	if m.RemoteFrac != 0 || m.A2ABytesPerIter != 0 {
+		t.Fatalf("single node must be all-local: %+v", m)
+	}
+}
+
+func TestMeasureShardStatsCachePressure(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	big := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg), 1024)
+	tiny := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg)/16, 1024)
+	if tiny.HitRate >= big.HitRate {
+		t.Fatalf("smaller cache must hit less: tiny %g vs big %g", tiny.HitRate, big.HitRate)
+	}
+	if tiny.GatherFrac <= big.GatherFrac {
+		t.Fatalf("smaller cache must gather more: tiny %g vs big %g", tiny.GatherFrac, big.GatherFrac)
+	}
+}
+
+func TestShardedWorkloadFeedsTimingModels(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	sys := cost.PaperCluster(2)
+	plain := NewWorkload(cfg, 4096, sys)
+	sharded := NewShardedWorkload(cfg, 4096, sys, 0)
+	if sharded.Shard == nil || sharded.Shard.Nodes != 2 {
+		t.Fatal("sharded workload must carry a measurement for sys.Nodes")
+	}
+
+	for _, p := range []Pipeline{NewHotline(), NewHugeCTR()} {
+		a, b := p.Iteration(plain), p.Iteration(sharded)
+		if a.OOM || b.OOM {
+			continue
+		}
+		if a.Total == b.Total {
+			t.Fatalf("%s: measured stats must change the timing (both %v)", p.Name(), a.Total)
+		}
+		if b.Total <= 0 {
+			t.Fatalf("%s: non-positive iteration time", p.Name())
+		}
+	}
+}

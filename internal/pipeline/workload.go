@@ -1,13 +1,3 @@
-// Package pipeline implements the training-pipeline timing models that the
-// paper evaluates against each other: the hybrid CPU-GPU baseline
-// (Intel-optimized DLRM), XDL's parameter server, FAE's static popularity
-// scheduler, the GPU-only HugeCTR mode, the lookahead ScratchPipe-Ideal,
-// a CPU-based Hotline variant, and Hotline itself.
-//
-// Every pipeline consumes the same Workload (model shapes, batch size,
-// system config, measured popularity statistics) and the same cost models,
-// so differences between pipelines come only from where embeddings live and
-// what overlaps with what — the paper's actual claim surface.
 package pipeline
 
 import (
@@ -76,6 +66,12 @@ type Workload struct {
 	// HotBytesFull is the paper-scale footprint of the hot (GPU-replicated)
 	// embedding tier (≤ 512 MB in the paper).
 	HotBytesFull int64
+
+	// Shard, when non-nil, carries measured sharding statistics (cache
+	// hit-rates, gather/scatter fractions) from internal/shard replay; the
+	// timing models then price measured traffic instead of the analytic
+	// PopularFrac/ColdLookupFrac estimates. See NewShardedWorkload.
+	Shard *ShardMeasurement
 }
 
 // workloadStats caches measured popularity statistics per dataset.

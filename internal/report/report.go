@@ -1,5 +1,3 @@
-// Package report renders experiment results as aligned text tables, the
-// output format of cmd/hotline-bench and EXPERIMENTS.md.
 package report
 
 import (

@@ -1,0 +1,204 @@
+package shard
+
+import "fmt"
+
+// Policy selects a device cache's eviction policy.
+type Policy uint8
+
+const (
+	// PolicyLRU evicts the least-recently-used entry (exact recency list).
+	PolicyLRU Policy = iota
+	// PolicySRRIP evicts by 2-bit re-reference prediction with CLOCK-style
+	// victim search — the hardware-friendly policy the accelerator's EAL
+	// uses, here applied to cached rows rather than tracked identifiers.
+	PolicySRRIP
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	if p == PolicySRRIP {
+		return "SRRIP"
+	}
+	return "LRU"
+}
+
+const cacheRRPVMax = 3 // 2-bit RRPV
+
+// cacheSlot is one cached row's metadata. Slots form both the SRRIP ring
+// and the LRU recency list (prev/next are slot indices).
+type cacheSlot struct {
+	key        uint64
+	valid      bool
+	rrpv       uint8
+	prev, next int
+}
+
+// DeviceCache is one node's bounded hot-entry cache: a fixed number of row
+// slots with LRU or SRRIP eviction. It stores identifiers only — the
+// simulated payload lives in the shard storage — and keeps exact hit/miss,
+// insert and eviction counters. The zero-capacity cache is valid and misses
+// every probe.
+type DeviceCache struct {
+	policy Policy
+	cap    int
+	index  map[uint64]int // key -> slot
+	slots  []cacheSlot
+	// LRU recency list endpoints (slot indices, -1 when empty).
+	head, tail int
+	// used is the number of valid slots; slots [0,used) are allocated in
+	// insertion order so victim search never touches unused slots.
+	used int
+	// hand is the SRRIP CLOCK pointer.
+	hand int
+
+	// Hits and Misses count Lookup probes; Inserts and Evicts count
+	// admissions and the displacements they caused.
+	Hits, Misses, Inserts, Evicts int64
+}
+
+// NewDeviceCache returns a cache holding at most capacity entries.
+func NewDeviceCache(capacity int, policy Policy) *DeviceCache {
+	if capacity < 0 {
+		panic(fmt.Sprintf("shard: negative cache capacity %d", capacity))
+	}
+	c := &DeviceCache{policy: policy, cap: capacity, head: -1, tail: -1}
+	c.index = make(map[uint64]int, capacity)
+	c.slots = make([]cacheSlot, capacity)
+	return c
+}
+
+// Capacity returns the entry budget.
+func (c *DeviceCache) Capacity() int { return c.cap }
+
+// Len returns the number of cached entries.
+func (c *DeviceCache) Len() int { return c.used }
+
+// Occupancy returns Len/Capacity (0 for a zero-capacity cache).
+func (c *DeviceCache) Occupancy() float64 {
+	if c.cap == 0 {
+		return 0
+	}
+	return float64(c.used) / float64(c.cap)
+}
+
+// Contains probes without touching replacement state or counters.
+func (c *DeviceCache) Contains(key uint64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Lookup probes the cache and updates replacement state and hit/miss
+// counters. It never admits: admission is a separate policy decision made by
+// the Service (only popularity-classified rows are replicated).
+func (c *DeviceCache) Lookup(key uint64) bool {
+	i, ok := c.index[key]
+	if !ok {
+		c.Misses++
+		return false
+	}
+	c.Hits++
+	if c.policy == PolicySRRIP {
+		c.slots[i].rrpv = 0 // near re-reference
+	} else {
+		c.moveToFront(i)
+	}
+	return true
+}
+
+// Insert admits key, evicting per the policy when full. Inserting a present
+// key only refreshes its replacement state. Returns whether an eviction
+// happened.
+func (c *DeviceCache) Insert(key uint64) bool {
+	if c.cap == 0 {
+		return false
+	}
+	if i, ok := c.index[key]; ok {
+		if c.policy == PolicySRRIP {
+			c.slots[i].rrpv = 0
+		} else {
+			c.moveToFront(i)
+		}
+		return false
+	}
+	evicted := false
+	var i int
+	if c.used < c.cap {
+		i = c.used
+		c.used++
+	} else {
+		i = c.victim()
+		delete(c.index, c.slots[i].key)
+		c.unlink(i)
+		c.Evicts++
+		evicted = true
+	}
+	c.slots[i] = cacheSlot{key: key, valid: true, rrpv: cacheRRPVMax - 1, prev: -1, next: -1}
+	c.index[key] = i
+	c.pushFront(i)
+	c.Inserts++
+	return evicted
+}
+
+// victim selects the slot to evict. LRU takes the recency-list tail; SRRIP
+// sweeps the CLOCK hand for a distant (rrpv==max) entry, aging entries it
+// passes — the amortised-O(1) equivalent of SRRIP's "age all, rescan" loop.
+func (c *DeviceCache) victim() int {
+	if c.policy == PolicyLRU {
+		return c.tail
+	}
+	for {
+		i := c.hand
+		c.hand = (c.hand + 1) % c.used
+		if c.slots[i].rrpv >= cacheRRPVMax {
+			return i
+		}
+		c.slots[i].rrpv++
+	}
+}
+
+// Reset drops all contents and counters.
+func (c *DeviceCache) Reset() {
+	c.index = make(map[uint64]int, c.cap)
+	for i := range c.slots {
+		c.slots[i] = cacheSlot{}
+	}
+	c.head, c.tail, c.used, c.hand = -1, -1, 0, 0
+	c.Hits, c.Misses, c.Inserts, c.Evicts = 0, 0, 0, 0
+}
+
+// --- intrusive LRU recency list ------------------------------------------
+
+func (c *DeviceCache) pushFront(i int) {
+	c.slots[i].prev = -1
+	c.slots[i].next = c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+func (c *DeviceCache) unlink(i int) {
+	p, n := c.slots[i].prev, c.slots[i].next
+	if p >= 0 {
+		c.slots[p].next = n
+	} else {
+		c.head = n
+	}
+	if n >= 0 {
+		c.slots[n].prev = p
+	} else {
+		c.tail = p
+	}
+	c.slots[i].prev, c.slots[i].next = -1, -1
+}
+
+func (c *DeviceCache) moveToFront(i int) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}

@@ -1,0 +1,23 @@
+// Package shard is the sharded embedding service: it partitions embedding
+// table rows across N simulated nodes, replicates popularity-classified
+// entries into a bounded per-node device cache (LRU or SRRIP eviction), and
+// accounts the deterministic all-to-all gather/scatter traffic that
+// non-resident rows incur.
+//
+// In the DESIGN.md layering the package sits between internal/cost (whose
+// link models price the measured traffic) and internal/embedding (whose
+// ShardedBag routes every lookup and gradient through a Service). The
+// functional layers stay bit-identical to their single-node counterparts —
+// sharding only decides where a row physically lives and what its access
+// costs — while the Service's counters turn the paper's Figure-30-style
+// multi-node claims from closed-form estimates into measured behaviour:
+// cache hit-rates, bytes moved per iteration, and all-to-all times come from
+// replaying real access streams against real cache state.
+//
+// Topology model: rows are owned round-robin (row r of every table lives on
+// node r mod N) and samples are dealt round-robin to nodes the same way, so
+// every partition is deterministic and independent of batch composition.
+// Remote lookups first probe the requesting node's device cache; misses are
+// gathered over the fabric once per iteration (intra-batch dedup) and
+// popularity-classified rows are admitted into the cache on the way through.
+package shard

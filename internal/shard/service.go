@@ -1,0 +1,344 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"hotline/internal/cost"
+	"hotline/internal/sim"
+)
+
+// HotClassifier decides which rows count as popular and may be replicated
+// into device caches. embedding.Placement satisfies it directly; adapters
+// can wrap the accelerator's EAL. A nil classifier admits every remote row
+// (pure demand-cache mode, the admission ablation baseline).
+type HotClassifier interface {
+	IsHot(table int, row int32) bool
+}
+
+// Config sizes a sharded embedding service.
+type Config struct {
+	// Nodes is the number of simulated nodes the tables shard across.
+	Nodes int
+	// CacheBytes is each node's device-cache capacity for replicated rows.
+	CacheBytes int64
+	// RowBytes is one embedding row's footprint (EmbedDim * 4 for float32).
+	RowBytes int64
+	// Policy selects the device-cache eviction policy (default LRU).
+	Policy Policy
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("shard: Nodes %d < 1", c.Nodes)
+	}
+	if c.RowBytes < 4 {
+		return fmt.Errorf("shard: RowBytes %d < 4", c.RowBytes)
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("shard: negative CacheBytes %d", c.CacheBytes)
+	}
+	return nil
+}
+
+// CacheRows returns the per-node cache capacity in rows.
+func (c Config) CacheRows() int { return int(c.CacheBytes / c.RowBytes) }
+
+// Stats is a snapshot of a Service's traffic counters. All row counters are
+// in embedding rows; byte counters already include the row footprint.
+type Stats struct {
+	Nodes int
+
+	// Lookups counts every embedding access routed through the service.
+	Lookups int64
+	// Local counts lookups whose row is owned by the requesting node.
+	Local int64
+	// CacheHits / CacheMisses count remote lookups served by / missing the
+	// requesting node's device cache.
+	CacheHits, CacheMisses int64
+	// GatherRows / GatherBytes count rows actually fetched across the
+	// fabric (cache misses deduplicated within one gather call, i.e. one
+	// fetch per distinct row per node per iteration).
+	GatherRows, GatherBytes int64
+	// ScatterRows / ScatterBytes count gradient rows pushed back to their
+	// owner nodes (one per distinct touched remote row per node).
+	ScatterRows, ScatterBytes int64
+	// FillBytes counts replication traffic admitted into device caches.
+	FillBytes int64
+	// Evictions counts device-cache displacements across all nodes.
+	Evictions int64
+}
+
+// HitRate returns device-cache hits over all remote lookups.
+func (s Stats) HitRate() float64 {
+	r := s.CacheHits + s.CacheMisses
+	if r == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(r)
+}
+
+// RemoteFrac returns the fraction of lookups that land on a remote shard
+// (before the device cache intervenes).
+func (s Stats) RemoteFrac() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.CacheMisses) / float64(s.Lookups)
+}
+
+// GatherFrac returns the fraction of lookups that cross the fabric after
+// caching and intra-iteration dedup — the measured analogue of the analytic
+// cold-lookup × dedup product the timing models otherwise assume.
+func (s Stats) GatherFrac() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.GatherRows) / float64(s.Lookups)
+}
+
+// ScatterFrac returns gradient push-back rows as a fraction of lookups.
+func (s Stats) ScatterFrac() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.ScatterRows) / float64(s.Lookups)
+}
+
+// A2ABytes returns the total all-to-all volume: gathers plus scatters.
+func (s Stats) A2ABytes() int64 { return s.GatherBytes + s.ScatterBytes }
+
+// Sub returns s minus prev, counter-wise (for per-window deltas).
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Lookups -= prev.Lookups
+	d.Local -= prev.Local
+	d.CacheHits -= prev.CacheHits
+	d.CacheMisses -= prev.CacheMisses
+	d.GatherRows -= prev.GatherRows
+	d.GatherBytes -= prev.GatherBytes
+	d.ScatterRows -= prev.ScatterRows
+	d.ScatterBytes -= prev.ScatterBytes
+	d.FillBytes -= prev.FillBytes
+	d.Evictions -= prev.Evictions
+	return d
+}
+
+// AllToAllTime prices the snapshot's gather+scatter volume with the cost
+// models: each node exchanges its per-node share over the inter-node fabric
+// (intra-node NVLink when the system is a single box).
+func (s Stats) AllToAllTime(sys cost.System) sim.Duration {
+	if s.Nodes <= 1 {
+		return 0
+	}
+	perNode := s.A2ABytes() / int64(s.Nodes)
+	link := sys.IB
+	if sys.Nodes <= 1 {
+		link = sys.NVLink
+	}
+	return cost.AllToAllTime(link, perNode, s.Nodes)
+}
+
+// Service is the sharded embedding substrate: N nodes, each owning a
+// round-robin slice of every table's rows plus a bounded device cache of
+// replicated popular rows. Embedding bags route accesses through
+// RecordGather/RecordScatter; the Service simulates cache state and
+// accumulates the traffic counters the timing models and scenario
+// experiments consume.
+//
+// A Service is safe for concurrent use (the Hotline executor runs popular
+// and non-popular µ-batches concurrently): counter totals are exact; under
+// concurrent recording only the cache interleaving — never any training
+// math — depends on scheduling.
+type Service struct {
+	cfg Config
+	hot HotClassifier
+
+	mu     sync.Mutex
+	caches []*DeviceCache
+	stats  Stats
+}
+
+// New builds a Service. hot may be nil (admit every remote row).
+func New(cfg Config, hot HotClassifier) *Service {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Service{cfg: cfg, hot: hot, caches: make([]*DeviceCache, cfg.Nodes)}
+	for n := range s.caches {
+		s.caches[n] = NewDeviceCache(cfg.CacheRows(), cfg.Policy)
+	}
+	return s
+}
+
+// Nodes returns the node count.
+func (s *Service) Nodes() int { return s.cfg.Nodes }
+
+// Config returns the service configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Owner returns the node that owns a row (round-robin partition).
+func (s *Service) Owner(row int32) int { return int(row) % s.cfg.Nodes }
+
+// NodeOf returns the node a batch position is dealt to (round-robin data
+// parallelism; µ-batches inherit the mapping by position).
+func (s *Service) NodeOf(sample int) int { return sample % s.cfg.Nodes }
+
+// key packs (table, row) into a cache key.
+func key(table int, row int32) uint64 {
+	return uint64(table)<<32 | uint64(uint32(row))
+}
+
+// RecordGather routes one bag lookup's index set (indices[b] lists the rows
+// batch position b accesses) through the shard topology: local rows are
+// free, remote rows probe the requesting node's device cache, and misses
+// are gathered once per distinct (node, row) with popular rows admitted
+// into the cache. Deterministic: indices are walked in order.
+func (s *Service) RecordGather(table int, indices [][]int32) {
+	if s.cfg.Nodes == 1 {
+		// Single node: every access is local; count and return.
+		var n int64
+		for b := range indices {
+			n += int64(len(indices[b]))
+		}
+		s.mu.Lock()
+		s.stats.Lookups += n
+		s.stats.Local += n
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// gathered dedups fabric fetches within this call (one iteration's bag).
+	var gathered map[uint64]struct{}
+	for b := range indices {
+		node := s.NodeOf(b)
+		cache := s.caches[node]
+		for _, ix := range indices[b] {
+			s.stats.Lookups++
+			if s.Owner(ix) == node {
+				s.stats.Local++
+				continue
+			}
+			k := key(table, ix)
+			if cache.Lookup(k) {
+				s.stats.CacheHits++
+				continue
+			}
+			s.stats.CacheMisses++
+			// The dedup key is (requesting node, row); the table is fixed
+			// within one call.
+			nk := uint64(node)<<32 | uint64(uint32(ix))
+			if gathered == nil {
+				gathered = make(map[uint64]struct{})
+			}
+			if _, ok := gathered[nk]; !ok {
+				gathered[nk] = struct{}{}
+				s.stats.GatherRows++
+				s.stats.GatherBytes += s.cfg.RowBytes
+			}
+			if s.hot == nil || s.hot.IsHot(table, ix) {
+				if cache.Insert(k) {
+					s.stats.Evictions++
+				}
+				s.stats.FillBytes += s.cfg.RowBytes
+			}
+		}
+	}
+}
+
+// RecordScatter accounts the gradient push-back for one bag's backward
+// pass: every node locally pre-reduces its gradient contributions, then
+// sends one row-sized message per distinct remote row it touched to that
+// row's owner.
+func (s *Service) RecordScatter(table int, indices [][]int32) {
+	if s.cfg.Nodes == 1 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sent map[uint64]struct{}
+	for b := range indices {
+		node := s.NodeOf(b)
+		for _, ix := range indices[b] {
+			if s.Owner(ix) == node {
+				continue
+			}
+			nk := uint64(node)<<32 | uint64(uint32(ix))
+			if sent == nil {
+				sent = make(map[uint64]struct{})
+			}
+			if _, ok := sent[nk]; ok {
+				continue
+			}
+			sent[nk] = struct{}{}
+			s.stats.ScatterRows++
+			s.stats.ScatterBytes += s.cfg.RowBytes
+		}
+	}
+}
+
+// Preload replicates the given rows of one table into every non-owner
+// node's device cache (the learning-phase bulk replication), accounting the
+// fill traffic. Rows are admitted in the given order, so a bounded cache
+// deterministically keeps the most recently preloaded suffix.
+func (s *Service) Preload(table int, rows []int32) {
+	if s.cfg.Nodes == 1 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ix := range rows {
+		owner := s.Owner(ix)
+		k := key(table, ix)
+		for n, cache := range s.caches {
+			if n == owner || cache.Capacity() == 0 {
+				continue
+			}
+			if cache.Insert(k) {
+				s.stats.Evictions++
+			}
+			s.stats.FillBytes += s.cfg.RowBytes
+		}
+	}
+}
+
+// Snapshot returns the current counters (with Nodes filled in).
+func (s *Service) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Nodes = s.cfg.Nodes
+	return st
+}
+
+// ResetStats zeroes the traffic counters but keeps cache contents (steady
+// state), so warm-up windows can be excluded from measurements.
+func (s *Service) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// CacheOccupancy returns the mean device-cache occupancy across nodes.
+func (s *Service) CacheOccupancy() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum float64
+	for _, c := range s.caches {
+		sum += c.Occupancy()
+	}
+	return sum / float64(len(s.caches))
+}
+
+// CacheEvictions sums per-cache eviction counters (lifetime, not window).
+func (s *Service) CacheEvictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, c := range s.caches {
+		n += c.Evicts
+	}
+	return n
+}

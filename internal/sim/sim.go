@@ -1,14 +1,3 @@
-// Package sim provides the discrete-event substrate of the performance
-// model: simulated time, serially reusable resources with calendar
-// scheduling, and span recording for timeline analysis.
-//
-// The paper's training pipelines are deterministic dataflows (every
-// iteration issues the same operations), so resources use calendar-based
-// scheduling: a task on a resource starts at max(readyTime, resourceFree)
-// and occupies it for its duration. Pipelines compose these calendars to
-// model overlap (e.g. Hotline hiding parameter gathering under popular
-// µ-batch execution) and the recorder keeps the resulting spans for
-// breakdown figures.
 package sim
 
 import (

@@ -1,0 +1,15 @@
+// Package tensor provides the dense float32 linear-algebra kernels used by
+// the functional training layer (MLPs, feature interaction, attention).
+//
+// The package is deliberately small: recommendation models need dense GEMM,
+// element-wise maps, bias broadcast, and a seeded RNG for reproducible
+// initialisation. Everything operates on row-major Matrix values.
+//
+// Above a size threshold the GEMM and element-wise kernels shard their
+// independent output rows/elements across the par worker pool. Each output
+// element is always computed by one goroutine with the serial loop's exact
+// operation order, so results are bit-identical for every worker count.
+//
+// In the DESIGN.md layering this is the bottom of the functional stack:
+// nn, embedding and model all build on these kernels.
+package tensor

@@ -1,10 +1,3 @@
-// Command calib is the developer calibration harness: it sweeps every
-// training pipeline across GPU counts and datasets (weak scaling, as in
-// paper Figure 19) and prints iteration times and speedups normalised to
-// XDL. It exists to re-fit the cost-model constants in internal/cost
-// whenever they change; EXPERIMENTS.md records the bands the fit targets.
-//
-//	go run ./internal/tools/calib
 package main
 
 import (

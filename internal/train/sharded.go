@@ -1,0 +1,20 @@
+package train
+
+import (
+	"hotline/internal/model"
+	"hotline/internal/shard"
+)
+
+// NewHotlineSharded wraps a model in the Hotline µ-batch executor with its
+// embedding tables partitioned across the nodes of svc (row-wise, with
+// per-node hot-entry device caches). Training math is bit-identical to the
+// unsharded executor for every node count — the service only simulates
+// placement, caching and all-to-all traffic — so the Eq. 5 parity argument
+// carries over unchanged while svc.Snapshot() reports what the topology
+// actually moved.
+func NewHotlineSharded(m *model.Model, lr float32, svc *shard.Service) *HotlineTrainer {
+	m.ShardEmbeddings(svc)
+	t := NewHotline(m, lr)
+	t.Shard = svc
+	return t
+}

@@ -1,12 +1,3 @@
-// Package train provides the functional training executors: the baseline
-// mini-batch SGD loop and the Hotline executor that fragments every
-// mini-batch into popular and non-popular µ-batches (classified by the
-// accelerator's EAL) and accumulates their gradients into a single update.
-//
-// This is the layer behind the paper's accuracy-parity claim (§IV-A,
-// Eq. 5): because L_hotline = L_popular + L_non-popular = L_baseline, both
-// executors produce the same updates on the same data, and the Figure 18 /
-// Table V metrics coincide.
 package train
 
 import (
@@ -18,6 +9,7 @@ import (
 	"hotline/internal/model"
 	"hotline/internal/nn"
 	"hotline/internal/par"
+	"hotline/internal/shard"
 	"hotline/internal/tensor"
 )
 
@@ -66,6 +58,11 @@ type HotlineTrainer struct {
 	// shadow shares M's parameters with private gradient state so the
 	// non-popular µ-batch can run concurrently with the popular one.
 	shadow *model.Model
+
+	// Shard is non-nil when the embeddings run on a sharded service (see
+	// NewHotlineSharded); its snapshot exposes the measured cache and
+	// all-to-all traffic of the run.
+	Shard *shard.Service
 
 	// stats
 	PopularInputs, TotalInputs int64
