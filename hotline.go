@@ -154,19 +154,31 @@ var NewShardService = shard.New
 
 // NewHotlineShardedTrainer wraps a model in the Hotline executor with its
 // embedding tables partitioned across the service's nodes. Training is
-// bit-identical to NewHotlineTrainer for every node count; the service
-// additionally reports the measured cache and all-to-all traffic.
+// bit-identical to NewHotlineTrainer for every node count and placement;
+// the service additionally reports the measured cache and all-to-all
+// traffic. The async gather engine is attached with overlap enabled (set
+// OverlapGather = false on the returned trainer for synchronous gathers).
 func NewHotlineShardedTrainer(m *Model, lr float32, svc *ShardService) *train.HotlineTrainer {
 	return train.NewHotlineSharded(m, lr, svc)
 }
 
 // ShardMeasurement carries measured sharding statistics (hit-rates,
-// gather/scatter fractions, bytes per iteration) for the timing models.
+// gather/scatter fractions, bytes per iteration, exposed-gather fraction)
+// for the timing models.
 type ShardMeasurement = pipeline.ShardMeasurement
 
 // MeasureShardStats replays a real access stream against a sharded service
-// and returns steady-state measurements (memoised per configuration).
+// under the given eviction policy and returns steady-state measurements
+// (memoised per full configuration, including the policy).
 var MeasureShardStats = pipeline.MeasureShardStats
+
+// ShardProbe configures a MeasureShard measurement: node count, cache
+// budget, batch size, eviction policy and ownership placement.
+type ShardProbe = pipeline.ShardProbe
+
+// MeasureShard is MeasureShardStats with the full probe surface, including
+// the ownership placement (round-robin, capacity-weighted, hot-aware).
+var MeasureShard = pipeline.MeasureShard
 
 // NewShardedWorkload assembles a workload whose timing models consume
 // measured sharding statistics instead of analytic popularity fractions.
@@ -176,6 +188,46 @@ var NewShardedWorkload = pipeline.NewShardedWorkload
 // DefaultShardCacheBytes returns the default per-node device-cache budget
 // for a dataset (its scaled hot-set budget).
 var DefaultShardCacheBytes = pipeline.DefaultShardCacheBytes
+
+// --- ownership placement and async gather overlap --------------------------
+
+// ShardPartitioner decides which node owns each embedding row; plug one
+// into ShardConfig.Part to replace the round-robin default.
+type ShardPartitioner = shard.Partitioner
+
+// ShardPlacementKind names the shipped ownership policies for probes and
+// reports.
+type ShardPlacementKind = shard.PlacementKind
+
+// Shipped ownership placements.
+const (
+	PlaceRoundRobin = shard.PlaceRoundRobin
+	PlaceCapacity   = shard.PlaceCapacity
+	PlaceHotAware   = shard.PlaceHotAware
+)
+
+// NewRoundRobinPartitioner returns the uniform row % nodes placement.
+var NewRoundRobinPartitioner = shard.NewRoundRobin
+
+// NewCapacityWeightedPartitioner spreads rows proportionally to integer
+// per-node capacity weights (heterogeneous clusters).
+var NewCapacityWeightedPartitioner = shard.NewCapacityWeighted
+
+// ShardRequestCounter tallies per-node request counts from access streams;
+// its HotAware method builds the placement that pins popular rows to their
+// dominant requesting node.
+type ShardRequestCounter = shard.RequestCounter
+
+// NewShardRequestCounter returns an empty request counter for a topology.
+var NewShardRequestCounter = shard.NewRequestCounter
+
+// OverlapStats aggregates the async gather engine's measured traffic and
+// how much of its wall time stayed exposed (svc.Gatherer().Stats()).
+type OverlapStats = shard.OverlapStats
+
+// AsyncGatherer is the engine that streams planned fabric fetches into
+// staging buffers off the consumer's critical path.
+type AsyncGatherer = shard.AsyncGatherer
 
 // --- accelerator ----------------------------------------------------------
 

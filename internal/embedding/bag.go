@@ -17,6 +17,12 @@ type Bag interface {
 	BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) SparseGrad
 	// ApplySparseSGD performs W[row] -= lr·grad for every row in sg.
 	ApplySparseSGD(sg SparseGrad, lr float32)
+	// ApplySparseAdagrad performs the adaptive per-row update
+	// G[row] += g², W[row] -= lr·g/√(G[row]+eps) against a globally-indexed
+	// accumulator (see NewAdagradStateFor); sharded and single-node bags
+	// produce bit-identical state. Pass the full mini-batch gradient — the
+	// step is non-linear in g.
+	ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32)
 	// NumRows returns the table's row count.
 	NumRows() int
 	// EmbedDim returns the embedding dimension.

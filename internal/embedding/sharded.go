@@ -9,16 +9,22 @@ import (
 )
 
 // ShardedBag is the multi-node embedding-bag: the table's rows are
-// partitioned round-robin across the nodes of a shard.Service (row r lives
-// on node r mod N, packed at local index r/N), and every lookup and
-// gradient push is routed through the service for device-cache simulation
-// and all-to-all accounting.
+// partitioned across the nodes of a shard.Service under its placement
+// policy (round-robin by default; capacity-weighted and hot-row-aware
+// partitioners relocate rows without touching any math), and every lookup
+// and gradient push is routed through the service for device-cache
+// simulation and all-to-all accounting.
 //
 // The operator math is bit-identical to the single-node Table for every
-// node count: partitioning only relocates rows, the per-bag summation order
-// and the sparse-gradient reduction order are exactly the serial ones, and
-// the Service's accounting never touches values. TestShardedBagBitIdentical
-// enforces this for node counts {1,2,4,8}.
+// node count and placement: partitioning only relocates rows, the per-bag
+// summation order and the sparse-gradient reduction order are exactly the
+// serial ones, and the Service's accounting never touches values.
+// TestShardedBagBitIdentical enforces this for node counts {1,2,4,8}.
+//
+// When the service carries an async gather engine, Prefetch issues a
+// µ-batch's fabric fetches ahead of time; the matching Forward then blocks
+// only on whatever the overlap failed to hide and reads the remote rows
+// from the staging buffer (exact copies, applied in the fixed batch order).
 type ShardedBag struct {
 	Rows, Dim int
 	// TableIdx keys the service's cache and traffic accounting.
@@ -26,27 +32,43 @@ type ShardedBag struct {
 
 	svc    *shard.Service
 	shards []*tensor.Matrix // shards[n] packs the rows owned by node n
+	// owner[r] / local[r] locate global row r inside its owner shard;
+	// shared (read-only) with shadows.
+	owner []int32
+	local []int32
 
 	lastIndices [][]int32
+	pending     *pendingGather
 }
 
-// ShardBag partitions a table's rows across the service's nodes, copying
-// each row into its owner shard. The source table is not retained.
+// pendingGather is one issued but not yet consumed prefetch window.
+type pendingGather struct {
+	indices [][]int32
+	handle  *shard.Handle // nil when the plan needed no fabric fetches
+}
+
+// ShardBag partitions a table's rows across the service's nodes under its
+// placement policy, copying each row into its owner shard. The source table
+// is not retained.
 func ShardBag(t *Table, svc *shard.Service, tableIdx int) *ShardedBag {
 	nodes := svc.Nodes()
 	s := &ShardedBag{
 		Rows: t.Rows, Dim: t.Dim, TableIdx: tableIdx,
 		svc: svc, shards: make([]*tensor.Matrix, nodes),
+		owner: make([]int32, t.Rows), local: make([]int32, t.Rows),
+	}
+	counts := make([]int, nodes)
+	for r := 0; r < t.Rows; r++ {
+		o := svc.Owner(tableIdx, int32(r))
+		s.owner[r] = int32(o)
+		s.local[r] = int32(counts[o])
+		counts[o]++
 	}
 	for n := 0; n < nodes; n++ {
-		owned := 0
-		if t.Rows > n {
-			owned = (t.Rows - n + nodes - 1) / nodes
-		}
-		s.shards[n] = tensor.New(owned, t.Dim)
+		s.shards[n] = tensor.New(counts[n], t.Dim)
 	}
 	for r := 0; r < t.Rows; r++ {
-		copy(s.shards[r%nodes].Row(r/nodes), t.W.Row(r))
+		copy(s.shards[s.owner[r]].Row(int(s.local[r])), t.W.Row(r))
 	}
 	return s
 }
@@ -56,16 +78,84 @@ func (s *ShardedBag) Service() *shard.Service { return s.svc }
 
 // RowView implements Bag: a live view of row r inside its owner shard.
 func (s *ShardedBag) RowView(r int) []float32 {
-	nodes := len(s.shards)
-	return s.shards[r%nodes].Row(r / nodes)
+	return s.shards[s.owner[r]].Row(int(s.local[r]))
+}
+
+// Prefetch issues the asynchronous gather of a µ-batch's remote rows: the
+// service plans the fabric fetches (advancing cache state and counters
+// exactly like a synchronous gather) and the engine streams them into a
+// staging buffer while the caller computes something else — the Hotline
+// executor overlaps the non-popular gather with the popular µ-batch this
+// way. The next Forward over the same index set consumes the window; it is
+// a no-op without an engine or on a single node.
+func (s *ShardedBag) Prefetch(indices [][]int32) {
+	g := s.svc.Gatherer()
+	if g == nil || s.svc.Nodes() == 1 {
+		return
+	}
+	s.dropStalePrefetch(nil)
+	plan := s.svc.PlanGather(s.TableIdx, indices)
+	p := &pendingGather{indices: indices}
+	if plan != nil {
+		p.handle = g.Submit(plan, s.Dim, s.fetchRow)
+	}
+	s.pending = p
+}
+
+// fetchRow copies one owner-resident row into its staging slot.
+func (s *ShardedBag) fetchRow(row int32, dst []float32) {
+	copy(dst, s.RowView(int(row)))
+}
+
+// dropStalePrefetch discards a pending window that does not match indices
+// (its accounting already happened — a wasted prefetch, like any real
+// system that speculated wrong — but its staging must be joined before new
+// traffic is issued).
+func (s *ShardedBag) dropStalePrefetch(indices [][]int32) {
+	p := s.pending
+	if p == nil || sameIndexSet(p.indices, indices) {
+		return
+	}
+	if p.handle != nil {
+		p.handle.Await()
+	}
+	s.pending = nil
+}
+
+// sameIndexSet reports whether a and b are the same index set (the same
+// backing slice — the executor prefetches and forwards the identical
+// µ-batch view). Empty sets never match: an empty prefetch carries no
+// traffic, so consuming it would only mask a caller bug.
+func sameIndexSet(a, b [][]int32) bool {
+	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
 }
 
 // Forward implements Bag: the sum-pooled lookup with shard routing. The
 // service accounting runs as a serial pre-pass (cache state must evolve in
 // batch order); the arithmetic then shards across workers exactly like the
-// single-node operator.
+// single-node operator. A matching Prefetch window is consumed (blocking
+// only on the exposed remainder of the gather); otherwise, with an engine
+// attached, the fabric rows are staged synchronously — the measured
+// baseline the overlap is compared against.
 func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
-	s.svc.RecordGather(s.TableIdx, indices)
+	var staged *shard.Staging
+	g := s.svc.Gatherer()
+	if p := s.pending; p != nil && sameIndexSet(p.indices, indices) {
+		s.pending = nil
+		if p.handle != nil {
+			staged = p.handle.Await()
+		}
+	} else {
+		s.dropStalePrefetch(indices)
+		if g != nil && s.svc.Nodes() > 1 {
+			if plan := s.svc.PlanGather(s.TableIdx, indices); plan != nil {
+				staged = g.GatherSync(plan, s.Dim, s.fetchRow)
+			}
+		} else {
+			s.svc.RecordGather(s.TableIdx, indices)
+		}
+	}
+
 	out := tensor.New(len(indices), s.Dim)
 	lookups := int64(1)
 	if len(indices) > 0 {
@@ -79,6 +169,14 @@ func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 					panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, s.Rows))
 				}
 				erow := s.RowView(int(ix))
+				if staged != nil {
+					// Fabric-fetched rows are applied from the staging
+					// buffer in fixed batch order; the copies are
+					// bit-identical to the owner-shard rows.
+					if v, ok := staged.Lookup(ix); ok {
+						erow = v
+					}
+				}
 				for k := range orow {
 					orow[k] += erow[k]
 				}
@@ -122,6 +220,16 @@ func (s *ShardedBag) ApplySparseSGD(sg SparseGrad, lr float32) {
 	})
 }
 
+// ApplySparseAdagrad implements Bag: the adaptive update runs on each
+// owner-resident row against the shared (globally indexed) accumulator, in
+// the same serial row order as the single-node table — bit-identical for
+// every node count and placement.
+func (s *ShardedBag) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32) {
+	for i, ix := range sg.Rows {
+		adagradRow(s.RowView(int(ix)), st.Accum.Row(int(ix)), sg.Grad.Row(i), lr, st.Eps)
+	}
+}
+
 // NumRows implements Bag.
 func (s *ShardedBag) NumRows() int { return s.Rows }
 
@@ -131,12 +239,13 @@ func (s *ShardedBag) EmbedDim() int { return s.Dim }
 // SizeBytes implements Bag (the logical footprint; shards add no padding).
 func (s *ShardedBag) SizeBytes() int64 { return int64(s.Rows) * int64(s.Dim) * 4 }
 
-// ShadowBag implements Bag: the shadow shares shard storage and the service
-// (its accounting is mutex-guarded) with a private forward cache.
+// ShadowBag implements Bag: the shadow shares shard storage, the placement
+// maps and the service (its accounting is mutex-guarded) with private
+// forward and prefetch state.
 func (s *ShardedBag) ShadowBag() Bag {
 	return &ShardedBag{
 		Rows: s.Rows, Dim: s.Dim, TableIdx: s.TableIdx,
-		svc: s.svc, shards: s.shards,
+		svc: s.svc, shards: s.shards, owner: s.owner, local: s.local,
 	}
 }
 

@@ -223,21 +223,31 @@ func NewAdagradState(t *Table) *AdagradState {
 	return &AdagradState{Accum: tensor.New(t.Rows, t.Dim), Eps: 1e-8}
 }
 
-// ApplySparseAdagrad performs the adaptive update on the touched rows:
-// G[row] += g², W[row] -= lr·g/√(G[row]+eps). Because the step is
+// NewAdagradStateFor returns a zeroed accumulator shaped for any Bag. The
+// accumulator is indexed by global row, so the same state drives a
+// single-node Table and a ShardedBag identically.
+func NewAdagradStateFor(b Bag) *AdagradState {
+	return &AdagradState{Accum: tensor.New(b.NumRows(), b.EmbedDim()), Eps: 1e-8}
+}
+
+// ApplySparseAdagrad implements Bag: the adaptive update on the touched
+// rows, G[row] += g², W[row] -= lr·g/√(G[row]+eps). Because the step is
 // non-linear in g, callers must pass the FULL mini-batch gradient (popular
 // and non-popular µ-batches accumulated) to stay at parity with a baseline
 // that updates once per mini-batch.
 func (t *Table) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32) {
 	for i, ix := range sg.Rows {
-		wrow := t.W.Row(int(ix))
-		arow := st.Accum.Row(int(ix))
-		grow := sg.Grad.Row(i)
-		for k := range wrow {
-			g := grow[k]
-			arow[k] += g * g
-			wrow[k] -= lr * g / sqrt32(arow[k]+st.Eps)
-		}
+		adagradRow(t.W.Row(int(ix)), st.Accum.Row(int(ix)), sg.Grad.Row(i), lr, st.Eps)
+	}
+}
+
+// adagradRow is the shared per-row adaptive step: serial element order, so
+// every Bag implementation produces bit-identical state.
+func adagradRow(wrow, arow, grow []float32, lr, eps float32) {
+	for k := range wrow {
+		g := grow[k]
+		arow[k] += g * g
+		wrow[k] -= lr * g / sqrt32(arow[k]+eps)
 	}
 }
 

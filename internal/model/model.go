@@ -75,6 +75,31 @@ func (m *Model) ShardEmbeddings(svc *shard.Service) {
 // IsTBSM reports whether the model carries the attention/sequence structure.
 func (m *Model) IsTBSM() bool { return m.Attn != nil }
 
+// sparsePrefetcher is implemented by bags that can gather a µ-batch's
+// remote rows asynchronously (embedding.ShardedBag on a service with an
+// async engine).
+type sparsePrefetcher interface {
+	Prefetch(indices [][]int32)
+}
+
+// PrefetchSparse issues asynchronous gathers for every embedding access the
+// batch will make, on bags that support prefetching. The following
+// Forward(b) consumes the staged rows; the Hotline executor calls this for
+// the non-popular µ-batch before dispatching the popular one, overlapping
+// the fabric traffic with compute. The TBSM sequence table is skipped (its
+// per-timestep index sets are built inside Forward) and everything else is
+// a no-op on non-prefetching bags.
+func (m *Model) PrefetchSparse(b *data.Batch) {
+	for t, bag := range m.Tables {
+		if m.IsTBSM() && t == 0 {
+			continue
+		}
+		if p, ok := bag.(sparsePrefetcher); ok {
+			p.Prefetch(b.Sparse[t])
+		}
+	}
+}
+
 // NewShadow returns a model that shares m's parameter storage (dense weights
 // and embedding tables) but owns private gradient accumulators, sparse-grad
 // stash and forward caches. Two µ-batches can then run forward/backward

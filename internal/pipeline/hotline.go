@@ -90,6 +90,12 @@ func (h *Hotline) Iteration(w Workload) IterStats {
 		gatherStart = popEnd
 	}
 	_, gatherEnd := acc.Schedule(gatherStart, gather+reducer)
+	if !h.NoOverlap && w.Shard != nil && w.Shard.OverlapMeasured {
+		// A functional overlap run measured how much of the gather actually
+		// stayed on the critical path; price that exposed share after the
+		// popular µ-batch instead of the analytic overlap schedule.
+		gatherEnd = popEnd + scaleDur(gather+reducer, w.Shard.ExposedFrac)
+	}
 
 	// --- non-popular µ-batch starts when both GPU and parameters ready ---
 	nonShare := w.PerGPUBatch() - popShare

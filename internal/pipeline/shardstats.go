@@ -19,8 +19,18 @@ import (
 type ShardMeasurement struct {
 	Nodes             int
 	CacheBytesPerNode int64
+	// Policy is the device-cache eviction policy the measurement ran under
+	// (part of the memo identity — a policy ablation must never read stats
+	// measured under a different policy).
+	Policy shard.Policy
+	// Placement names the row-ownership policy the measurement ran under
+	// (round-robin, capacity-weighted, hot-aware).
+	Placement string
 	// HitRate is the device-cache hit rate over remote lookups.
 	HitRate float64
+	// LocalFrac is the fraction of lookups served by the requesting node's
+	// own shard (what hot-aware placement raises).
+	LocalFrac float64
 	// RemoteFrac is the fraction of lookups that land on a remote shard
 	// before any caching (the GPU-only all-to-all exchange fraction).
 	RemoteFrac float64
@@ -39,9 +49,49 @@ type ShardMeasurement struct {
 	// Evictions counts device-cache displacements during the measured
 	// window (cache-pressure indicator for the ablations).
 	Evictions int64
+	// OverlapMeasured reports that a functional overlap run (the
+	// mn-overlap scenario) measured ExposedFrac; the zero value means
+	// unmeasured, so the timing models keep their analytic overlap
+	// schedule unless a measurement was made explicitly.
+	OverlapMeasured bool
+	// ExposedFrac is the measured fraction of the fabric gather that stays
+	// on the critical path under the async overlap engine (0 = fully
+	// hidden, 1 = fully exposed). Only meaningful when OverlapMeasured is
+	// set; the Hotline timing model then prices the exposed share instead
+	// of its analytic overlap schedule.
+	ExposedFrac float64
 }
 
-// shardStatsCache memoises measurements per (dataset, nodes, cache, batch).
+// SetExposedFrac records a measured exposed-gather fraction (clamped to
+// [0, 1]) and marks the measurement present.
+func (m *ShardMeasurement) SetExposedFrac(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	m.ExposedFrac, m.OverlapMeasured = f, true
+}
+
+// ShardProbe configures one MeasureShard measurement.
+type ShardProbe struct {
+	// Nodes is the simulated node count.
+	Nodes int
+	// CacheBytes is the per-node device-cache budget (0 = pure remote).
+	CacheBytes int64
+	// Batch is the replayed mini-batch size.
+	Batch int
+	// Policy selects the device-cache eviction policy.
+	Policy shard.Policy
+	// Placement selects the row-ownership policy.
+	Placement shard.PlacementKind
+	// Weights are the per-node capacity weights for PlaceCapacity
+	// (uniform when empty).
+	Weights []int
+}
+
+// shardStatsCache memoises measurements per full probe identity.
 var shardStatsCache sync.Map // string -> ShardMeasurement
 
 // shardStatsMu serialises first-time measurement like workloadStatsMu.
@@ -50,14 +100,31 @@ var shardStatsMu sync.Mutex
 // measureIters is how many post-warm-up iterations a measurement averages.
 const measureIters = 4
 
-// MeasureShardStats replays a real access stream against a sharded service:
-// it profiles an epoch, builds the access-aware placement (the EAL-learned
-// hot set), preloads the hot rows into the per-node device caches, streams
-// warm-up batches, then measures steady-state cache hit-rates and
-// gather/scatter volumes over several iterations. Results are memoised per
-// configuration and deterministic for any concurrency.
-func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int) ShardMeasurement {
-	key := fmt.Sprintf("%s/%d/%d/%d", cfg.Name, nodes, cacheBytes, batch)
+// measureWarmup is how many iterations run before counters reset.
+const measureWarmup = 2
+
+// MeasureShardStats replays a real access stream against a sharded service
+// under the given eviction policy (round-robin ownership): it profiles an
+// epoch, builds the access-aware placement (the EAL-learned hot set),
+// preloads the hot rows into the per-node device caches, streams warm-up
+// batches, then measures steady-state cache hit-rates and gather/scatter
+// volumes over several iterations. Results are memoised per configuration
+// — the policy is part of the memo identity — and deterministic for any
+// concurrency.
+func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int, policy shard.Policy) ShardMeasurement {
+	return MeasureShard(cfg, ShardProbe{
+		Nodes: nodes, CacheBytes: cacheBytes, Batch: batch, Policy: policy,
+	})
+}
+
+// MeasureShard is MeasureShardStats with the full probe surface: eviction
+// policy plus ownership placement (round-robin, capacity-weighted with
+// optional per-node weights, or hot-aware — popular rows pinned to their
+// dominant requesting node, counted over the same stream the measurement
+// replays).
+func MeasureShard(cfg data.Config, p ShardProbe) ShardMeasurement {
+	key := fmt.Sprintf("%s/%d/%d/%d/%s/%s/%v",
+		cfg.Name, p.Nodes, p.CacheBytes, p.Batch, p.Policy, p.Placement, p.Weights)
 	if v, ok := shardStatsCache.Load(key); ok {
 		return v.(ShardMeasurement)
 	}
@@ -71,6 +138,7 @@ func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int) 
 	if probe.Samples > 4096 {
 		probe.Samples = 4096
 	}
+	batch := p.Batch
 	if batch > 2048 {
 		batch = 2048
 	}
@@ -78,8 +146,10 @@ func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int) 
 	placement := embedding.PlacementFromCounts(
 		prof.Counts(), probe.NumTables, probe.EmbedDim, data.ScaledHotBudget(probe))
 
+	part := buildPartitioner(probe, p, batch, placement)
 	svc := shard.New(shard.Config{
-		Nodes: nodes, CacheBytes: cacheBytes, RowBytes: int64(probe.EmbedDim) * 4,
+		Nodes: p.Nodes, CacheBytes: p.CacheBytes, RowBytes: int64(probe.EmbedDim) * 4,
+		Policy: p.Policy, Part: part,
 	}, placement)
 	// Replicate the learned hot set (bounded caches keep what fits).
 	for t := 0; t < probe.NumTables; t++ {
@@ -94,7 +164,7 @@ func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int) 
 			svc.RecordScatter(t, b.Sparse[t])
 		}
 	}
-	for i := 0; i < 2; i++ { // warm-up: cache state reaches steady flow
+	for i := 0; i < measureWarmup; i++ { // warm-up: cache state reaches steady flow
 		iteration()
 	}
 	svc.ResetStats()
@@ -105,9 +175,12 @@ func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int) 
 	st := svc.Snapshot()
 
 	m := ShardMeasurement{
-		Nodes:             nodes,
-		CacheBytesPerNode: cacheBytes,
+		Nodes:             p.Nodes,
+		CacheBytesPerNode: p.CacheBytes,
+		Policy:            p.Policy,
+		Placement:         svc.Config().Placement(),
 		HitRate:           st.HitRate(),
+		LocalFrac:         st.LocalFrac(),
 		RemoteFrac:        st.RemoteFrac(),
 		GatherFrac:        st.GatherFrac(),
 		ScatterFrac:       st.ScatterFrac(),
@@ -119,6 +192,36 @@ func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int) 
 	return m
 }
 
+// buildPartitioner realises a probe's placement policy. The hot-aware
+// partitioner counts per-node requests over exactly the batches the
+// measurement will replay (a fresh generator yields the identical stream),
+// then pins each popular row to its dominant requester.
+func buildPartitioner(probe data.Config, p ShardProbe, batch int, hot shard.HotClassifier) shard.Partitioner {
+	switch p.Placement {
+	case shard.PlaceCapacity:
+		w := p.Weights
+		if len(w) == 0 {
+			w = make([]int, p.Nodes)
+			for i := range w {
+				w[i] = 1
+			}
+		}
+		return shard.NewCapacityWeighted(w)
+	case shard.PlaceHotAware:
+		rc := shard.NewRequestCounter(p.Nodes)
+		gen := data.NewGenerator(probe)
+		for i := 0; i < measureWarmup+measureIters; i++ {
+			b := gen.NextBatch(batch)
+			for t := range b.Sparse {
+				rc.Observe(t, b.Sparse[t])
+			}
+		}
+		return rc.HotAware(hot)
+	default:
+		return shard.NewRoundRobin(p.Nodes)
+	}
+}
+
 // DefaultShardCacheBytes is the per-node device-cache budget used when none
 // is given: the dataset's scaled hot-set budget, i.e. each node can hold
 // one full replica of the learned hot set (the paper's ≤512 MB HBM tier).
@@ -126,13 +229,14 @@ func DefaultShardCacheBytes(cfg data.Config) int64 { return data.ScaledHotBudget
 
 // NewShardedWorkload assembles a workload whose timing models consume
 // measured sharding statistics (sys.Nodes simulated nodes, cacheBytes of
-// device cache per node) instead of the analytic popularity fractions.
+// device cache per node, LRU caches over round-robin ownership) instead of
+// the analytic popularity fractions.
 func NewShardedWorkload(cfg data.Config, batch int, sys cost.System, cacheBytes int64) Workload {
 	w := NewWorkload(cfg, batch, sys)
 	if cacheBytes <= 0 {
 		cacheBytes = DefaultShardCacheBytes(cfg)
 	}
-	m := MeasureShardStats(cfg, sys.Nodes, cacheBytes, batch)
+	m := MeasureShardStats(cfg, sys.Nodes, cacheBytes, batch, shard.PolicyLRU)
 	w.Shard = &m
 	return w
 }

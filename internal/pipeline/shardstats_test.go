@@ -5,11 +5,12 @@ import (
 
 	"hotline/internal/cost"
 	"hotline/internal/data"
+	"hotline/internal/shard"
 )
 
 func TestMeasureShardStatsBasics(t *testing.T) {
 	cfg := data.CriteoKaggle()
-	m := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg), 1024)
+	m := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg), 1024, shard.PolicyLRU)
 	if m.Nodes != 4 {
 		t.Fatalf("nodes = %d", m.Nodes)
 	}
@@ -32,7 +33,7 @@ func TestMeasureShardStatsBasics(t *testing.T) {
 
 func TestMeasureShardStatsSingleNode(t *testing.T) {
 	cfg := data.CriteoKaggle()
-	m := MeasureShardStats(cfg, 1, DefaultShardCacheBytes(cfg), 1024)
+	m := MeasureShardStats(cfg, 1, DefaultShardCacheBytes(cfg), 1024, shard.PolicyLRU)
 	if m.RemoteFrac != 0 || m.A2ABytesPerIter != 0 {
 		t.Fatalf("single node must be all-local: %+v", m)
 	}
@@ -40,13 +41,89 @@ func TestMeasureShardStatsSingleNode(t *testing.T) {
 
 func TestMeasureShardStatsCachePressure(t *testing.T) {
 	cfg := data.CriteoKaggle()
-	big := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg), 1024)
-	tiny := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg)/16, 1024)
+	big := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg), 1024, shard.PolicyLRU)
+	tiny := MeasureShardStats(cfg, 4, DefaultShardCacheBytes(cfg)/16, 1024, shard.PolicyLRU)
 	if tiny.HitRate >= big.HitRate {
 		t.Fatalf("smaller cache must hit less: tiny %g vs big %g", tiny.HitRate, big.HitRate)
 	}
 	if tiny.GatherFrac <= big.GatherFrac {
 		t.Fatalf("smaller cache must gather more: tiny %g vs big %g", tiny.GatherFrac, big.GatherFrac)
+	}
+}
+
+// TestMeasureShardStatsPolicyKeyed is the regression test for the memo-key
+// bug: the eviction policy is part of the measurement identity, so a
+// policy-ablation caller can never read stats measured under a different
+// policy. Under cache pressure LRU and SRRIP behave differently, and each
+// policy's memoised result must be stable across repeated calls in either
+// order.
+func TestMeasureShardStatsPolicyKeyed(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	cache := DefaultShardCacheBytes(cfg) / 16
+	srrip := MeasureShardStats(cfg, 4, cache, 1024, shard.PolicySRRIP)
+	lru := MeasureShardStats(cfg, 4, cache, 1024, shard.PolicyLRU)
+	if lru.Policy != shard.PolicyLRU || srrip.Policy != shard.PolicySRRIP {
+		t.Fatalf("measurements must record their policy: %v / %v", lru.Policy, srrip.Policy)
+	}
+	if lru == srrip {
+		t.Fatal("under pressure, LRU and SRRIP measurements must differ; " +
+			"identical results mean the memo ignored the policy")
+	}
+	if again := MeasureShardStats(cfg, 4, cache, 1024, shard.PolicySRRIP); again != srrip {
+		t.Fatal("repeated SRRIP call returned a different (cross-policy) memo entry")
+	}
+}
+
+// TestMeasureShardPlacements exercises the full probe surface: hot-aware
+// ownership must beat blind round-robin on the measured all-to-all volume
+// (the mn-place acceptance claim, asserted at test granularity).
+func TestMeasureShardPlacements(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	cache := DefaultShardCacheBytes(cfg) / 8
+	rr := MeasureShard(cfg, ShardProbe{Nodes: 4, CacheBytes: cache, Batch: 1024,
+		Placement: shard.PlaceRoundRobin})
+	ha := MeasureShard(cfg, ShardProbe{Nodes: 4, CacheBytes: cache, Batch: 1024,
+		Placement: shard.PlaceHotAware})
+	cw := MeasureShard(cfg, ShardProbe{Nodes: 4, CacheBytes: cache, Batch: 1024,
+		Placement: shard.PlaceCapacity, Weights: []int{3, 2, 2, 1}})
+	if rr.Placement != "round-robin" || ha.Placement != "hot-aware" || cw.Placement != "capacity-weighted" {
+		t.Fatalf("placement labels: %q %q %q", rr.Placement, ha.Placement, cw.Placement)
+	}
+	if ha.A2ABytesPerIter >= rr.A2ABytesPerIter {
+		t.Fatalf("hot-aware a2a %d must be < round-robin %d",
+			ha.A2ABytesPerIter, rr.A2ABytesPerIter)
+	}
+	if ha.LocalFrac <= rr.LocalFrac {
+		t.Fatalf("hot-aware local frac %g must exceed round-robin %g", ha.LocalFrac, rr.LocalFrac)
+	}
+	if rr.OverlapMeasured {
+		t.Fatal("exposed frac must default to unmeasured")
+	}
+}
+
+// TestHotlineConsumesExposedFrac: a measured exposed-gather fraction moves
+// the Hotline iteration monotonically between the fully-hidden and
+// no-overlap extremes.
+func TestHotlineConsumesExposedFrac(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	sys := cost.PaperCluster(4)
+	w := NewShardedWorkload(cfg, 4096*4, sys, 0)
+	analytic := float64(NewHotline().Iteration(w).Total) // OverlapMeasured unset
+	iter := func(f float64) float64 {
+		w.Shard.SetExposedFrac(f)
+		return float64(NewHotline().Iteration(w).Total)
+	}
+	hidden, half, full := iter(0), iter(0.5), iter(1)
+	if !(hidden < half && half < full) {
+		t.Fatalf("exposed fraction must price monotonically: %g %g %g", hidden, half, full)
+	}
+	if analytic > full || analytic <= 0 {
+		t.Fatalf("analytic schedule must sit within the measured envelope: %g vs full %g", analytic, full)
+	}
+	w.Shard.SetExposedFrac(1)
+	noOverlap := float64(NewHotlineNoOverlap().Iteration(w).Total)
+	if full != noOverlap {
+		t.Fatalf("fully exposed (%g) must equal the no-overlap ablation (%g)", full, noOverlap)
 	}
 }
 

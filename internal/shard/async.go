@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GatherPlan is the fabric work one accounting pass produced: the distinct
+// rows of one table that must cross the fabric, grouped by the node that
+// owns (and therefore streams) them, plus a staging slot for every row.
+// Plans are built under the service mutex (PlanGather) and are immutable
+// afterwards.
+type GatherPlan struct {
+	// Table keys the accounting and the staging lookups.
+	Table int
+	// Bytes is the fabric volume the plan represents, matching the
+	// GatherBytes accounting (per-(requesting node, row) dedup, so a row two
+	// nodes miss is priced twice even though it stages once).
+	Bytes int64
+
+	perOwner [][]int32     // perOwner[o]: distinct rows owner o must stream
+	slot     map[int32]int // row -> staging slot (distinct rows only)
+}
+
+func newGatherPlan(table, nodes int) *GatherPlan {
+	return &GatherPlan{Table: table, perOwner: make([][]int32, nodes), slot: make(map[int32]int)}
+}
+
+// add registers one fabric fetch of row from owner. Rows are staged once
+// even when several requesting nodes fetch them (identical payload), while
+// Bytes accumulates the full per-node fabric volume.
+func (p *GatherPlan) add(row int32, owner int, rowBytes int64) {
+	p.Bytes += rowBytes
+	if _, ok := p.slot[row]; ok {
+		return
+	}
+	p.slot[row] = len(p.slot)
+	p.perOwner[owner] = append(p.perOwner[owner], row)
+}
+
+// Rows returns the number of distinct staged rows.
+func (p *GatherPlan) Rows() int { return len(p.slot) }
+
+// Staging is the landing buffer for one gather window's fetched rows: a
+// dense rows x dim matrix plus the row -> slot map from the plan. Workers
+// fill disjoint slots concurrently; consumers read it only after the
+// window's Handle reports completion, then apply the rows in their own
+// fixed iteration order — which keeps training bit-identical to the
+// synchronous path (the staged values are exact copies of the owner-shard
+// rows, and weights do not change while a window is in flight).
+type Staging struct {
+	dim  int
+	buf  []float32
+	slot map[int32]int
+}
+
+func newStaging(p *GatherPlan, dim int) *Staging {
+	return &Staging{dim: dim, buf: make([]float32, len(p.slot)*dim), slot: p.slot}
+}
+
+// Lookup returns the staged copy of row, if the plan fetched it.
+func (st *Staging) Lookup(row int32) ([]float32, bool) {
+	i, ok := st.slot[row]
+	if !ok {
+		return nil, false
+	}
+	return st.buf[i*st.dim : (i+1)*st.dim], true
+}
+
+// Rows returns the staged row count.
+func (st *Staging) Rows() int { return len(st.slot) }
+
+// FetchFunc copies one owner-resident row into its staging slot. It runs on
+// gather workers concurrently with compute, so it must only read the
+// underlying storage (which is stable while a window is in flight).
+type FetchFunc func(row int32, dst []float32)
+
+// Handle tracks one submitted gather window.
+type Handle struct {
+	g       *AsyncGatherer
+	staging *Staging
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// jobDone retires one per-owner fetch job.
+func (h *Handle) jobDone() {
+	if h.pending.Add(-1) == 0 {
+		close(h.done)
+	}
+}
+
+// Await blocks until every fetch of the window has landed and returns the
+// staging buffer. The calling goroutine helps drain outstanding queue
+// buffers instead of idling, and the blocked wall time is accounted as
+// exposed gather time — the part of the fabric traffic the overlap failed
+// to hide.
+func (h *Handle) Await() *Staging {
+	start := time.Now()
+	for _, q := range h.g.queues {
+		q.drainOn(h.g)
+	}
+	<-h.done
+	h.g.noteExposed(time.Since(start))
+	return h.staging
+}
+
+// OverlapStats aggregates what the async engine moved and how much of it
+// the overlap hid. All durations are wall-clock measurements of the
+// functional layer (they feed scenario reports and the measured
+// exposed-gather fraction, never any training math).
+type OverlapStats struct {
+	// Windows counts submitted prefetch windows; SyncWindows counts
+	// synchronous (non-prefetched) staged gathers.
+	Windows, SyncWindows int64
+	// PrefetchRows / PrefetchBytes total the fabric volume issued
+	// asynchronously; SyncRows / SyncBytes the volume fetched inline.
+	PrefetchRows, SyncRows   int64
+	PrefetchBytes, SyncBytes int64
+	// GatherBusy is the summed time workers spent copying rows (both modes).
+	GatherBusy time.Duration
+	// Exposed is the summed wall time consumers were blocked in Await —
+	// gather time the overlap did not hide.
+	Exposed time.Duration
+	// SyncGather is the summed wall time of inline staged gathers, i.e. the
+	// fully exposed cost the synchronous path pays for the same traffic.
+	SyncGather time.Duration
+}
+
+// ExposedGather returns the total gather wall time this engine left on the
+// consumer's critical path: inline (synchronous) staged gathers plus the
+// time consumers were blocked in Await. Comparing it between an
+// overlap-off and an overlap-on run of the same workload yields the
+// exposed-gather fraction the mn-overlap scenario feeds the timing models.
+func (s OverlapStats) ExposedGather() time.Duration { return s.SyncGather + s.Exposed }
+
+// fetchJob is one owner node's contribution to a gather window.
+type fetchJob struct {
+	rows  []int32
+	fetch FetchFunc
+	h     *Handle
+}
+
+// gatherQueue is one owner node's double-buffered job queue: producers
+// append to the fill buffer while a drainer works through the other, and
+// the two swap when the drainer comes back — so a new window can queue up
+// while the previous one is still streaming.
+type gatherQueue struct {
+	mu       sync.Mutex
+	fill     []fetchJob
+	spare    []fetchJob // the drained buffer, recycled on swap
+	draining bool
+}
+
+// enqueue appends a job and starts a drainer goroutine if none is running.
+func (q *gatherQueue) enqueue(j fetchJob, g *AsyncGatherer) {
+	q.mu.Lock()
+	q.fill = append(q.fill, j)
+	start := !q.draining
+	if start {
+		q.draining = true
+	}
+	q.mu.Unlock()
+	if start {
+		go q.drain(g)
+	}
+}
+
+// swap takes the filled buffer, leaving the spare in its place. Returns nil
+// when the queue is empty (and, for the background drainer, clears the
+// draining flag so the next enqueue restarts it).
+func (q *gatherQueue) swap(background bool) []fetchJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.fill) == 0 {
+		if background {
+			q.draining = false
+		}
+		return nil
+	}
+	jobs := q.fill
+	q.fill = q.spare[:0]
+	q.spare = nil // owned by the drainer until it returns the buffer
+	return jobs
+}
+
+// finish recycles a drained buffer.
+func (q *gatherQueue) finish(jobs []fetchJob) {
+	q.mu.Lock()
+	if q.spare == nil {
+		q.spare = jobs[:0]
+	}
+	q.mu.Unlock()
+}
+
+// drain is the background drainer: it alternates the double buffers until
+// the queue runs dry, then exits.
+func (q *gatherQueue) drain(g *AsyncGatherer) {
+	for {
+		jobs := q.swap(true)
+		if jobs == nil {
+			return
+		}
+		runJobs(jobs, g)
+		q.finish(jobs)
+	}
+}
+
+// drainOn lets a consumer goroutine (inside Await) help with queued work
+// instead of idling.
+func (q *gatherQueue) drainOn(g *AsyncGatherer) {
+	jobs := q.swap(false)
+	if jobs == nil {
+		return
+	}
+	runJobs(jobs, g)
+	q.finish(jobs)
+}
+
+// runJobs executes fetches and accounts worker busy time.
+func runJobs(jobs []fetchJob, g *AsyncGatherer) {
+	start := time.Now()
+	for _, j := range jobs {
+		st := j.h.staging
+		for _, row := range j.rows {
+			i := st.slot[row]
+			j.fetch(row, st.buf[i*st.dim:(i+1)*st.dim])
+		}
+		j.h.jobDone()
+	}
+	g.noteBusy(time.Since(start))
+}
+
+// AsyncGatherer executes gather plans off the consumer's critical path: one
+// double-buffered queue per owner node (the node streaming its resident
+// rows over the fabric), drained by on-demand worker goroutines. Submit
+// issues a window; the returned Handle's Await blocks only for whatever the
+// overlap failed to hide. GatherSync runs the same plan inline, timing the
+// fully exposed cost the synchronous path pays.
+type AsyncGatherer struct {
+	queues []*gatherQueue
+
+	mu    sync.Mutex
+	stats OverlapStats
+}
+
+// NewAsyncGatherer builds an engine for a topology of `nodes` owner nodes.
+func NewAsyncGatherer(nodes int) *AsyncGatherer {
+	if nodes < 1 {
+		panic(fmt.Sprintf("shard: async gatherer over %d nodes", nodes))
+	}
+	g := &AsyncGatherer{queues: make([]*gatherQueue, nodes)}
+	for i := range g.queues {
+		g.queues[i] = &gatherQueue{}
+	}
+	return g
+}
+
+// Submit issues one gather window asynchronously and returns its Handle.
+// The submitting goroutine yields once so the drainers get scheduled even
+// on a single-CPU host — the window then streams while the caller's compute
+// runs, which is exactly the overlap the paper's pipeline performs in
+// hardware.
+func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Handle {
+	h := &Handle{g: g, staging: newStaging(plan, dim), done: make(chan struct{})}
+	jobs := 0
+	for _, rows := range plan.perOwner {
+		if len(rows) > 0 {
+			jobs++
+		}
+	}
+	g.mu.Lock()
+	g.stats.Windows++
+	g.stats.PrefetchRows += int64(plan.Rows())
+	g.stats.PrefetchBytes += plan.Bytes
+	g.mu.Unlock()
+	if jobs == 0 {
+		close(h.done)
+		return h
+	}
+	h.pending.Store(int64(jobs))
+	for owner, rows := range plan.perOwner {
+		if len(rows) == 0 {
+			continue
+		}
+		g.queues[owner].enqueue(fetchJob{rows: rows, fetch: fetch, h: h}, g)
+	}
+	runtime.Gosched()
+	return h
+}
+
+// GatherSync executes a plan inline on the calling goroutine and returns
+// the filled staging buffer. The wall time is accounted as synchronous
+// (fully exposed) gather time — the baseline the overlap is measured
+// against.
+func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *Staging {
+	start := time.Now()
+	st := newStaging(plan, dim)
+	for _, rows := range plan.perOwner {
+		for _, row := range rows {
+			i := st.slot[row]
+			fetch(row, st.buf[i*st.dim:(i+1)*st.dim])
+		}
+	}
+	el := time.Since(start)
+	g.mu.Lock()
+	g.stats.SyncWindows++
+	g.stats.SyncRows += int64(plan.Rows())
+	g.stats.SyncBytes += plan.Bytes
+	g.stats.SyncGather += el
+	g.mu.Unlock()
+	return st
+}
+
+// Stats snapshots the overlap counters.
+func (g *AsyncGatherer) Stats() OverlapStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// ResetStats zeroes the overlap counters (e.g. after warm-up windows).
+func (g *AsyncGatherer) ResetStats() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats = OverlapStats{}
+}
+
+func (g *AsyncGatherer) noteBusy(d time.Duration) {
+	g.mu.Lock()
+	g.stats.GatherBusy += d
+	g.mu.Unlock()
+}
+
+func (g *AsyncGatherer) noteExposed(d time.Duration) {
+	g.mu.Lock()
+	g.stats.Exposed += d
+	g.mu.Unlock()
+}

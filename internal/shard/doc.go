@@ -1,8 +1,9 @@
 // Package shard is the sharded embedding service: it partitions embedding
-// table rows across N simulated nodes, replicates popularity-classified
-// entries into a bounded per-node device cache (LRU or SRRIP eviction), and
-// accounts the deterministic all-to-all gather/scatter traffic that
-// non-resident rows incur.
+// table rows across N simulated nodes under a pluggable ownership policy,
+// replicates popularity-classified entries into a bounded per-node device
+// cache (LRU or SRRIP eviction), accounts the deterministic all-to-all
+// gather/scatter traffic that non-resident rows incur, and can execute
+// that traffic asynchronously so gathers overlap with compute.
 //
 // In the DESIGN.md layering the package sits between internal/cost (whose
 // link models price the measured traffic) and internal/embedding (whose
@@ -11,13 +12,27 @@
 // sharding only decides where a row physically lives and what its access
 // costs — while the Service's counters turn the paper's Figure-30-style
 // multi-node claims from closed-form estimates into measured behaviour:
-// cache hit-rates, bytes moved per iteration, and all-to-all times come from
-// replaying real access streams against real cache state.
+// cache hit-rates, bytes moved per iteration, all-to-all times, and the
+// fraction of gather time left exposed come from replaying real access
+// streams against real cache state.
 //
-// Topology model: rows are owned round-robin (row r of every table lives on
-// node r mod N) and samples are dealt round-robin to nodes the same way, so
-// every partition is deterministic and independent of batch composition.
-// Remote lookups first probe the requesting node's device cache; misses are
-// gathered over the fabric once per iteration (intra-batch dedup) and
-// popularity-classified rows are admitted into the cache on the way through.
+// Topology model: samples are dealt round-robin to nodes by batch position
+// (NodeOf), and row ownership is a Partitioner — round-robin (row r of
+// every table lives on node r mod N, the default), capacity-weighted
+// (proportional to per-node weights), or hot-row-aware (RequestCounter
+// tallies per-node request counts and HotAware pins each popular row to
+// its dominant requester, shrinking both gather and gradient-scatter
+// volume). Remote lookups first probe the requesting node's device cache;
+// misses are gathered over the fabric once per iteration (intra-batch
+// dedup) and popularity-classified rows are admitted into the cache on the
+// way through. A zero cache budget is the explicit pure-remote mode: no
+// admissions and no fill traffic.
+//
+// Gathers can run asynchronously: PlanGather performs the exact accounting
+// walk of RecordGather and also returns the distinct remote rows grouped
+// by owner; the AsyncGatherer streams each owner's rows through
+// double-buffered per-node queues into a Staging buffer while the consumer
+// computes, and Handle.Await blocks only on what the overlap failed to
+// hide — the measured exposed-gather time the mn-overlap scenario and the
+// Hotline timing model consume.
 package shard

@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partitioner decides which node owns each embedding row. Ownership must be
+// deterministic and total: the same (table, row) always maps to the same
+// node in [0, Nodes). It replaces the substrate's original hard-coded
+// round-robin rule, so non-uniform placements (capacity-weighted shards,
+// popular rows co-located with their dominant requesters) plug into the
+// Service, the ShardedBag storage layout and the traffic accounting without
+// touching any training math.
+type Partitioner interface {
+	// Owner returns the node that owns row `row` of table `table`.
+	Owner(table int, row int32) int
+	// Nodes returns the node count the partitioner spreads rows across.
+	Nodes() int
+	// Name labels the placement policy in reports and measurement memo keys.
+	Name() string
+}
+
+// PlacementKind names the ownership policies the substrate ships, for
+// scenario sweeps and measurement memo keys.
+type PlacementKind uint8
+
+const (
+	// PlaceRoundRobin is the uniform baseline: row r lives on node r mod N.
+	PlaceRoundRobin PlacementKind = iota
+	// PlaceCapacity spreads rows proportionally to per-node capacity weights.
+	PlaceCapacity
+	// PlaceHotAware co-locates popular rows with their dominant requesting
+	// node and falls back to round-robin for the cold tail.
+	PlaceHotAware
+)
+
+// String names the placement for reports.
+func (k PlacementKind) String() string {
+	switch k {
+	case PlaceCapacity:
+		return "capacity-weighted"
+	case PlaceHotAware:
+		return "hot-aware"
+	}
+	return "round-robin"
+}
+
+// --- round-robin -----------------------------------------------------------
+
+type roundRobin struct{ nodes int }
+
+// NewRoundRobin returns the uniform partitioner: row r of every table lives
+// on node r mod nodes (the substrate's original hard-coded rule).
+func NewRoundRobin(nodes int) Partitioner {
+	if nodes < 1 {
+		panic(fmt.Sprintf("shard: round-robin over %d nodes", nodes))
+	}
+	return roundRobin{nodes: nodes}
+}
+
+func (p roundRobin) Owner(table int, row int32) int { return int(row) % p.nodes }
+func (p roundRobin) Nodes() int                     { return p.nodes }
+func (p roundRobin) Name() string                   { return PlaceRoundRobin.String() }
+
+// --- capacity-weighted -----------------------------------------------------
+
+type capacityWeighted struct {
+	schedule []int32 // repeating owner pattern, interleaved for balance
+	nodes    int
+}
+
+// NewCapacityWeighted spreads rows in proportion to integer per-node
+// capacity weights (a heterogeneous cluster where some nodes hold more HBM
+// than others). Ownership follows a fixed repeating schedule that
+// interleaves nodes — weights {2, 1, 1} yield the pattern 0 1 2 0 — so
+// consecutive rows still spread across nodes while node n ends up with
+// weights[n]/sum of every table. A zero weight is allowed (the node owns no
+// rows but still deals samples and caches replicas).
+func NewCapacityWeighted(weights []int) Partitioner {
+	if len(weights) == 0 {
+		panic("shard: capacity-weighted with no weights")
+	}
+	maxW, total := 0, 0
+	for n, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("shard: negative capacity weight %d for node %d", w, n))
+		}
+		if w > maxW {
+			maxW = w
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("shard: capacity-weighted with all-zero weights")
+	}
+	p := capacityWeighted{nodes: len(weights), schedule: make([]int32, 0, total)}
+	for round := 0; round < maxW; round++ {
+		for n, w := range weights {
+			if round < w {
+				p.schedule = append(p.schedule, int32(n))
+			}
+		}
+	}
+	return p
+}
+
+func (p capacityWeighted) Owner(table int, row int32) int {
+	return int(p.schedule[int(row)%len(p.schedule)])
+}
+func (p capacityWeighted) Nodes() int   { return p.nodes }
+func (p capacityWeighted) Name() string { return PlaceCapacity.String() }
+
+// --- hot-row-aware ---------------------------------------------------------
+
+// Assigned overrides ownership for an explicit set of rows and delegates
+// everything else to a base partitioner. It is the mechanism behind the
+// hot-aware placement: the overrides are the popular rows, pinned to their
+// dominant requesters, while the cold tail keeps the base layout.
+type Assigned struct {
+	base   Partitioner
+	assign map[uint64]int32 // key(table,row) -> owner node
+	name   string
+}
+
+// NewAssigned returns an empty override layer on top of base.
+func NewAssigned(base Partitioner, name string) *Assigned {
+	return &Assigned{base: base, assign: make(map[uint64]int32), name: name}
+}
+
+// Assign pins (table, row) to node. Later assignments overwrite earlier ones.
+func (a *Assigned) Assign(table int, row int32, node int) {
+	if node < 0 || node >= a.base.Nodes() {
+		panic(fmt.Sprintf("shard: assign row to node %d of %d", node, a.base.Nodes()))
+	}
+	a.assign[key(table, row)] = int32(node)
+}
+
+// Overrides returns how many rows carry explicit ownership.
+func (a *Assigned) Overrides() int { return len(a.assign) }
+
+// Owner implements Partitioner.
+func (a *Assigned) Owner(table int, row int32) int {
+	if n, ok := a.assign[key(table, row)]; ok {
+		return int(n)
+	}
+	return a.base.Owner(table, row)
+}
+
+// Nodes implements Partitioner.
+func (a *Assigned) Nodes() int { return a.base.Nodes() }
+
+// Name implements Partitioner.
+func (a *Assigned) Name() string { return a.name }
+
+// RequestCounter tallies, per (table, row), how often each node requests the
+// row, with samples dealt to nodes round-robin by batch position exactly
+// like Service.NodeOf. Feed it the access stream the placement should
+// optimise for (the learning-phase profile), then build the hot-aware
+// partitioner from the tallies.
+type RequestCounter struct {
+	nodes  int
+	counts map[uint64][]int64 // key(table,row) -> per-node request counts
+}
+
+// NewRequestCounter returns an empty counter for a topology of `nodes` nodes.
+func NewRequestCounter(nodes int) *RequestCounter {
+	if nodes < 1 {
+		panic(fmt.Sprintf("shard: request counter over %d nodes", nodes))
+	}
+	return &RequestCounter{nodes: nodes, counts: make(map[uint64][]int64)}
+}
+
+// Observe tallies one bag access set (indices[b] lists the rows batch
+// position b touches; position b is dealt to node b mod nodes).
+func (rc *RequestCounter) Observe(table int, indices [][]int32) {
+	for b := range indices {
+		node := b % rc.nodes
+		for _, ix := range indices[b] {
+			k := key(table, ix)
+			c := rc.counts[k]
+			if c == nil {
+				c = make([]int64, rc.nodes)
+				rc.counts[k] = c
+			}
+			c[node]++
+		}
+	}
+}
+
+// HotAware builds the hot-row-aware placement: every observed row the
+// classifier marks popular is pinned to the node that requested it most
+// (ties break toward the lowest node id), so the heaviest request stream
+// for each popular row becomes local and its gather and gradient-scatter
+// messages disappear. Rows the classifier rejects — and rows never observed
+// — keep the round-robin fallback. A nil classifier pins every observed row.
+func (rc *RequestCounter) HotAware(hot HotClassifier) Partitioner {
+	a := NewAssigned(NewRoundRobin(rc.nodes), PlaceHotAware.String())
+	// Sorted key walk: map iteration order must not leak into anything
+	// observable (Assign is last-writer-wins per distinct key, but a
+	// deterministic walk keeps the build reproducible under -race and easy
+	// to debug).
+	keys := make([]uint64, 0, len(rc.counts))
+	for k := range rc.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		table, row := int(k>>32), int32(uint32(k))
+		if hot != nil && !hot.IsHot(table, row) {
+			continue
+		}
+		best, c := 0, rc.counts[k]
+		for n := 1; n < rc.nodes; n++ {
+			if c[n] > c[best] {
+				best = n
+			}
+		}
+		a.Assign(table, row, best)
+	}
+	return a
+}

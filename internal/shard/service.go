@@ -21,11 +21,18 @@ type Config struct {
 	// Nodes is the number of simulated nodes the tables shard across.
 	Nodes int
 	// CacheBytes is each node's device-cache capacity for replicated rows.
+	// Zero selects the explicit pure-remote mode: no device caches, every
+	// remote lookup crosses the fabric, and no fill traffic is accounted.
+	// Non-zero budgets must hold at least one row (see Validate).
 	CacheBytes int64
 	// RowBytes is one embedding row's footprint (EmbedDim * 4 for float32).
 	RowBytes int64
 	// Policy selects the device-cache eviction policy (default LRU).
 	Policy Policy
+	// Part decides row ownership. Nil selects the round-robin baseline
+	// (row r of every table lives on node r mod Nodes); see NewRoundRobin,
+	// NewCapacityWeighted and RequestCounter.HotAware for the alternatives.
+	Part Partitioner
 }
 
 // Validate checks the configuration.
@@ -39,11 +46,33 @@ func (c Config) Validate() error {
 	if c.CacheBytes < 0 {
 		return fmt.Errorf("shard: negative CacheBytes %d", c.CacheBytes)
 	}
+	if c.CacheBytes > 0 && c.CacheBytes < c.RowBytes {
+		return fmt.Errorf("shard: CacheBytes %d holds no full row of %d bytes; "+
+			"use CacheBytes = 0 for an explicit pure-remote (uncached) service",
+			c.CacheBytes, c.RowBytes)
+	}
+	if c.Part != nil && c.Part.Nodes() != c.Nodes {
+		return fmt.Errorf("shard: partitioner %q spreads over %d nodes, config has %d",
+			c.Part.Name(), c.Part.Nodes(), c.Nodes)
+	}
 	return nil
 }
 
 // CacheRows returns the per-node cache capacity in rows.
 func (c Config) CacheRows() int { return int(c.CacheBytes / c.RowBytes) }
+
+// PureRemote reports whether the service runs without device caches (every
+// remote lookup crosses the fabric, no replication fill traffic).
+func (c Config) PureRemote() bool { return c.CacheBytes == 0 }
+
+// Placement returns the ownership policy name ("round-robin" for the nil
+// default).
+func (c Config) Placement() string {
+	if c.Part == nil {
+		return PlaceRoundRobin.String()
+	}
+	return c.Part.Name()
+}
 
 // Stats is a snapshot of a Service's traffic counters. All row counters are
 // in embedding rows; byte counters already include the row footprint.
@@ -77,6 +106,16 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.CacheHits) / float64(r)
+}
+
+// LocalFrac returns the fraction of lookups served by the requesting
+// node's own shard — what a placement policy maximises by co-locating rows
+// with their requesters.
+func (s Stats) LocalFrac() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Local) / float64(s.Lookups)
 }
 
 // RemoteFrac returns the fraction of lookups that land on a remote shard
@@ -126,15 +165,19 @@ func (s Stats) Sub(prev Stats) Stats {
 }
 
 // AllToAllTime prices the snapshot's gather+scatter volume with the cost
-// models: each node exchanges its per-node share over the inter-node fabric
-// (intra-node NVLink when the system is a single box).
+// models. The snapshot's own node count is authoritative for both the guard
+// and the exchange: s.Nodes participants each move their per-node share, and
+// the traffic stays on intra-node NVLink only when those participants all
+// fit inside sys's single box (sys.Nodes <= 1 and at most one shard node per
+// GPU); any disagreement — more shard nodes than one box holds, or a
+// multi-box system — prices the inter-node fabric.
 func (s Stats) AllToAllTime(sys cost.System) sim.Duration {
 	if s.Nodes <= 1 {
 		return 0
 	}
 	perNode := s.A2ABytes() / int64(s.Nodes)
 	link := sys.IB
-	if sys.Nodes <= 1 {
+	if sys.Nodes <= 1 && s.Nodes <= sys.GPUsPerNode {
 		link = sys.NVLink
 	}
 	return cost.AllToAllTime(link, perNode, s.Nodes)
@@ -152,8 +195,13 @@ func (s Stats) AllToAllTime(sys cost.System) sim.Duration {
 // concurrent recording only the cache interleaving — never any training
 // math — depends on scheduling.
 type Service struct {
-	cfg Config
-	hot HotClassifier
+	cfg  Config
+	hot  HotClassifier
+	part Partitioner
+
+	// gather is the optional async prefetch engine (EnableAsyncGather);
+	// read-only after attach.
+	gather *AsyncGatherer
 
 	mu     sync.Mutex
 	caches []*DeviceCache
@@ -165,7 +213,11 @@ func New(cfg Config, hot HotClassifier) *Service {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &Service{cfg: cfg, hot: hot, caches: make([]*DeviceCache, cfg.Nodes)}
+	part := cfg.Part
+	if part == nil {
+		part = NewRoundRobin(cfg.Nodes)
+	}
+	s := &Service{cfg: cfg, hot: hot, part: part, caches: make([]*DeviceCache, cfg.Nodes)}
 	for n := range s.caches {
 		s.caches[n] = NewDeviceCache(cfg.CacheRows(), cfg.Policy)
 	}
@@ -178,8 +230,28 @@ func (s *Service) Nodes() int { return s.cfg.Nodes }
 // Config returns the service configuration.
 func (s *Service) Config() Config { return s.cfg }
 
-// Owner returns the node that owns a row (round-robin partition).
-func (s *Service) Owner(row int32) int { return int(row) % s.cfg.Nodes }
+// Partitioner returns the ownership policy in effect.
+func (s *Service) Partitioner() Partitioner { return s.part }
+
+// Owner returns the node that owns a row of a table under the service's
+// placement policy.
+func (s *Service) Owner(table int, row int32) int { return s.part.Owner(table, row) }
+
+// EnableAsyncGather attaches (or returns the already-attached) asynchronous
+// gather engine. With an engine attached, ShardedBag forwards route fabric
+// fetches through staging buffers — synchronously when no prefetch was
+// issued, overlapped with compute when one was — and the engine measures
+// how much of the gather time stayed exposed. Attach before training starts;
+// the field is read without the service mutex afterwards.
+func (s *Service) EnableAsyncGather() *AsyncGatherer {
+	if s.gather == nil {
+		s.gather = NewAsyncGatherer(s.cfg.Nodes)
+	}
+	return s.gather
+}
+
+// Gatherer returns the attached async gather engine, or nil.
+func (s *Service) Gatherer() *AsyncGatherer { return s.gather }
 
 // NodeOf returns the node a batch position is dealt to (round-robin data
 // parallelism; µ-batches inherit the mapping by position).
@@ -196,6 +268,21 @@ func key(table int, row int32) uint64 {
 // are gathered once per distinct (node, row) with popular rows admitted
 // into the cache. Deterministic: indices are walked in order.
 func (s *Service) RecordGather(table int, indices [][]int32) {
+	s.planGather(table, indices, false)
+}
+
+// PlanGather performs RecordGather's full accounting pass and additionally
+// returns the fabric fetch plan: the distinct rows that must cross the
+// fabric into the requesting side's staging buffer, grouped by owner node.
+// It returns nil when nothing needs fetching (single node, or every remote
+// access was a cache hit). The async gather engine executes the plan; cache
+// state and counters advance exactly as a plain RecordGather would.
+func (s *Service) PlanGather(table int, indices [][]int32) *GatherPlan {
+	return s.planGather(table, indices, true)
+}
+
+// planGather is the shared accounting walk behind RecordGather/PlanGather.
+func (s *Service) planGather(table int, indices [][]int32, collect bool) *GatherPlan {
 	if s.cfg.Nodes == 1 {
 		// Single node: every access is local; count and return.
 		var n int64
@@ -206,10 +293,11 @@ func (s *Service) RecordGather(table int, indices [][]int32) {
 		s.stats.Lookups += n
 		s.stats.Local += n
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var plan *GatherPlan
 	// gathered dedups fabric fetches within this call (one iteration's bag).
 	var gathered map[uint64]struct{}
 	for b := range indices {
@@ -217,7 +305,7 @@ func (s *Service) RecordGather(table int, indices [][]int32) {
 		cache := s.caches[node]
 		for _, ix := range indices[b] {
 			s.stats.Lookups++
-			if s.Owner(ix) == node {
+			if s.Owner(table, ix) == node {
 				s.stats.Local++
 				continue
 			}
@@ -237,8 +325,17 @@ func (s *Service) RecordGather(table int, indices [][]int32) {
 				gathered[nk] = struct{}{}
 				s.stats.GatherRows++
 				s.stats.GatherBytes += s.cfg.RowBytes
+				if collect {
+					if plan == nil {
+						plan = newGatherPlan(table, s.cfg.Nodes)
+					}
+					plan.add(ix, s.Owner(table, ix), s.cfg.RowBytes)
+				}
 			}
-			if s.hot == nil || s.hot.IsHot(table, ix) {
+			// Admission replicates popular rows into the probing cache; the
+			// explicit pure-remote mode (zero capacity) admits nothing and
+			// must account no fill traffic.
+			if cache.Capacity() > 0 && (s.hot == nil || s.hot.IsHot(table, ix)) {
 				if cache.Insert(k) {
 					s.stats.Evictions++
 				}
@@ -246,6 +343,7 @@ func (s *Service) RecordGather(table int, indices [][]int32) {
 			}
 		}
 	}
+	return plan
 }
 
 // RecordScatter accounts the gradient push-back for one bag's backward
@@ -262,7 +360,7 @@ func (s *Service) RecordScatter(table int, indices [][]int32) {
 	for b := range indices {
 		node := s.NodeOf(b)
 		for _, ix := range indices[b] {
-			if s.Owner(ix) == node {
+			if s.Owner(table, ix) == node {
 				continue
 			}
 			nk := uint64(node)<<32 | uint64(uint32(ix))
@@ -290,7 +388,7 @@ func (s *Service) Preload(table int, rows []int32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, ix := range rows {
-		owner := s.Owner(ix)
+		owner := s.Owner(table, ix)
 		k := key(table, ix)
 		for n, cache := range s.caches {
 			if n == owner || cache.Capacity() == 0 {

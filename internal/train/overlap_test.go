@@ -1,0 +1,112 @@
+package train
+
+import (
+	"testing"
+
+	"hotline/internal/data"
+	"hotline/internal/model"
+	"hotline/internal/shard"
+)
+
+// buildPartitioner realises one of the placements the determinism contract
+// covers: nil (round-robin default) or a hot-aware layout counted over the
+// test's own access stream.
+func buildPartitioner(t *testing.T, cfg data.Config, nodes, iters, batch int, hotAware bool) shard.Partitioner {
+	t.Helper()
+	if !hotAware {
+		return nil
+	}
+	rc := shard.NewRequestCounter(nodes)
+	gen := data.NewGenerator(cfg)
+	for i := 0; i < iters; i++ {
+		b := gen.NextBatch(batch)
+		for tbl := range b.Sparse {
+			rc.Observe(tbl, b.Sparse[tbl])
+		}
+	}
+	return rc.HotAware(nil)
+}
+
+// TestOverlapDeterminism is the async-overlap determinism contract: training
+// with the non-popular gather prefetched and overlapped with the popular
+// µ-batch is byte-identical to fully synchronous sharded training, for
+// every node count and for both the round-robin and hot-aware placements.
+// The -race harness runs this too, so the staging hand-off is also proven
+// race-free.
+func TestOverlapDeterminism(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	cfg.Samples = 1024
+	// The contract under test lives entirely in the embedding/shard layer;
+	// tiny MLPs keep the 16-run matrix fast under -race without touching
+	// the sparse access stream the EAL classifies.
+	cfg.BotMLP = []int{13, 32, 16}
+	cfg.TopMLP = []int{32, 1}
+	// 4 batches feed the EAL's learning phase (LearnSamples below), the
+	// rest classify with real popular/non-popular splits — the overlap path
+	// only runs on split batches.
+	const seed, iters, batch = 42, 8, 128
+
+	for _, hotAware := range []bool{false, true} {
+		for _, nodes := range []int{1, 2, 4, 8} {
+			run := func(overlap bool) (*model.Model, shard.OverlapStats) {
+				svc := shard.New(shard.Config{
+					Nodes: nodes, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+					Part: buildPartitioner(t, cfg, nodes, iters, batch, hotAware),
+				}, nil)
+				tr := NewHotlineSharded(model.New(cfg, seed), 0.1, svc)
+				tr.OverlapGather = overlap
+				tr.LearnSamples = 512 // the EAL's minimum useful warm-up
+				gen := data.NewGenerator(cfg)
+				for i := 0; i < iters; i++ {
+					tr.Step(gen.NextBatch(batch))
+				}
+				return tr.M, svc.Gatherer().Stats()
+			}
+			sync, syncStats := run(false)
+			over, overStats := run(true)
+			if !model.DenseStateEqual(sync, over) {
+				t.Fatalf("nodes=%d hotAware=%v: dense state diverged", nodes, hotAware)
+			}
+			if !model.SparseStateEqual(sync, over) {
+				t.Fatalf("nodes=%d hotAware=%v: sparse state diverged", nodes, hotAware)
+			}
+			if nodes > 1 {
+				if overStats.Windows == 0 {
+					t.Fatalf("nodes=%d hotAware=%v: overlap run issued no prefetch windows", nodes, hotAware)
+				}
+				if syncStats.Windows != 0 {
+					t.Fatalf("nodes=%d hotAware=%v: sync run must not prefetch: %+v", nodes, hotAware, syncStats)
+				}
+				if syncStats.SyncGather <= 0 {
+					t.Fatalf("nodes=%d hotAware=%v: sync run measured no gather time", nodes, hotAware)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapMatchesUnshardedExecutor closes the loop to the original
+// executor parity: overlapped sharded training equals the plain unsharded
+// Hotline trainer bit for bit.
+func TestOverlapMatchesUnshardedExecutor(t *testing.T) {
+	cfg := shardedCfg()
+	const seed, iters, batch = 7, 3, 48
+
+	ref := NewHotline(model.New(cfg, seed), 0.1)
+	refGen := data.NewGenerator(cfg)
+	for i := 0; i < iters; i++ {
+		ref.Step(refGen.NextBatch(batch))
+	}
+
+	svc := shard.New(shard.Config{
+		Nodes: 4, CacheBytes: 32 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+	}, nil)
+	tr := NewHotlineSharded(model.New(cfg, seed), 0.1, svc)
+	gen := data.NewGenerator(cfg)
+	for i := 0; i < iters; i++ {
+		tr.Step(gen.NextBatch(batch))
+	}
+	if !model.DenseStateEqual(ref.M, tr.M) || !model.SparseStateEqual(ref.M, tr.M) {
+		t.Fatal("overlapped sharded training must match the unsharded executor")
+	}
+}

@@ -6,15 +6,23 @@ import (
 )
 
 // NewHotlineSharded wraps a model in the Hotline µ-batch executor with its
-// embedding tables partitioned across the nodes of svc (row-wise, with
-// per-node hot-entry device caches). Training math is bit-identical to the
-// unsharded executor for every node count — the service only simulates
-// placement, caching and all-to-all traffic — so the Eq. 5 parity argument
-// carries over unchanged while svc.Snapshot() reports what the topology
-// actually moved.
+// embedding tables partitioned across the nodes of svc (row-wise under the
+// service's placement policy, with per-node hot-entry device caches).
+// Training math is bit-identical to the unsharded executor for every node
+// count and placement — the service only simulates row placement, caching
+// and all-to-all traffic — so the Eq. 5 parity argument carries over
+// unchanged while svc.Snapshot() reports what the topology actually moved.
+//
+// The service's async gather engine is attached and overlap enabled: the
+// non-popular µ-batch's fabric gathers stream while the popular µ-batch
+// computes, and svc.Gatherer().Stats() reports how much gather time stayed
+// exposed. Set OverlapGather = false for the synchronous ablation (same
+// traffic, fully exposed gathers).
 func NewHotlineSharded(m *model.Model, lr float32, svc *shard.Service) *HotlineTrainer {
+	svc.EnableAsyncGather()
 	m.ShardEmbeddings(svc)
 	t := NewHotline(m, lr)
 	t.Shard = svc
+	t.OverlapGather = true
 	return t
 }

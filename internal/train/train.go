@@ -64,6 +64,14 @@ type HotlineTrainer struct {
 	// all-to-all traffic of the run.
 	Shard *shard.Service
 
+	// OverlapGather, on a sharded service with an async engine, prefetches
+	// the non-popular µ-batch's remote embedding rows so the fabric gather
+	// streams while the popular µ-batch computes — the paper's pipeline,
+	// executed in the functional layer. Training state is bit-identical
+	// with the flag on or off (TestOverlapDeterminism); only the measured
+	// exposed-gather time changes. NewHotlineSharded enables it.
+	OverlapGather bool
+
 	// stats
 	PopularInputs, TotalInputs int64
 }
@@ -130,9 +138,19 @@ func (t *HotlineTrainer) Step(b *data.Batch) float64 {
 		}
 		t.shadow.ZeroAll()
 		var lossPop, lossNon float64
+		nonSub := b.Subset(non)
+		if t.OverlapGather && t.Shard != nil && t.Shard.Gatherer() != nil {
+			// Issue the non-popular µ-batch's fabric gathers before the
+			// popular µ-batch is dispatched: the async engine streams the
+			// remote rows into staging while the popular pass computes, and
+			// the shadow's Forward blocks only on whatever stayed exposed.
+			// Planning before the popular pass also fixes the cache-state
+			// order, so the service's counters are deterministic.
+			t.shadow.PrefetchSparse(nonSub)
+		}
 		par.Do(
 			func() { lossPop = microBatchPass(t.M, b, pop, invN) },
-			func() { lossNon = microBatchPass(t.shadow, b, non, invN) },
+			func() { lossNon = subBatchPass(t.shadow, nonSub, invN) },
 		)
 		t.M.AbsorbShadow(t.shadow)
 		totalLoss = lossPop + lossNon
@@ -147,7 +165,13 @@ func (t *HotlineTrainer) Step(b *data.Batch) float64 {
 // gradients are scaled by 1/n (the full mini-batch size) so the accumulated
 // update equals the baseline's mean-reduced mini-batch update (Eq. 5).
 func microBatchPass(m *model.Model, b *data.Batch, idx []int, invN float32) float64 {
-	sub := b.Subset(idx)
+	return subBatchPass(m, b.Subset(idx), invN)
+}
+
+// subBatchPass is microBatchPass against an already-extracted subset (the
+// executor subsets the non-popular µ-batch up front so its sparse index
+// sets can be prefetched before the pass runs).
+func subBatchPass(m *model.Model, sub *data.Batch, invN float32) float64 {
 	logits := m.Forward(sub)
 	loss, grad := nn.BCEWithLogits(logits, sub.Labels, nn.ReduceSum)
 	m.Backward(grad, invN)
