@@ -7,11 +7,7 @@ import (
 	"testing"
 
 	"hotline"
-	"hotline/internal/accel"
-	"hotline/internal/cost"
-	"hotline/internal/data"
-	"hotline/internal/pipeline"
-	"hotline/internal/tensor"
+	"hotline/internal/tools/microbench"
 )
 
 // benchExperiment runs one experiment generator per iteration.
@@ -68,73 +64,35 @@ func BenchmarkAblOverlap(b *testing.B)   { benchExperiment(b, "abl-overlap") }
 func BenchmarkAblSampling(b *testing.B)  { benchExperiment(b, "abl-sampling") }
 
 // --- micro-benchmarks on the hot substrates -------------------------------
+//
+// The targets live in internal/tools/microbench, shared with the
+// hotline-bench -bench runner (which records them into BENCH_<date>.json);
+// these wrappers keep them reachable through `go test -bench`.
 
 // BenchmarkEALTouch measures the Embedding Access Logger's learning-phase
 // throughput (the accelerator's innermost loop).
-func BenchmarkEALTouch(b *testing.B) {
-	eal := accel.NewEAL(accel.EALConfig{SizeBytes: 1 << 20, Banks: 64, Ways: 8, BytesPerEntry: 2, Seed: 1})
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		eal.Touch(i%26, int32(i%100000))
-	}
-}
+func BenchmarkEALTouch(b *testing.B) { microbench.EALTouch(b) }
 
 // BenchmarkEALClassify measures acceleration-phase classification of a 4K
-// Criteo Kaggle mini-batch.
-func BenchmarkEALClassify(b *testing.B) {
-	cfg := data.CriteoKaggle()
-	acc := accel.New(accel.DefaultConfig())
-	gen := data.NewGenerator(cfg)
-	for i := 0; i < 2; i++ {
-		acc.LearnBatch(gen.NextBatch(1024))
-	}
-	batch := gen.NextBatch(4096)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		acc.Classify(batch)
-	}
-}
+// Criteo Kaggle mini-batch (steady state: 0 allocs/op).
+func BenchmarkEALClassify(b *testing.B) { microbench.EALClassify(b) }
 
 // BenchmarkHotlineTrainStep measures one functional Hotline training step
-// (segregate + two µ-batch passes + update) on a scaled Kaggle model.
-func BenchmarkHotlineTrainStep(b *testing.B) {
-	cfg := data.CriteoKaggle()
-	cfg.BotMLP = []int{13, 64, 16}
-	cfg.TopMLP = []int{64, 1}
-	m := hotline.NewModel(cfg, 1)
-	tr := hotline.NewHotlineTrainer(m, 0.1)
-	gen := hotline.NewGenerator(cfg)
-	batch := gen.NextBatch(64)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tr.Step(batch)
-	}
-}
+// (segregate + two µ-batch passes + update) on a scaled Kaggle model
+// (steady state: 0 allocs/op at Parallelism(1)).
+func BenchmarkHotlineTrainStep(b *testing.B) { microbench.HotlineTrainStep(b) }
+
+// BenchmarkHotlineTrainStepPipelined is the cross-iteration pipelined
+// entry point (lookahead classification staged every step).
+func BenchmarkHotlineTrainStepPipelined(b *testing.B) { microbench.HotlineTrainStepPipelined(b) }
+
+// BenchmarkShardedPrefetchWindow measures one async gather window end to
+// end on a 4-node service (plan → queues → staging → consume → release).
+func BenchmarkShardedPrefetchWindow(b *testing.B) { microbench.ShardedPrefetchWindow(b) }
 
 // BenchmarkPipelineIteration measures the full analytic timing model for
 // every pipeline on the 4-GPU Kaggle workload.
-func BenchmarkPipelineIteration(b *testing.B) {
-	w := pipeline.NewWorkload(data.CriteoKaggle(), 4096, cost.PaperSystem(4))
-	pipes := pipeline.All()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, p := range pipes {
-			p.Iteration(w)
-		}
-	}
-}
+func BenchmarkPipelineIteration(b *testing.B) { microbench.PipelineIteration(b) }
 
 // BenchmarkZipfSample measures the workload generator's inner sampler.
-func BenchmarkZipfSample(b *testing.B) {
-	z := data.NewZipf(1_000_000, 1.1)
-	rng := tensor.NewRNG(7)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		z.Sample(rng)
-	}
-}
+func BenchmarkZipfSample(b *testing.B) { microbench.ZipfSample(b) }

@@ -18,6 +18,8 @@
 //	hotline-bench -exp fig18 -iters 200   # longer functional training
 //	hotline-bench -exp all -json report.json -quiet
 //	hotline-bench -smoke                  # fast CI smoke sweep
+//	hotline-bench -bench                  # micro-benchmarks -> BENCH_<date>.json
+//	hotline-bench -bench -bench-out -     # ... to stdout
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"hotline"
+	"hotline/internal/tools/microbench"
 )
 
 // experimentReport is one sweep entry of the JSON report.
@@ -60,7 +63,15 @@ func main() {
 	jsonPath := flag.String("json", "", "write a JSON sweep report to this file ('-' = stdout)")
 	quiet := flag.Bool("quiet", false, "suppress table rendering (summary/JSON only)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: shortest functional training")
+	bench := flag.Bool("bench", false, "run the micro-benchmarks and emit BENCH_<date>.json")
+	benchOut := flag.String("bench-out", "", "micro-benchmark output path (default BENCH_<date>.json; '-' = stdout)")
+	benchLabel := flag.String("bench-label", "", "label recorded in the benchmark report")
 	flag.Parse()
+
+	if *bench {
+		runMicrobench(*benchOut, *benchLabel, *parallel)
+		return
+	}
 
 	if *list {
 		for _, id := range hotline.Experiments() {
@@ -159,4 +170,37 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runMicrobench executes the shared micro-benchmark targets (the same code
+// `go test -bench` runs) and writes the machine-readable trajectory file.
+func runMicrobench(outPath, label string, parallel int) {
+	if parallel >= 0 {
+		hotline.Parallelism(parallel)
+	} else {
+		hotline.Parallelism(1) // benchmarks record the serial steady state
+	}
+	rep := microbench.Run(label, time.Now())
+	rep.Parallelism = hotline.NumWorkers()
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotline-bench:", err)
+		os.Exit(1)
+	}
+	if outPath == "" {
+		outPath = "BENCH_" + rep.Date + ".json"
+	}
+	if outPath == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hotline-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hotline-bench: wrote %s\n", outPath)
 }

@@ -108,6 +108,25 @@ func NewHotlineTrainer(m *Model, lr float32) *train.HotlineTrainer {
 	return train.NewHotline(m, lr)
 }
 
+// PipelinedTrainer is a Trainer with one-mini-batch lookahead: given the
+// next batch, the executor classifies it and issues its fabric prefetches
+// while the current iteration finishes (bit-identical to stepping batch by
+// batch). RunTraining feeds pipelined trainers automatically.
+type PipelinedTrainer = train.PipelinedTrainer
+
+// NewBaselineAdagradTrainer is the baseline executor under dense + sparse
+// Adagrad (the DLRM reference's production optimizer).
+func NewBaselineAdagradTrainer(m *Model, lr float32) Trainer {
+	return train.NewBaselineAdagrad(m, lr)
+}
+
+// NewHotlineAdagradTrainer is the Hotline µ-batch executor under dense +
+// sparse Adagrad; each table's µ-batch gradients merge into one update per
+// mini-batch, keeping parity with the Adagrad baseline.
+func NewHotlineAdagradTrainer(m *Model, lr float32) *train.HotlineTrainer {
+	return train.NewHotlineAdagrad(m, lr)
+}
+
 // RunTraining trains and returns the metric curve.
 var RunTraining = train.Run
 
@@ -162,6 +181,13 @@ func NewHotlineShardedTrainer(m *Model, lr float32, svc *ShardService) *train.Ho
 	return train.NewHotlineSharded(m, lr, svc)
 }
 
+// NewHotlineShardedAdagradTrainer is NewHotlineShardedTrainer under dense +
+// sparse Adagrad; sharded training stays bit-identical to the single-node
+// Adagrad executor (mn-adagrad scenario).
+func NewHotlineShardedAdagradTrainer(m *Model, lr float32, svc *ShardService) *train.HotlineTrainer {
+	return train.NewHotlineShardedAdagrad(m, lr, svc)
+}
+
 // ShardMeasurement carries measured sharding statistics (hit-rates,
 // gather/scatter fractions, bytes per iteration, exposed-gather fraction)
 // for the timing models.
@@ -182,8 +208,15 @@ var MeasureShard = pipeline.MeasureShard
 
 // NewShardedWorkload assembles a workload whose timing models consume
 // measured sharding statistics instead of analytic popularity fractions.
-// cacheBytes <= 0 selects the dataset's scaled hot-set budget.
+// cacheBytes <= 0 selects the dataset's scaled hot-set budget. The
+// exposed-gather fraction is measured too (MeasureOverlapExposed), so the
+// Hotline model prices overlap from the pipelined engine by default.
 var NewShardedWorkload = pipeline.NewShardedWorkload
+
+// MeasureOverlapExposed runs the pipelined Hotline executor functionally —
+// sync vs cross-iteration prefetch — and returns the measured fraction of
+// gather wall time left exposed (memoised per dataset and node count).
+var MeasureOverlapExposed = pipeline.MeasureOverlapExposed
 
 // DefaultShardCacheBytes returns the default per-node device-cache budget
 // for a dataset (its scaled hot-set budget).

@@ -383,3 +383,56 @@ func TestPerfPerWatt(t *testing.T) {
 		t.Fatal("2.2x throughput must win perf/Watt despite accelerator power")
 	}
 }
+
+// TestClassifyZeroAllocSteadyState: the acceleration-phase classification
+// reuses its index scratch and the per-call probe memo, so classifying a
+// mini-batch allocates nothing after warm-up (the accelerator sits on the
+// critical path of every training step).
+func TestClassifyZeroAllocSteadyState(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	acc := New(DefaultConfig())
+	gen := data.NewGenerator(cfg)
+	for i := 0; i < 2; i++ {
+		acc.LearnBatch(gen.NextBatch(1024))
+	}
+	batch := gen.NextBatch(2048)
+	for i := 0; i < 3; i++ {
+		acc.Classify(batch)
+	}
+	if n := testing.AllocsPerRun(20, func() { acc.Classify(batch) }); n > 0 {
+		t.Fatalf("Classify allocated %.1f times per batch, want 0", n)
+	}
+}
+
+// TestClassifyMemoMatchesDirectProbe: the per-call memo must be invisible —
+// classification with the memo equals per-lookup EAL.Contains probes.
+func TestClassifyMemoMatchesDirectProbe(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	acc := New(DefaultConfig())
+	gen := data.NewGenerator(cfg)
+	for i := 0; i < 2; i++ {
+		acc.LearnBatch(gen.NextBatch(1024))
+	}
+	for trial := 0; trial < 3; trial++ {
+		b := gen.NextBatch(512)
+		cl := acc.Classify(b)
+		popular := map[int]bool{}
+		for _, i := range cl.PopularIdx {
+			popular[i] = true
+		}
+		for i := 0; i < b.Size(); i++ {
+			want := true
+			for tab := range b.Sparse {
+				for _, ix := range b.Sparse[tab][i] {
+					if !acc.EAL.Contains(tab, ix) {
+						want = false
+					}
+				}
+			}
+			if popular[i] != want {
+				t.Fatalf("trial %d sample %d: memoised classification %v, direct probe %v",
+					trial, i, popular[i], want)
+			}
+		}
+	}
+}

@@ -37,6 +37,54 @@ type Accelerator struct {
 	// learning statistics
 	SampledBatches int64
 	TotalBatches   int64
+
+	// classification scratch, reused across Classify calls
+	popScratch, nonScratch []int
+	memo                   classifyMemo
+}
+
+// memoBits sizes the classification memo (2^14 entries ≈ 256 KB).
+const memoBits = 14
+
+// classifyMemo is a direct-mapped, epoch-tagged memo of EAL probe results,
+// valid within one Classify call (the EAL is read-only during
+// classification, and the epoch advances on every call). Zipf-skewed
+// batches repeat their head rows constantly, so most probes skip the
+// Feistel hash and the 8-way set scan entirely — this models the hardware's
+// ability to service repeated identifiers from its port buffers rather than
+// re-walking SRAM banks.
+type classifyMemo struct {
+	keys   []uint64
+	epochs []uint32
+	vals   []bool
+	epoch  uint32
+}
+
+// lookup probes the memo; compute is consulted (and memoised) on a miss.
+func (m *classifyMemo) lookup(key uint64, compute func() bool) bool {
+	if m.keys == nil {
+		n := 1 << memoBits
+		m.keys = make([]uint64, n)
+		m.epochs = make([]uint32, n)
+		m.vals = make([]bool, n)
+	}
+	h := (key * 0x9E3779B97F4A7C15) >> (64 - memoBits)
+	if m.keys[h] == key && m.epochs[h] == m.epoch {
+		return m.vals[h]
+	}
+	v := compute()
+	m.keys[h], m.epochs[h], m.vals[h] = key, m.epoch, v
+	return v
+}
+
+// nextEpoch invalidates the memo (start of a new Classify call).
+func (m *classifyMemo) nextEpoch() {
+	m.epoch++
+	if m.epoch == 0 && m.keys != nil {
+		// uint32 wrap: scrub stale tags so an ancient entry can never alias
+		// the restarted epoch counter.
+		clear(m.keys)
+	}
 }
 
 // New builds an accelerator.
@@ -102,15 +150,22 @@ func (c Classification) PopularFraction() float64 {
 
 // Classify runs the acceleration-phase segregation: an input is popular iff
 // every one of its embedding indices is tracked by the EAL (§V-C).
+//
+// The returned index slices are scratch owned by the accelerator, valid
+// until the next Classify call; callers that keep a classification across
+// batches must copy them (the executor's lookahead stash does).
 func (a *Accelerator) Classify(b *data.Batch) Classification {
-	var cl Classification
+	cl := Classification{PopularIdx: a.popScratch[:0], NonPopularIdx: a.nonScratch[:0]}
+	a.memo.nextEpoch()
 	n := b.Size()
 	for i := 0; i < n; i++ {
 		popular := true
 		for t := range b.Sparse {
 			for _, ix := range b.Sparse[t][i] {
 				cl.TotalLookups++
-				if !a.EAL.Contains(t, ix) {
+				key := uint64(t)<<32 | uint64(uint32(ix))
+				tracked := a.memo.lookup(key, func() bool { return a.EAL.Contains(t, ix) })
+				if !tracked {
 					popular = false
 					cl.ColdLookups++
 				}
@@ -122,6 +177,7 @@ func (a *Accelerator) Classify(b *data.Batch) Classification {
 			cl.NonPopularIdx = append(cl.NonPopularIdx, i)
 		}
 	}
+	a.popScratch, a.nonScratch = cl.PopularIdx, cl.NonPopularIdx
 	return cl
 }
 

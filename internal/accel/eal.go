@@ -66,6 +66,14 @@ type EAL struct {
 	entries  []ealEntry
 	fifoNext []uint8 // per-set round-robin pointer (PolicyFIFO)
 
+	// pow2 is set when banks and sets are both powers of two (the paper
+	// configuration): locate then uses masks and shifts instead of the two
+	// integer divisions, which dominate the classification probe.
+	pow2      bool
+	bankMask  uint32
+	bankShift uint32
+	setMask   uint32
+
 	// statistics
 	Hits, Misses, Inserts, Evicts int64
 }
@@ -78,14 +86,26 @@ func NewEAL(cfg EALConfig) *EAL {
 	if sets < 1 {
 		panic(fmt.Sprintf("accel: EAL too small: %d entries over %d banks x %d ways", total, cfg.Banks, cfg.Ways))
 	}
-	return &EAL{
+	e := &EAL{
 		Cfg:      cfg,
 		feistel:  NewFeistel(cfg.Seed),
 		sets:     sets,
 		entries:  make([]ealEntry, cfg.Banks*sets*cfg.Ways),
 		fifoNext: make([]uint8, cfg.Banks*sets),
 	}
+	if isPow2(cfg.Banks) && isPow2(sets) {
+		e.pow2 = true
+		e.bankMask = uint32(cfg.Banks - 1)
+		e.setMask = uint32(sets - 1)
+		for 1<<e.bankShift < cfg.Banks {
+			e.bankShift++
+		}
+	}
+	return e
 }
+
+// isPow2 reports whether v is a positive power of two.
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 
 // Capacity returns the number of identifiers the EAL can track.
 func (e *EAL) Capacity() int { return e.Cfg.Banks * e.sets * e.Cfg.Ways }
@@ -102,6 +122,12 @@ func (e *EAL) locate(table int, row int32) (bank, set int, tag uint32) {
 	} else {
 		h = e.feistel.HashKey(table, row)
 		tag = h
+	}
+	if e.pow2 {
+		// Same bank/set mapping as the division form below, via masks.
+		bank = int(h & e.bankMask)
+		set = int((h >> e.bankShift) & e.setMask)
+		return
 	}
 	bank = int(h % uint32(e.Cfg.Banks))
 	set = int((h / uint32(e.Cfg.Banks)) % uint32(e.sets))
@@ -124,7 +150,10 @@ func (e *EAL) Bank(table int, row int32) int {
 func (e *EAL) Contains(table int, row int32) bool {
 	bank, set, tag := e.locate(table, row)
 	for _, ent := range e.setSlice(bank, set) {
-		if ent.valid && ent.tag == tag {
+		// Tags are Feistel-scattered, so the tag compare almost always
+		// fails first; checking it before the valid bit short-circuits the
+		// common miss.
+		if ent.tag == tag && ent.valid {
 			return true
 		}
 	}

@@ -37,22 +37,41 @@ func (b *Batch) SampleSparse(i int) [][]int32 {
 // preserving order. The Hotline executor uses this to materialise popular and
 // non-popular µ-batches.
 func (b *Batch) Subset(idx []int) *Batch {
-	sub := &Batch{
-		Dense:  tensor.New(len(idx), b.Dense.Cols),
-		Sparse: make([][][]int32, len(b.Sparse)),
-		Labels: make([]float32, len(idx)),
+	return b.SubsetInto(&Batch{}, idx)
+}
+
+// SubsetInto is Subset writing into a reusable destination batch: the dense
+// matrix, label slice and sparse index tables are resized in place (index
+// lists are shared slice views of b, never copied), so the steady-state
+// executor reuses one buffer per µ-batch instead of allocating per step.
+// dst must not be b.
+func (b *Batch) SubsetInto(dst *Batch, idx []int) *Batch {
+	if dst.Dense == nil {
+		dst.Dense = &tensor.Matrix{}
 	}
+	dst.Dense.ResizeNoZero(len(idx), b.Dense.Cols) // every row copied below
+	if cap(dst.Labels) < len(idx) {
+		dst.Labels = make([]float32, len(idx))
+	}
+	dst.Labels = dst.Labels[:len(idx)]
+	if cap(dst.Sparse) < len(b.Sparse) {
+		dst.Sparse = make([][][]int32, len(b.Sparse))
+	}
+	dst.Sparse = dst.Sparse[:len(b.Sparse)]
 	for t := range b.Sparse {
-		sub.Sparse[t] = make([][]int32, len(idx))
+		if cap(dst.Sparse[t]) < len(idx) {
+			dst.Sparse[t] = make([][]int32, len(idx))
+		}
+		dst.Sparse[t] = dst.Sparse[t][:len(idx)]
 	}
 	for j, i := range idx {
-		copy(sub.Dense.Row(j), b.Dense.Row(i))
-		sub.Labels[j] = b.Labels[i]
+		copy(dst.Dense.Row(j), b.Dense.Row(i))
+		dst.Labels[j] = b.Labels[i]
 		for t := range b.Sparse {
-			sub.Sparse[t][j] = b.Sparse[t][i]
+			dst.Sparse[t][j] = b.Sparse[t][i]
 		}
 	}
-	return sub
+	return dst
 }
 
 // Generator produces deterministic synthetic batches for one dataset config.

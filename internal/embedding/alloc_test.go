@@ -1,0 +1,110 @@
+package embedding
+
+import (
+	"testing"
+
+	"hotline/internal/par"
+	"hotline/internal/shard"
+	"hotline/internal/tensor"
+)
+
+// The zero-allocation contract holds for the steady-state serial path:
+// at Parallelism(1) every per-step buffer is reused, so after a short
+// warm-up the hot operators perform no allocations at all. (Parallel runs
+// allocate the goroutine fan-out itself; that is the cost of forking, not
+// of the operators.)
+
+// allocIdx builds a deterministic multi-hot index stream.
+func allocIdx(rows, batch, lookups, salt int) [][]int32 {
+	idx := make([][]int32, batch)
+	for b := range idx {
+		l := make([]int32, lookups)
+		for j := range l {
+			l[j] = int32((salt + b*7 + j*13) % rows)
+		}
+		idx[b] = l
+	}
+	return idx
+}
+
+// TestTableForwardBackwardZeroAlloc: the single-node bag's forward, the
+// sorted-pair backward and the sparse update reuse their scratch entirely.
+func TestTableForwardBackwardZeroAlloc(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	tab := NewTable(256, 16, tensor.NewRNG(1))
+	idx := allocIdx(256, 32, 3, 1)
+	grad := tensor.New(32, 16)
+	grad.Fill(0.01)
+	for i := 0; i < 3; i++ { // warm the scratch buffers
+		tab.Forward(idx)
+		sg := tab.Backward(grad)
+		tab.ApplySparseSGD(sg, 0.01)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		tab.Forward(idx)
+		sg := tab.Backward(grad)
+		tab.ApplySparseSGD(sg, 0.01)
+	}); n > 0 {
+		t.Fatalf("Table forward/backward/update allocated %.1f times per step, want 0", n)
+	}
+}
+
+// newAllocService builds a 4-node service with an async engine attached.
+func newAllocService(t *testing.T, dim int) *shard.Service {
+	t.Helper()
+	svc := shard.New(shard.Config{
+		Nodes: 4, CacheBytes: 8 * int64(dim) * 4, RowBytes: int64(dim) * 4,
+	}, nil)
+	svc.EnableAsyncGather()
+	return svc
+}
+
+// TestShardedForwardZeroAlloc: the synchronous staged-gather path — plan,
+// staging, accounting dedup and output — cycles entirely through the
+// engine's ring and the service scratch.
+func TestShardedForwardZeroAlloc(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	const dim = 16
+	svc := newAllocService(t, dim)
+	sb := ShardBag(NewTable(256, dim, tensor.NewRNG(2)), svc, 0)
+	idx := allocIdx(256, 32, 3, 2)
+	grad := tensor.New(32, dim)
+	grad.Fill(0.01)
+	for i := 0; i < 3; i++ {
+		sb.Forward(idx)
+		sg := sb.Backward(grad)
+		sb.ApplySparseSGD(sg, 0.01)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		sb.Forward(idx)
+		sg := sb.Backward(grad)
+		sb.ApplySparseSGD(sg, 0.01)
+	}); n > 0 {
+		t.Fatalf("sharded sync forward/backward allocated %.1f times per step, want 0", n)
+	}
+}
+
+// TestPrefetchPathZeroAlloc: the asynchronous prefetch-then-consume window
+// recycles its plan, staging and handle through the engine's two-deep ring.
+// The only steady-state allocations left are the `go` statements that wake
+// an idle owner queue's drainer (the runtime heap-allocates a goroutine's
+// argument frame) — at most one per remote owner node per window, and
+// nothing proportional to rows or batch.
+func TestPrefetchPathZeroAlloc(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	const dim = 16
+	svc := newAllocService(t, dim)
+	sb := ShardBag(NewTable(256, dim, tensor.NewRNG(3)), svc, 0)
+	idx := allocIdx(256, 32, 3, 3)
+	for i := 0; i < 8; i++ {
+		sb.Prefetch(idx)
+		sb.Forward(idx)
+	}
+	maxAllocs := float64(svc.Nodes() - 1)
+	if n := testing.AllocsPerRun(50, func() {
+		sb.Prefetch(idx)
+		sb.Forward(idx)
+	}); n > maxAllocs {
+		t.Fatalf("prefetch path allocated %.1f times per window, want <= %.0f (drainer wakes)", n, maxAllocs)
+	}
+}

@@ -1,6 +1,9 @@
 package embedding
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Tier says where an embedding row physically lives in the simulated system.
 type Tier uint8
@@ -12,11 +15,97 @@ const (
 	TierGPU
 )
 
+// hotBitmapMaxRows bounds the dense-bitmap fast path of a hot set: rows
+// below the bound live in a bitmap (grown lazily to the highest marked row,
+// at most 256 KB per table), rows above it fall back to a map. Every scaled
+// table this repository ships fits the bitmap entirely, so the per-lookup
+// probe — the classification inner loop and the shard service's admission
+// check — is a shift, a mask and a load instead of a map access.
+const hotBitmapMaxRows = 1 << 21
+
+// hotSet records one table's GPU-resident rows: a dense bitmap for the
+// affordable row range plus an overflow map for anything beyond it.
+type hotSet struct {
+	bits     []uint64
+	overflow map[int32]struct{}
+	count    int
+}
+
+// mark adds row to the set; reports whether it was newly added.
+func (h *hotSet) mark(row int32) bool {
+	if row < hotBitmapMaxRows {
+		w, b := int(row>>6), uint64(1)<<(row&63)
+		if w >= len(h.bits) {
+			if w < cap(h.bits) {
+				// The spare capacity was zeroed by make and never written.
+				h.bits = h.bits[:w+1]
+			} else {
+				// Grow geometrically: placements mark the Zipf tail in
+				// ascending row order, and word-at-a-time growth would copy
+				// quadratically.
+				newCap := w + 1
+				if c := 2 * cap(h.bits); c > newCap {
+					newCap = c
+				}
+				grown := make([]uint64, w+1, newCap)
+				copy(grown, h.bits)
+				h.bits = grown
+			}
+		}
+		if h.bits[w]&b != 0 {
+			return false
+		}
+		h.bits[w] |= b
+		h.count++
+		return true
+	}
+	if h.overflow == nil {
+		h.overflow = make(map[int32]struct{})
+	}
+	if _, ok := h.overflow[row]; ok {
+		return false
+	}
+	h.overflow[row] = struct{}{}
+	h.count++
+	return true
+}
+
+// has reports membership. Rows under the bitmap bound never consult the
+// overflow map (they can only have been marked into the bitmap).
+func (h *hotSet) has(row int32) bool {
+	if row < hotBitmapMaxRows {
+		w := int(row >> 6)
+		return w < len(h.bits) && h.bits[w]&(uint64(1)<<(row&63)) != 0
+	}
+	_, ok := h.overflow[row]
+	return ok
+}
+
+// rows returns the members in ascending order.
+func (h *hotSet) rows() []int32 {
+	out := make([]int32, 0, h.count)
+	for w, word := range h.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, int32(w<<6+b))
+			word &= word - 1
+		}
+	}
+	if len(h.overflow) > 0 {
+		start := len(out)
+		for r := range h.overflow {
+			out = append(out, r)
+		}
+		sort.Slice(out[start:], func(i, j int) bool { return out[start+i] < out[start+j] })
+	}
+	return out
+}
+
 // Placement records, per table, which rows are GPU-resident. It is the
 // product of Hotline's access-aware layout (learning phase) or FAE's offline
 // profiler, and is consumed by the runtime schedulers.
 type Placement struct {
-	hot      []map[int32]struct{} // per table: set of GPU-resident rows
+	hot      []hotSet // per table: set of GPU-resident rows
 	Dim      int
 	HotBytes int64
 }
@@ -24,11 +113,7 @@ type Placement struct {
 // NewPlacement returns an all-CPU placement for numTables tables of the
 // given embedding dimension.
 func NewPlacement(numTables, dim int) *Placement {
-	p := &Placement{hot: make([]map[int32]struct{}, numTables), Dim: dim}
-	for i := range p.hot {
-		p.hot[i] = make(map[int32]struct{})
-	}
-	return p
+	return &Placement{hot: make([]hotSet, numTables), Dim: dim}
 }
 
 // NumTables returns the table count.
@@ -36,15 +121,14 @@ func (p *Placement) NumTables() int { return len(p.hot) }
 
 // MarkHot places row of table on the GPU tier.
 func (p *Placement) MarkHot(table int, row int32) {
-	if _, ok := p.hot[table][row]; !ok {
-		p.hot[table][row] = struct{}{}
+	if p.hot[table].mark(row) {
 		p.HotBytes += int64(p.Dim) * 4
 	}
 }
 
 // TierOf reports where a row lives.
 func (p *Placement) TierOf(table int, row int32) Tier {
-	if _, ok := p.hot[table][row]; ok {
+	if p.hot[table].has(row) {
 		return TierGPU
 	}
 	return TierCPU
@@ -52,18 +136,17 @@ func (p *Placement) TierOf(table int, row int32) Tier {
 
 // IsHot reports whether a row is GPU-resident.
 func (p *Placement) IsHot(table int, row int32) bool {
-	_, ok := p.hot[table][row]
-	return ok
+	return p.hot[table].has(row)
 }
 
 // HotRowCount returns the number of GPU-resident rows in one table.
-func (p *Placement) HotRowCount(table int) int { return len(p.hot[table]) }
+func (p *Placement) HotRowCount(table int) int { return p.hot[table].count }
 
 // TotalHotRows returns the GPU-resident row count across all tables.
 func (p *Placement) TotalHotRows() int {
 	n := 0
-	for _, m := range p.hot {
-		n += len(m)
+	for i := range p.hot {
+		n += p.hot[i].count
 	}
 	return n
 }
@@ -71,12 +154,7 @@ func (p *Placement) TotalHotRows() int {
 // HotRows returns the sorted hot rows of one table (deterministic iteration
 // for replication and tests).
 func (p *Placement) HotRows(table int) []int32 {
-	rows := make([]int32, 0, len(p.hot[table]))
-	for r := range p.hot[table] {
-		rows = append(rows, r)
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
-	return rows
+	return p.hot[table].rows()
 }
 
 // InputIsPopular reports whether a sample is popular: every index it touches,

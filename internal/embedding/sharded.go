@@ -25,6 +25,8 @@ import (
 // µ-batch's fabric fetches ahead of time; the matching Forward then blocks
 // only on whatever the overlap failed to hide and reads the remote rows
 // from the staging buffer (exact copies, applied in the fixed batch order).
+// Like Table, forward output and sparse-gradient buffers are per-instance
+// scratch reused across calls.
 type ShardedBag struct {
 	Rows, Dim int
 	// TableIdx keys the service's cache and traffic accounting.
@@ -38,11 +40,16 @@ type ShardedBag struct {
 	local []int32
 
 	lastIndices [][]int32
-	pending     *pendingGather
+	fwdOut      tensor.Matrix
+	bw          backwardArena
+	pending     pendingGather
+	fetchFn     shard.FetchFunc // bound once; a per-call method value would allocate
 }
 
-// pendingGather is one issued but not yet consumed prefetch window.
+// pendingGather is one issued but not yet consumed prefetch window (reused
+// across steps; active reports whether a window is outstanding).
 type pendingGather struct {
+	active  bool
 	indices [][]int32
 	handle  *shard.Handle // nil when the plan needed no fabric fetches
 }
@@ -70,6 +77,7 @@ func ShardBag(t *Table, svc *shard.Service, tableIdx int) *ShardedBag {
 	for r := 0; r < t.Rows; r++ {
 		copy(s.shards[s.owner[r]].Row(int(s.local[r])), t.W.Row(r))
 	}
+	s.fetchFn = s.fetchRow
 	return s
 }
 
@@ -85,9 +93,12 @@ func (s *ShardedBag) RowView(r int) []float32 {
 // service plans the fabric fetches (advancing cache state and counters
 // exactly like a synchronous gather) and the engine streams them into a
 // staging buffer while the caller computes something else — the Hotline
-// executor overlaps the non-popular gather with the popular µ-batch this
-// way. The next Forward over the same index set consumes the window; it is
-// a no-op without an engine or on a single node.
+// executor overlaps the non-popular gather with the popular µ-batch inside
+// an iteration, and the cross-iteration pipeline issues the NEXT
+// mini-batch's gather right after the current sparse update so it streams
+// through the dense step and the next classification. The next Forward
+// over the same index set consumes the window; it is a no-op without an
+// engine or on a single node.
 func (s *ShardedBag) Prefetch(indices [][]int32) {
 	g := s.svc.Gatherer()
 	if g == nil || s.svc.Nodes() == 1 {
@@ -95,12 +106,19 @@ func (s *ShardedBag) Prefetch(indices [][]int32) {
 	}
 	s.dropStalePrefetch(nil)
 	plan := s.svc.PlanGather(s.TableIdx, indices)
-	p := &pendingGather{indices: indices}
+	s.pending.active = true
+	s.pending.indices = indices
+	s.pending.handle = nil
 	if plan != nil {
-		p.handle = g.Submit(plan, s.Dim, s.fetchRow)
+		s.pending.handle = g.Submit(plan, s.Dim, s.fetchFn)
 	}
-	s.pending = p
 }
+
+// AbortPrefetch joins and discards any outstanding prefetch window (its
+// accounting already happened — a wasted prefetch). The executor calls it
+// when a pipelined lookahead turns out not to match the batch actually
+// trained, so a reused index buffer can never satisfy a stale window.
+func (s *ShardedBag) AbortPrefetch() { s.dropStalePrefetch(nil) }
 
 // fetchRow copies one owner-resident row into its staging slot.
 func (s *ShardedBag) fetchRow(row int32, dst []float32) {
@@ -109,17 +127,20 @@ func (s *ShardedBag) fetchRow(row int32, dst []float32) {
 
 // dropStalePrefetch discards a pending window that does not match indices
 // (its accounting already happened — a wasted prefetch, like any real
-// system that speculated wrong — but its staging must be joined before new
-// traffic is issued).
+// system that speculated wrong — but its staging must be joined and
+// recycled before new traffic is issued).
 func (s *ShardedBag) dropStalePrefetch(indices [][]int32) {
-	p := s.pending
-	if p == nil || sameIndexSet(p.indices, indices) {
+	p := &s.pending
+	if !p.active || sameIndexSet(p.indices, indices) {
 		return
 	}
 	if p.handle != nil {
-		p.handle.Await()
+		st := p.handle.Await()
+		s.svc.Gatherer().Release(st)
 	}
-	s.pending = nil
+	p.active = false
+	p.indices = nil
+	p.handle = nil
 }
 
 // sameIndexSet reports whether a and b are the same index set (the same
@@ -130,59 +151,73 @@ func sameIndexSet(a, b [][]int32) bool {
 	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
 }
 
+// fwdRange computes output rows [lo, hi) of the pooled lookup, reading
+// fabric-fetched rows from the staging buffer.
+func (s *ShardedBag) fwdRange(out *tensor.Matrix, indices [][]int32, staged *shard.Staging, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		orow := out.Row(b)
+		for _, ix := range indices[b] {
+			if ix < 0 || int(ix) >= s.Rows {
+				panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, s.Rows))
+			}
+			erow := s.RowView(int(ix))
+			if staged != nil {
+				// Fabric-fetched rows are applied from the staging
+				// buffer in fixed batch order; the copies are
+				// bit-identical to the owner-shard rows.
+				if v, ok := staged.Lookup(ix); ok {
+					erow = v
+				}
+			}
+			for k := range orow {
+				orow[k] += erow[k]
+			}
+		}
+	}
+}
+
 // Forward implements Bag: the sum-pooled lookup with shard routing. The
 // service accounting runs as a serial pre-pass (cache state must evolve in
 // batch order); the arithmetic then shards across workers exactly like the
 // single-node operator. A matching Prefetch window is consumed (blocking
 // only on the exposed remainder of the gather); otherwise, with an engine
 // attached, the fabric rows are staged synchronously — the measured
-// baseline the overlap is compared against.
+// baseline the overlap is compared against. Consumed staging buffers are
+// recycled into the engine's ring.
 func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 	var staged *shard.Staging
 	g := s.svc.Gatherer()
-	if p := s.pending; p != nil && sameIndexSet(p.indices, indices) {
-		s.pending = nil
-		if p.handle != nil {
-			staged = p.handle.Await()
+	if p := &s.pending; p.active && sameIndexSet(p.indices, indices) {
+		h := p.handle
+		p.active = false
+		p.indices = nil
+		p.handle = nil
+		if h != nil {
+			staged = h.Await()
 		}
 	} else {
 		s.dropStalePrefetch(indices)
 		if g != nil && s.svc.Nodes() > 1 {
 			if plan := s.svc.PlanGather(s.TableIdx, indices); plan != nil {
-				staged = g.GatherSync(plan, s.Dim, s.fetchRow)
+				staged = g.GatherSync(plan, s.Dim, s.fetchFn)
 			}
 		} else {
 			s.svc.RecordGather(s.TableIdx, indices)
 		}
 	}
 
-	out := tensor.New(len(indices), s.Dim)
-	lookups := int64(1)
-	if len(indices) > 0 {
-		lookups += int64(len(indices[0]))
+	out := s.fwdOut.Resize(len(indices), s.Dim)
+	perItem := bagLookups(indices, s.Dim)
+	if par.Serial(len(indices), perItem) {
+		s.fwdRange(out, indices, staged, 0, len(indices))
+	} else {
+		par.ForWork(len(indices), perItem, func(lo, hi int) {
+			s.fwdRange(out, indices, staged, lo, hi)
+		})
 	}
-	par.ForWork(len(indices), lookups*int64(s.Dim), func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			orow := out.Row(b)
-			for _, ix := range indices[b] {
-				if ix < 0 || int(ix) >= s.Rows {
-					panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, s.Rows))
-				}
-				erow := s.RowView(int(ix))
-				if staged != nil {
-					// Fabric-fetched rows are applied from the staging
-					// buffer in fixed batch order; the copies are
-					// bit-identical to the owner-shard rows.
-					if v, ok := staged.Lookup(ix); ok {
-						erow = v
-					}
-				}
-				for k := range orow {
-					orow[k] += erow[k]
-				}
-			}
-		}
-	})
+	if staged != nil {
+		g.Release(staged)
+	}
 	s.lastIndices = indices
 	return out
 }
@@ -204,20 +239,31 @@ func (s *ShardedBag) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) 
 			gradOut.Rows, gradOut.Cols, len(indices), s.Dim))
 	}
 	s.svc.RecordScatter(s.TableIdx, indices)
-	return bagBackward(indices, gradOut, s.Dim)
+	return bagBackward(&s.bw, indices, gradOut, s.Dim)
+}
+
+// sgdRange applies rows [lo, hi) of a sparse SGD update.
+func (s *ShardedBag) sgdRange(sg SparseGrad, lr float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		wrow := s.RowView(int(sg.Rows[i]))
+		grow := sg.Grad.Row(i)
+		for k := range wrow {
+			wrow[k] -= lr * grow[k]
+		}
+	}
 }
 
 // ApplySparseSGD implements Bag: each owner node updates its resident rows.
 func (s *ShardedBag) ApplySparseSGD(sg SparseGrad, lr float32) {
-	par.ForWork(len(sg.Rows), int64(s.Dim)*2, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			wrow := s.RowView(int(sg.Rows[i]))
-			grow := sg.Grad.Row(i)
-			for k := range wrow {
-				wrow[k] -= lr * grow[k]
-			}
-		}
-	})
+	perItem := int64(s.Dim) * 2
+	if par.Serial(len(sg.Rows), perItem) {
+		s.sgdRange(sg, lr, 0, len(sg.Rows))
+	} else {
+		par.ForWork(len(sg.Rows), perItem, func(lo, hi int) {
+			s.sgdRange(sg, lr, lo, hi)
+		})
+	}
+	s.bw.reset()
 }
 
 // ApplySparseAdagrad implements Bag: the adaptive update runs on each
@@ -228,7 +274,12 @@ func (s *ShardedBag) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr floa
 	for i, ix := range sg.Rows {
 		adagradRow(s.RowView(int(ix)), st.Accum.Row(int(ix)), sg.Grad.Row(i), lr, st.Eps)
 	}
+	s.bw.reset()
 }
+
+// ResetStepScratch rewinds the backward arena at a step boundary (see
+// Table.ResetStepScratch — shadows never see the apply-time rewind).
+func (s *ShardedBag) ResetStepScratch() { s.bw.reset() }
 
 // NumRows implements Bag.
 func (s *ShardedBag) NumRows() int { return s.Rows }
@@ -243,10 +294,12 @@ func (s *ShardedBag) SizeBytes() int64 { return int64(s.Rows) * int64(s.Dim) * 4
 // maps and the service (its accounting is mutex-guarded) with private
 // forward and prefetch state.
 func (s *ShardedBag) ShadowBag() Bag {
-	return &ShardedBag{
+	sh := &ShardedBag{
 		Rows: s.Rows, Dim: s.Dim, TableIdx: s.TableIdx,
 		svc: s.svc, shards: s.shards, owner: s.owner, local: s.local,
 	}
+	sh.fetchFn = sh.fetchRow
+	return sh
 }
 
 // Materialize reassembles the partitioned rows into one contiguous matrix

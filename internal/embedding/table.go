@@ -3,7 +3,7 @@ package embedding
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"hotline/internal/par"
 	"hotline/internal/tensor"
@@ -11,11 +11,19 @@ import (
 
 // Table is one categorical feature's embedding table: Rows vectors of
 // dimension Dim.
+//
+// Forward output and backward sparse-gradient buffers are per-instance
+// scratch: a Forward result is valid until the next Forward on the same
+// instance, and a SparseGrad is valid until the step's sparse update applies
+// it (ApplySparseSGD / ApplySparseAdagrad recycle the arena). Shadows own
+// private scratch, so concurrent µ-batch passes never share buffers.
 type Table struct {
 	Rows, Dim int
 	W         *tensor.Matrix // Rows x Dim
 
 	lastIndices [][]int32
+	fwdOut      tensor.Matrix
+	bw          backwardArena
 }
 
 // NewTable returns a table initialised U(-1/Rows^½, +1/Rows^½) like the DLRM
@@ -30,29 +38,46 @@ func NewTable(rows, dim int, rng *tensor.RNG) *Table {
 	return t
 }
 
-// Forward performs a sum-pooled bag lookup: indices[b] lists the rows sample
-// b accesses (multi-hot); the output row b is the element-wise sum of those
-// embedding rows. One-hot inputs simply use single-element lists.
-func (t *Table) Forward(indices [][]int32) *tensor.Matrix {
-	out := tensor.New(len(indices), t.Dim)
+// bagLookups estimates the per-sample scalar work of a pooled lookup.
+func bagLookups(indices [][]int32, dim int) int64 {
 	lookups := int64(1)
 	if len(indices) > 0 {
 		lookups += int64(len(indices[0]))
 	}
-	par.ForWork(len(indices), lookups*int64(t.Dim), func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			orow := out.Row(b)
-			for _, ix := range indices[b] {
-				if ix < 0 || int(ix) >= t.Rows {
-					panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, t.Rows))
-				}
-				erow := t.W.Row(int(ix))
-				for k := range orow {
-					orow[k] += erow[k]
-				}
+	return lookups * int64(dim)
+}
+
+// fwdRange computes output rows [lo, hi) of the pooled lookup.
+func (t *Table) fwdRange(out *tensor.Matrix, indices [][]int32, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		orow := out.Row(b)
+		for _, ix := range indices[b] {
+			if ix < 0 || int(ix) >= t.Rows {
+				panic(fmt.Sprintf("embedding: index %d out of range [0,%d)", ix, t.Rows))
+			}
+			erow := t.W.Row(int(ix))[:len(orow)]
+			for k, v := range erow {
+				orow[k] += v
 			}
 		}
-	})
+	}
+}
+
+// Forward performs a sum-pooled bag lookup: indices[b] lists the rows sample
+// b accesses (multi-hot); the output row b is the element-wise sum of those
+// embedding rows. One-hot inputs simply use single-element lists. The
+// returned matrix is scratch owned by t, valid until the next Forward call
+// on this instance.
+func (t *Table) Forward(indices [][]int32) *tensor.Matrix {
+	out := t.fwdOut.Resize(len(indices), t.Dim)
+	perItem := bagLookups(indices, t.Dim)
+	if par.Serial(len(indices), perItem) {
+		t.fwdRange(out, indices, 0, len(indices))
+	} else {
+		par.ForWork(len(indices), perItem, func(lo, hi int) {
+			t.fwdRange(out, indices, lo, hi)
+		})
+	}
 	t.lastIndices = indices
 	return out
 }
@@ -82,57 +107,157 @@ func (t *Table) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) Spars
 		panic(fmt.Sprintf("embedding: Backward grad %dx%d want %dx%d",
 			gradOut.Rows, gradOut.Cols, len(indices), t.Dim))
 	}
-	return bagBackward(indices, gradOut, t.Dim)
+	return bagBackward(&t.bw, indices, gradOut, t.Dim)
+}
+
+// maxArenaSlots bounds how many SparseGrads a backward arena pools. The
+// Hotline step needs one per table instance (TimeSteps for the TBSM
+// sequence table); callers that run backward passes without ever applying
+// them fall off the pool into plain allocations instead of growing it.
+const maxArenaSlots = 256
+
+// sparseSlot is one pooled SparseGrad's backing storage.
+type sparseSlot struct {
+	rows []int32
+	grad tensor.Matrix
+}
+
+// backwardArena is the reusable scratch behind bagBackward: the sorted
+// (row, sample) pair buffer plus a cursor-based ring of SparseGrad slots.
+// The cursor rewinds when a sparse update consumes the step's gradients
+// (ApplySparseSGD / ApplySparseAdagrad), so the steady-state loop reuses
+// the same slots every step.
+type backwardArena struct {
+	pairs  []int64
+	starts []int32
+	slots  []*sparseSlot
+	cur    int
+}
+
+// reset rewinds the slot cursor; existing slot contents stay valid until
+// the next backward pass overwrites them.
+func (a *backwardArena) reset() { a.cur = 0 }
+
+// acquire hands out the next slot, pooling up to maxArenaSlots.
+func (a *backwardArena) acquire() *sparseSlot {
+	if a.cur >= maxArenaSlots {
+		return &sparseSlot{}
+	}
+	if a.cur == len(a.slots) {
+		a.slots = append(a.slots, &sparseSlot{})
+	}
+	s := a.slots[a.cur]
+	a.cur++
+	return s
 }
 
 // bagBackward is the storage-independent adjoint of sum pooling, shared by
 // Table and ShardedBag (the sparse gradient depends only on indices and the
 // output gradient, never on where rows live).
-func bagBackward(indices [][]int32, gradOut *tensor.Matrix, dim int) SparseGrad {
-	// Pass 1 (serial): record, per touched row, the ordered list of batch
-	// positions that contribute gradient (duplicates within one bag repeat).
-	touches := make(map[int32][]int32)
+//
+// It replaces the historical per-call map[int32][]int32 touch map with a
+// sorted (row, sample) pair buffer: pairs pack the row in the high 32 bits
+// and the batch position in the low 32, so an ascending sort groups each
+// row's contributions in batch order — exactly the serial reduction order
+// the map recorded — without allocating.
+func bagBackward(a *backwardArena, indices [][]int32, gradOut *tensor.Matrix, dim int) SparseGrad {
+	// Pass 1 (serial): flatten and sort the (row, batch position) pairs.
+	// Duplicates within one bag produce identical pairs, which keep the
+	// duplicate contributions just like the map's repeated appends did.
+	pairs := a.pairs[:0]
 	for b, idxs := range indices {
 		for _, ix := range idxs {
-			touches[ix] = append(touches[ix], int32(b))
+			pairs = append(pairs, int64(ix)<<32|int64(uint32(b)))
 		}
 	}
-	rows := make([]int32, 0, len(touches))
-	for ix := range touches {
-		rows = append(rows, ix)
+	a.pairs = pairs
+	slices.Sort(pairs)
+
+	distinct := 0
+	for i := range pairs {
+		if i == 0 || pairs[i]>>32 != pairs[i-1]>>32 {
+			distinct++
+		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	slot := a.acquire()
+	rows := slot.rows[:0]
+	if cap(rows) < distinct {
+		rows = make([]int32, 0, distinct)
+	}
+	starts := a.starts[:0]
+	if cap(starts) < distinct+1 {
+		starts = make([]int32, 0, distinct+1)
+	}
+	for i := range pairs {
+		if i == 0 || pairs[i]>>32 != pairs[i-1]>>32 {
+			rows = append(rows, int32(pairs[i]>>32))
+			starts = append(starts, int32(i))
+		}
+	}
+	starts = append(starts, int32(len(pairs)))
+	slot.rows, a.starts = rows, starts
+
 	// Pass 2 (parallel over distinct rows): sum each row's contributions in
 	// recorded batch order — the same addition sequence as a serial
 	// accumulation, so the result is bit-identical for any worker count.
-	grad := tensor.New(len(rows), dim)
-	par.ForWork(len(rows), 4*int64(dim), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			g := grad.Row(i)
-			for _, b := range touches[rows[i]] {
-				grow := gradOut.Row(int(b))
-				for k := range g {
-					g[k] += grow[k]
-				}
+	grad := slot.grad.Resize(distinct, dim)
+	perItem := 4 * int64(dim)
+	if par.Serial(distinct, perItem) {
+		bagBackwardRange(grad, gradOut, pairs, starts, 0, distinct)
+	} else {
+		par.ForWork(distinct, perItem, func(lo, hi int) {
+			bagBackwardRange(grad, gradOut, pairs, starts, lo, hi)
+		})
+	}
+	return SparseGrad{Rows: rows, Grad: grad}
+}
+
+// bagBackwardRange fills gradient rows [lo, hi) from their pair segments.
+func bagBackwardRange(grad, gradOut *tensor.Matrix, pairs []int64, starts []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := grad.Row(i)
+		for p := starts[i]; p < starts[i+1]; p++ {
+			grow := gradOut.Row(int(uint32(pairs[p])))[:len(g)]
+			for k, v := range grow {
+				g[k] += v
 			}
 		}
-	})
-	return SparseGrad{Rows: rows, Grad: grad}
+	}
+}
+
+// sgdRange applies rows [lo, hi) of a sparse SGD update.
+func (t *Table) sgdRange(sg SparseGrad, lr float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		wrow := t.W.Row(int(sg.Rows[i]))
+		grow := sg.Grad.Row(i)[:len(wrow)]
+		for k, v := range grow {
+			wrow[k] -= lr * v
+		}
+	}
 }
 
 // ApplySparseSGD performs W[row] -= lr·grad for every row in sg. Rows in a
 // SparseGrad are distinct, so the per-row updates shard across workers.
+// Applying a step's gradients recycles the backward arena: every SparseGrad
+// this instance produced since the last update becomes invalid after the
+// NEXT backward pass overwrites the slots.
 func (t *Table) ApplySparseSGD(sg SparseGrad, lr float32) {
-	par.ForWork(len(sg.Rows), int64(t.Dim)*2, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			wrow := t.W.Row(int(sg.Rows[i]))
-			grow := sg.Grad.Row(i)
-			for k := range wrow {
-				wrow[k] -= lr * grow[k]
-			}
-		}
-	})
+	perItem := int64(t.Dim) * 2
+	if par.Serial(len(sg.Rows), perItem) {
+		t.sgdRange(sg, lr, 0, len(sg.Rows))
+	} else {
+		par.ForWork(len(sg.Rows), perItem, func(lo, hi int) {
+			t.sgdRange(sg, lr, lo, hi)
+		})
+	}
+	t.bw.reset()
 }
+
+// ResetStepScratch rewinds the backward arena at a step boundary. Shadow
+// bags need this: their SparseGrads are absorbed into the primary model's
+// stash and applied through the PRIMARY tables, so the apply-time rewind
+// never fires on the shadow instance — Model.ZeroAll calls this instead.
+func (t *Table) ResetStepScratch() { t.bw.reset() }
 
 // SizeBytes returns the table's parameter footprint (float32 entries).
 func (t *Table) SizeBytes() int64 { return int64(t.Rows) * int64(t.Dim) * 4 }
@@ -239,6 +364,7 @@ func (t *Table) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32) 
 	for i, ix := range sg.Rows {
 		adagradRow(t.W.Row(int(ix)), st.Accum.Row(int(ix)), sg.Grad.Row(i), lr, st.Eps)
 	}
+	t.bw.reset()
 }
 
 // adagradRow is the shared per-row adaptive step: serial element order, so

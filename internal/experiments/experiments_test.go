@@ -62,7 +62,7 @@ func TestRegistryComplete(t *testing.T) {
 	extras := []string{
 		"abl-eal", "abl-feistel", "abl-overlap", "abl-sampling",
 		"mn-scale", "mn-cache", "mn-skew", "mn-policy",
-		"mn-place", "mn-overlap",
+		"mn-place", "mn-overlap", "mn-adagrad",
 	}
 	for _, id := range extras {
 		if !have[id] {

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"slices"
 
 	"hotline/internal/data"
 	"hotline/internal/embedding"
@@ -11,6 +12,12 @@ import (
 )
 
 // Model is a DLRM or TBSM instance.
+//
+// Forward/backward state (layer outputs, the TBSM sequence scratch, the
+// gradient-scale staging) lives in per-instance buffers reused across
+// steps, so a steady-state training iteration performs no allocations.
+// Matrices returned by Forward are therefore valid only until the next
+// Forward call on the same model; shadows own fully private scratch.
 type Model struct {
 	Cfg data.Config
 
@@ -30,6 +37,15 @@ type Model struct {
 	lastBatch    *data.Batch
 	lastStepIdx  [][][]int32 // TBSM: per step, per sample index lists for table 0
 	lastSeqSteps []*tensor.Matrix
+
+	// reusable scratch
+	denseParams []nn.Param       // memoised DenseParams result
+	inputsBuf   []*tensor.Matrix // interaction inputs, one slot per vector
+	gradScaled  tensor.Matrix    // Backward's scaled-gradient staging
+	fws         tensor.Workspace // per-Forward workspace (TBSM sequence state)
+	optWS       tensor.Workspace // sparse-optimizer merge workspace
+	sgd         *nn.SGD          // TrainStep's cached dense optimizer
+	bceGrad     tensor.Matrix    // TrainStep's loss-gradient buffer
 }
 
 type tableGrad struct {
@@ -80,15 +96,17 @@ func (m *Model) IsTBSM() bool { return m.Attn != nil }
 // async engine).
 type sparsePrefetcher interface {
 	Prefetch(indices [][]int32)
+	AbortPrefetch()
 }
 
 // PrefetchSparse issues asynchronous gathers for every embedding access the
 // batch will make, on bags that support prefetching. The following
 // Forward(b) consumes the staged rows; the Hotline executor calls this for
-// the non-popular µ-batch before dispatching the popular one, overlapping
-// the fabric traffic with compute. The TBSM sequence table is skipped (its
-// per-timestep index sets are built inside Forward) and everything else is
-// a no-op on non-prefetching bags.
+// the non-popular µ-batch before dispatching the popular one — or, in the
+// cross-iteration pipeline, for the NEXT mini-batch right after the current
+// sparse update — overlapping the fabric traffic with compute. The TBSM
+// sequence table is skipped (its per-timestep index sets are built inside
+// Forward) and everything else is a no-op on non-prefetching bags.
 func (m *Model) PrefetchSparse(b *data.Batch) {
 	for t, bag := range m.Tables {
 		if m.IsTBSM() && t == 0 {
@@ -96,6 +114,18 @@ func (m *Model) PrefetchSparse(b *data.Batch) {
 		}
 		if p, ok := bag.(sparsePrefetcher); ok {
 			p.Prefetch(b.Sparse[t])
+		}
+	}
+}
+
+// AbortPrefetchSparse joins and discards every outstanding prefetch window.
+// The pipelined executor calls it when a lookahead speculated on a batch
+// that is not the one actually trained next, so a stale window can never be
+// consumed against updated weights.
+func (m *Model) AbortPrefetchSparse() {
+	for _, bag := range m.Tables {
+		if p, ok := bag.(sparsePrefetcher); ok {
+			p.AbortPrefetch()
 		}
 	}
 }
@@ -134,41 +164,60 @@ func (m *Model) AbsorbShadow(s *Model) {
 	s.pendingSparse = s.pendingSparse[:0]
 }
 
-// Forward computes the logits (B x 1) for a batch.
+// Forward computes the logits (B x 1) for a batch. The returned matrix is
+// scratch owned by the top MLP, valid until the next Forward call.
 func (m *Model) Forward(b *data.Batch) *tensor.Matrix {
 	m.lastBatch = b
+	m.fws.Reset()
 	z0 := m.Bot.Forward(b.Dense)
-	inputs := make([]*tensor.Matrix, 0, m.Cfg.NumTables+1)
-	inputs = append(inputs, z0)
+	if m.inputsBuf == nil {
+		m.inputsBuf = make([]*tensor.Matrix, m.Cfg.NumTables+1)
+	}
+	inputs := m.inputsBuf
+	inputs[0] = z0
 	for t := 0; t < m.Cfg.NumTables; t++ {
 		if m.IsTBSM() && t == 0 {
-			inputs = append(inputs, m.forwardSequence(b))
+			inputs[t+1] = m.forwardSequence(b)
 			continue
 		}
-		inputs = append(inputs, m.Tables[t].Forward(b.Sparse[t]))
+		inputs[t+1] = m.Tables[t].Forward(b.Sparse[t])
 	}
 	feat := m.Inter.Forward(inputs)
 	return m.Top.Forward(feat)
 }
 
 // forwardSequence runs the TBSM behaviour-sequence table: one embedding
-// lookup per timestep, pooled by the attention layer.
+// lookup per timestep, pooled by the attention layer. Step outputs are
+// copied into the per-forward workspace (the sequence table reuses one
+// lookup buffer across timesteps) and the per-step index lists are rebuilt
+// into reusable slabs.
 func (m *Model) forwardSequence(b *data.Batch) *tensor.Matrix {
 	steps := m.Cfg.TimeSteps
 	n := b.Size()
-	m.lastStepIdx = make([][][]int32, steps)
-	m.lastSeqSteps = make([]*tensor.Matrix, steps)
+	if m.lastStepIdx == nil {
+		m.lastStepIdx = make([][][]int32, steps)
+		m.lastSeqSteps = make([]*tensor.Matrix, steps)
+	}
 	for s := 0; s < steps; s++ {
-		idx := make([][]int32, n)
+		idx := m.lastStepIdx[s]
+		if cap(idx) < n {
+			idx = make([][]int32, n)
+		}
+		idx = idx[:n]
+		slab := m.fws.Int32(n)
 		for i := 0; i < n; i++ {
 			seq := b.Sparse[0][i]
 			if len(seq) != steps {
 				panic(fmt.Sprintf("model: sample %d sequence len %d want %d", i, len(seq), steps))
 			}
-			idx[i] = []int32{seq[s]}
+			slab[i] = seq[s]
+			idx[i] = slab[i : i+1 : i+1]
 		}
 		m.lastStepIdx[s] = idx
-		m.lastSeqSteps[s] = m.Tables[0].Forward(idx)
+		out := m.Tables[0].Forward(idx)
+		seqOut := m.fws.Matrix(out.Rows, out.Cols)
+		copy(seqOut.Data, out.Data)
+		m.lastSeqSteps[s] = seqOut
 	}
 	return m.Attn.Forward(m.lastSeqSteps)
 }
@@ -183,7 +232,7 @@ func (m *Model) Backward(gradLogits *tensor.Matrix, scale float32) {
 	}
 	g := gradLogits
 	if scale != 1 {
-		g = gradLogits.Clone()
+		g = m.gradScaled.CopyFrom(gradLogits)
 		tensor.Scale(g, scale)
 	}
 	gFeat := m.Top.Backward(g)
@@ -204,9 +253,14 @@ func (m *Model) Backward(gradLogits *tensor.Matrix, scale float32) {
 	}
 }
 
-// DenseParams returns every dense trainable parameter.
+// DenseParams returns every dense trainable parameter. The slice is
+// memoised — parameter storage is stable for the life of the model — so
+// per-step optimizer and gradient-zeroing paths allocate nothing.
 func (m *Model) DenseParams() []nn.Param {
-	return append(m.Bot.Params(), m.Top.Params()...)
+	if m.denseParams == nil {
+		m.denseParams = append(m.Bot.Params(), m.Top.Params()...)
+	}
+	return m.denseParams
 }
 
 // ApplySparse applies all stashed sparse gradients with the learning rate
@@ -218,10 +272,112 @@ func (m *Model) ApplySparse(lr float32) {
 	m.pendingSparse = m.pendingSparse[:0]
 }
 
-// ZeroAll clears dense gradient accumulators and drops stashed sparse grads.
+// ApplySparseAdagrad applies all stashed sparse gradients as ONE adaptive
+// update per table against the globally-indexed accumulators (one state per
+// table, see embedding.NewAdagradStateFor) and clears the stash. Because
+// Adagrad is non-linear in the gradient, the stash entries of each table —
+// the popular and non-popular µ-batches, or the TBSM timesteps — are merged
+// into a single combined SparseGrad first (rows unioned in ascending order,
+// contributions summed in stash order), exactly the full-mini-batch
+// gradient a baseline executor would apply.
+func (m *Model) ApplySparseAdagrad(states []*embedding.AdagradState, lr float32) {
+	if len(states) != len(m.Tables) {
+		panic(fmt.Sprintf("model: ApplySparseAdagrad wants %d states, got %d", len(m.Tables), len(states)))
+	}
+	m.optWS.Reset()
+	for t := range m.Tables {
+		merged := m.mergeSparse(t)
+		if merged.Grad == nil {
+			continue
+		}
+		m.Tables[t].ApplySparseAdagrad(states[t], merged, lr)
+	}
+	m.pendingSparse = m.pendingSparse[:0]
+}
+
+// mergeSparse folds every stash entry of one table into a single combined
+// SparseGrad (scales applied). Entries keep their stash order, so the
+// per-row addition sequence is deterministic.
+func (m *Model) mergeSparse(table int) embedding.SparseGrad {
+	var first *tableGrad
+	count := 0
+	for i := range m.pendingSparse {
+		if m.pendingSparse[i].table == table {
+			if first == nil {
+				first = &m.pendingSparse[i]
+			}
+			count++
+		}
+	}
+	if first == nil {
+		return embedding.SparseGrad{}
+	}
+	if count == 1 && first.scale == 1 {
+		return first.grad
+	}
+	// Union pass: collect distinct rows in ascending order. Every entry's
+	// rows are already sorted, so a presence bitmap over the touched range
+	// would also work; the simple merge below stays O(total rows) and
+	// allocation-free through the optimizer workspace.
+	dim := first.grad.Grad.Cols
+	total := 0
+	for i := range m.pendingSparse {
+		if m.pendingSparse[i].table == table {
+			total += len(m.pendingSparse[i].grad.Rows)
+		}
+	}
+	scratch := m.optWS.Int32(total)[:0]
+	for i := range m.pendingSparse {
+		if m.pendingSparse[i].table == table {
+			scratch = append(scratch, m.pendingSparse[i].grad.Rows...)
+		}
+	}
+	slices.Sort(scratch)
+	rows := slices.Compact(scratch)
+	grad := m.optWS.Matrix(len(rows), dim)
+	// slot[row] via binary search over the sorted distinct rows (every
+	// entry's rows are present by construction).
+	for i := range m.pendingSparse {
+		tg := &m.pendingSparse[i]
+		if tg.table != table {
+			continue
+		}
+		for j, r := range tg.grad.Rows {
+			gi, _ := slices.BinarySearch(rows, r)
+			dst := grad.Row(gi)
+			src := tg.grad.Grad.Row(j)
+			if tg.scale == 1 {
+				for k := range dst {
+					dst[k] += src[k]
+				}
+			} else {
+				for k := range dst {
+					dst[k] += tg.scale * src[k]
+				}
+			}
+		}
+	}
+	return embedding.SparseGrad{Rows: rows, Grad: grad}
+}
+
+// stepScratchResetter is implemented by bags whose per-step scratch must be
+// rewound at the step boundary (shadow bags never see the apply-time
+// rewind — their gradients are applied through the primary tables).
+type stepScratchResetter interface {
+	ResetStepScratch()
+}
+
+// ZeroAll clears dense gradient accumulators, drops stashed sparse grads
+// and rewinds the bags' step scratch (every executor calls it once per
+// step on each model it drives, including shadows).
 func (m *Model) ZeroAll() {
 	nn.ZeroGrads(m.DenseParams())
 	m.pendingSparse = m.pendingSparse[:0]
+	for _, b := range m.Tables {
+		if r, ok := b.(stepScratchResetter); ok {
+			r.ResetStepScratch()
+		}
+	}
 }
 
 // TrainStep runs one standard mini-batch SGD iteration (the baseline
@@ -229,10 +385,13 @@ func (m *Model) ZeroAll() {
 func (m *Model) TrainStep(b *data.Batch, lr float32) float64 {
 	m.ZeroAll()
 	logits := m.Forward(b)
-	loss, grad := nn.BCEWithLogits(logits, b.Labels, nn.ReduceMean)
+	loss, grad := nn.BCEWithLogitsInto(&m.bceGrad, logits, b.Labels, nn.ReduceMean)
 	m.Backward(grad, 1)
-	opt := nn.NewSGD(m.DenseParams(), lr)
-	opt.Step()
+	if m.sgd == nil {
+		m.sgd = nn.NewSGD(m.DenseParams(), lr)
+	}
+	m.sgd.LR = lr
+	m.sgd.Step()
 	m.ApplySparse(lr)
 	return loss
 }

@@ -7,37 +7,52 @@ import (
 	"hotline/internal/tensor"
 )
 
-// ReLU is the rectified-linear activation.
+// ReLU is the rectified-linear activation. Output, mask and input-gradient
+// buffers are per-instance scratch reused across calls (valid until the
+// next Forward/Backward on the same instance).
 type ReLU struct {
-	mask *tensor.Matrix // 1 where input > 0
+	out    tensor.Matrix
+	mask   tensor.Matrix // 1 where input > 0
+	gradIn tensor.Matrix
+	fwdRun bool
 }
 
 // NewReLU returns a ReLU layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
+// reluRange computes elements [lo, hi) of max(x, 0) and the mask.
+func reluRange(out, mask, x *tensor.Matrix, lo, hi int) {
+	o, mk, xd := out.Data, mask.Data, x.Data
+	for i := lo; i < hi; i++ {
+		if v := xd[i]; v > 0 {
+			o[i] = v
+			mk[i] = 1
+		}
+	}
+}
+
 // Forward computes max(x, 0) element-wise.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x.Rows, x.Cols)
-	mask := tensor.New(x.Rows, x.Cols)
-	par.ForWork(len(x.Data), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if v := x.Data[i]; v > 0 {
-				out.Data[i] = v
-				mask.Data[i] = 1
-			}
-		}
-	})
-	r.mask = mask
+	out := r.out.Resize(x.Rows, x.Cols)
+	mask := r.mask.Resize(x.Rows, x.Cols)
+	if par.Serial(len(x.Data), 1) {
+		reluRange(out, mask, x, 0, len(x.Data))
+	} else {
+		par.ForWork(len(x.Data), 1, func(lo, hi int) {
+			reluRange(out, mask, x, lo, hi)
+		})
+	}
+	r.fwdRun = true
 	return out
 }
 
 // Backward gates the incoming gradient by the forward mask.
 func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	if r.mask == nil {
+	if !r.fwdRun {
 		panic("nn: ReLU.Backward before Forward")
 	}
-	gradIn := tensor.New(gradOut.Rows, gradOut.Cols)
-	tensor.Hadamard(gradIn, gradOut, r.mask)
+	gradIn := r.gradIn.ResizeNoZero(gradOut.Rows, gradOut.Cols) // fully overwritten
+	tensor.Hadamard(gradIn, gradOut, &r.mask)
 	return gradIn
 }
 
@@ -46,7 +61,9 @@ func (r *ReLU) Params() []Param { return nil }
 
 // Sigmoid is the logistic activation σ(x) = 1/(1+e⁻ˣ).
 type Sigmoid struct {
-	out *tensor.Matrix
+	out    tensor.Matrix
+	gradIn tensor.Matrix
+	fwdRun bool
 }
 
 // NewSigmoid returns a Sigmoid layer.
@@ -64,20 +81,20 @@ func SigmoidScalar(x float32) float32 {
 
 // Forward computes σ(x) element-wise.
 func (s *Sigmoid) Forward(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x.Rows, x.Cols)
+	out := s.out.ResizeNoZero(x.Rows, x.Cols) // fully overwritten
 	for i, v := range x.Data {
 		out.Data[i] = SigmoidScalar(v)
 	}
-	s.out = out
+	s.fwdRun = true
 	return out
 }
 
 // Backward computes g·σ(x)·(1-σ(x)) using the cached forward output.
 func (s *Sigmoid) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	if s.out == nil {
+	if !s.fwdRun {
 		panic("nn: Sigmoid.Backward before Forward")
 	}
-	gradIn := tensor.New(gradOut.Rows, gradOut.Cols)
+	gradIn := s.gradIn.ResizeNoZero(gradOut.Rows, gradOut.Cols) // fully overwritten
 	for i, g := range gradOut.Data {
 		y := s.out.Data[i]
 		gradIn.Data[i] = g * y * (1 - y)

@@ -12,12 +12,17 @@ import (
 // feature vectors h_1..h_T (each B x Dim) it uses the final timestep as the
 // query, computes scaled dot-product scores against every timestep, softmaxes
 // them, and returns the attention-weighted context vector (B x Dim).
+//
+// Forward/backward outputs are per-instance scratch reused across calls.
 type Attention struct {
 	Dim   int
 	Steps int
 
 	lastInputs []*tensor.Matrix
-	lastAlphas *tensor.Matrix // B x Steps softmax weights
+	lastAlphas tensor.Matrix // B x Steps softmax weights
+	out        tensor.Matrix
+	dAlphaBuf  tensor.Matrix // B x Steps backward staging (per-sample rows)
+	grads      []*tensor.Matrix
 }
 
 // NewAttention returns an attention layer over steps timesteps of dim-wide
@@ -29,8 +34,46 @@ func NewAttention(dim, steps int) *Attention {
 	return &Attention{Dim: dim, Steps: steps}
 }
 
+// fwdRange computes samples [lo, hi) of the softmax weights and context.
+func (a *Attention) fwdRange(out, alphas *tensor.Matrix, inputs []*tensor.Matrix, lo, hi int) {
+	scale := float32(1 / math.Sqrt(float64(a.Dim)))
+	query := inputs[a.Steps-1]
+	for b := lo; b < hi; b++ {
+		q := query.Row(b)
+		arow := alphas.Row(b)
+		var maxScore float32 = float32(math.Inf(-1))
+		for t := 0; t < a.Steps; t++ {
+			h := inputs[t].Row(b)
+			var dot float32
+			for k := range q {
+				dot += q[k] * h[k]
+			}
+			arow[t] = dot * scale
+			if arow[t] > maxScore {
+				maxScore = arow[t]
+			}
+		}
+		var sum float32
+		for t := range arow {
+			arow[t] = float32(math.Exp(float64(arow[t] - maxScore)))
+			sum += arow[t]
+		}
+		for t := range arow {
+			arow[t] /= sum
+		}
+		orow := out.Row(b)
+		for t := 0; t < a.Steps; t++ {
+			h := inputs[t].Row(b)
+			w := arow[t]
+			for k := range orow {
+				orow[k] += w * h[k]
+			}
+		}
+	}
+}
+
 // Forward consumes one (B x Dim) matrix per timestep and returns the
-// (B x Dim) context.
+// (B x Dim) context (scratch owned by a, valid until the next Forward).
 func (a *Attention) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
 	if len(inputs) != a.Steps {
 		panic(fmt.Sprintf("nn: Attention wants %d inputs, got %d", a.Steps, len(inputs)))
@@ -42,99 +85,87 @@ func (a *Attention) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
 		}
 	}
 	a.lastInputs = inputs
-	scale := float32(1 / math.Sqrt(float64(a.Dim)))
-	alphas := tensor.New(batch, a.Steps)
-	query := inputs[a.Steps-1]
-	out := tensor.New(batch, a.Dim)
+	alphas := a.lastAlphas.ResizeNoZero(batch, a.Steps) // every cell written
+	out := a.out.Resize(batch, a.Dim)
 	perSample := 4 * int64(a.Steps) * int64(a.Dim)
-	par.ForWork(batch, perSample, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			q := query.Row(b)
-			arow := alphas.Row(b)
-			var maxScore float32 = float32(math.Inf(-1))
-			for t := 0; t < a.Steps; t++ {
-				h := inputs[t].Row(b)
-				var dot float32
-				for k := range q {
-					dot += q[k] * h[k]
-				}
-				arow[t] = dot * scale
-				if arow[t] > maxScore {
-					maxScore = arow[t]
-				}
-			}
-			var sum float32
-			for t := range arow {
-				arow[t] = float32(math.Exp(float64(arow[t] - maxScore)))
-				sum += arow[t]
-			}
-			for t := range arow {
-				arow[t] /= sum
-			}
-			orow := out.Row(b)
-			for t := 0; t < a.Steps; t++ {
-				h := inputs[t].Row(b)
-				w := arow[t]
-				for k := range orow {
-					orow[k] += w * h[k]
-				}
-			}
-		}
-	})
-	a.lastAlphas = alphas
+	if par.Serial(batch, perSample) {
+		a.fwdRange(out, alphas, inputs, 0, batch)
+	} else {
+		par.ForWork(batch, perSample, func(lo, hi int) {
+			a.fwdRange(out, alphas, inputs, lo, hi)
+		})
+	}
 	return out
 }
 
-// Backward returns the gradients with respect to each timestep input.
+// bwdRange computes samples [lo, hi) of every timestep gradient. Each
+// sample's dα staging row is private to the sample, so shards never race.
+func (a *Attention) bwdRange(grads []*tensor.Matrix, gradOut *tensor.Matrix, lo, hi int) {
+	scale := float32(1 / math.Sqrt(float64(a.Dim)))
+	for b := lo; b < hi; b++ {
+		grow := gradOut.Row(b)
+		arow := a.lastAlphas.Row(b)
+		q := a.lastInputs[a.Steps-1].Row(b)
+
+		// dL/dα_t = g·h_t ; context = Σ α_t h_t contributes α_t·g to dh_t.
+		dAlpha := a.dAlphaBuf.Row(b)
+		for t := 0; t < a.Steps; t++ {
+			h := a.lastInputs[t].Row(b)
+			gt := grads[t].Row(b)
+			var dot float32
+			for k := range grow {
+				dot += grow[k] * h[k]
+				gt[k] += arow[t] * grow[k]
+			}
+			dAlpha[t] = dot
+		}
+		// Softmax backward: ds_t = α_t (dα_t − Σ_u α_u dα_u).
+		var inner float32
+		for t := range dAlpha {
+			inner += arow[t] * dAlpha[t]
+		}
+		for t := 0; t < a.Steps; t++ {
+			dScore := arow[t] * (dAlpha[t] - inner) * scale
+			if dScore == 0 {
+				continue
+			}
+			// score_t = scale·(q·h_t): grad flows to h_t and to q (= h_{T-1}).
+			h := a.lastInputs[t].Row(b)
+			gt := grads[t].Row(b)
+			gq := grads[a.Steps-1].Row(b)
+			for k := range h {
+				gt[k] += dScore * q[k]
+				gq[k] += dScore * h[k]
+			}
+		}
+	}
+}
+
+// Backward returns the gradients with respect to each timestep input
+// (scratch owned by a, valid until the next Backward call).
 func (a *Attention) Backward(gradOut *tensor.Matrix) []*tensor.Matrix {
 	if a.lastInputs == nil {
 		panic("nn: Attention.Backward before Forward")
 	}
 	batch := a.lastInputs[0].Rows
-	scale := float32(1 / math.Sqrt(float64(a.Dim)))
-	grads := make([]*tensor.Matrix, a.Steps)
-	for t := range grads {
-		grads[t] = tensor.New(batch, a.Dim)
-	}
-	perSample := 6 * int64(a.Steps) * int64(a.Dim)
-	par.ForWork(batch, perSample, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			grow := gradOut.Row(b)
-			arow := a.lastAlphas.Row(b)
-			q := a.lastInputs[a.Steps-1].Row(b)
-
-			// dL/dα_t = g·h_t ; context = Σ α_t h_t contributes α_t·g to dh_t.
-			dAlpha := make([]float32, a.Steps)
-			for t := 0; t < a.Steps; t++ {
-				h := a.lastInputs[t].Row(b)
-				gt := grads[t].Row(b)
-				var dot float32
-				for k := range grow {
-					dot += grow[k] * h[k]
-					gt[k] += arow[t] * grow[k]
-				}
-				dAlpha[t] = dot
-			}
-			// Softmax backward: ds_t = α_t (dα_t − Σ_u α_u dα_u).
-			var inner float32
-			for t := range dAlpha {
-				inner += arow[t] * dAlpha[t]
-			}
-			for t := 0; t < a.Steps; t++ {
-				dScore := arow[t] * (dAlpha[t] - inner) * scale
-				if dScore == 0 {
-					continue
-				}
-				// score_t = scale·(q·h_t): grad flows to h_t and to q (= h_{T-1}).
-				h := a.lastInputs[t].Row(b)
-				gt := grads[t].Row(b)
-				gq := grads[a.Steps-1].Row(b)
-				for k := range h {
-					gt[k] += dScore * q[k]
-					gq[k] += dScore * h[k]
-				}
-			}
+	if a.grads == nil {
+		a.grads = make([]*tensor.Matrix, a.Steps)
+		for t := range a.grads {
+			a.grads[t] = &tensor.Matrix{}
 		}
-	})
+	}
+	for t := range a.grads {
+		a.grads[t].Resize(batch, a.Dim)
+	}
+	grads := a.grads
+	a.dAlphaBuf.ResizeNoZero(batch, a.Steps) // per-sample rows fully overwritten
+	perSample := 6 * int64(a.Steps) * int64(a.Dim)
+	if par.Serial(batch, perSample) {
+		a.bwdRange(grads, gradOut, 0, batch)
+	} else {
+		par.ForWork(batch, perSample, func(lo, hi int) {
+			a.bwdRange(grads, gradOut, lo, hi)
+		})
+	}
 	return grads
 }

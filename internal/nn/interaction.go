@@ -13,11 +13,15 @@ import (
 // pairwise dot products of all distinct vector pairs.
 //
 // With n = 1 + numTables vectors the output width is d + n(n-1)/2.
+// Output and input-gradient matrices are per-instance scratch reused
+// across calls.
 type DotInteraction struct {
 	Dim    int
 	NumVec int // vectors per sample: 1 (dense) + number of embedding tables
 
 	lastInputs []*tensor.Matrix
+	out        tensor.Matrix
+	grads      []*tensor.Matrix
 }
 
 // NewDotInteraction returns the interaction op for numTables embedding
@@ -30,6 +34,27 @@ func NewDotInteraction(dim, numTables int) *DotInteraction {
 func (d *DotInteraction) OutWidth() int {
 	n := d.NumVec
 	return d.Dim + n*(n-1)/2
+}
+
+// fwdRange computes samples [lo, hi) of the interaction output.
+func (d *DotInteraction) fwdRange(out *tensor.Matrix, inputs []*tensor.Matrix, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		row := out.Row(b)
+		copy(row[:d.Dim], inputs[0].Row(b))
+		k := d.Dim
+		for i := 1; i < d.NumVec; i++ {
+			vi := inputs[i].Row(b)
+			for j := 0; j < i; j++ {
+				vj := inputs[j].Row(b)[:len(vi)]
+				var dot float32
+				for t, v := range vi {
+					dot += v * vj[t]
+				}
+				row[k] = dot
+				k++
+			}
+		}
+	}
 }
 
 // Forward consumes the dense vector matrix followed by one matrix per
@@ -45,65 +70,70 @@ func (d *DotInteraction) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
 		}
 	}
 	d.lastInputs = inputs
-	out := tensor.New(batch, d.OutWidth())
+	out := d.out.ResizeNoZero(batch, d.OutWidth()) // every cell written by fwdRange
 	perSample := int64(d.NumVec) * int64(d.NumVec) * int64(d.Dim)
-	par.ForWork(batch, perSample, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			row := out.Row(b)
-			copy(row[:d.Dim], inputs[0].Row(b))
-			k := d.Dim
-			for i := 1; i < d.NumVec; i++ {
-				vi := inputs[i].Row(b)
-				for j := 0; j < i; j++ {
-					vj := inputs[j].Row(b)
-					var dot float32
-					for t := 0; t < d.Dim; t++ {
-						dot += vi[t] * vj[t]
-					}
-					row[k] = dot
-					k++
-				}
-			}
-		}
-	})
+	if par.Serial(batch, perSample) {
+		d.fwdRange(out, inputs, 0, batch)
+	} else {
+		par.ForWork(batch, perSample, func(lo, hi int) {
+			d.fwdRange(out, inputs, lo, hi)
+		})
+	}
 	return out
 }
 
-// Backward returns one gradient matrix per forward input, in order.
+// bwdRange computes samples [lo, hi) of every input gradient.
+func (d *DotInteraction) bwdRange(grads []*tensor.Matrix, gradOut *tensor.Matrix, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		grow := gradOut.Row(b)
+		// Pass-through gradient for the copied dense vector.
+		copy(grads[0].Row(b), grow[:d.Dim])
+		k := d.Dim
+		for i := 1; i < d.NumVec; i++ {
+			vi := d.lastInputs[i].Row(b)
+			gi := grads[i].Row(b)
+			for j := 0; j < i; j++ {
+				g := grow[k]
+				k++
+				if g == 0 {
+					continue
+				}
+				vj := d.lastInputs[j].Row(b)[:len(vi)]
+				gj := grads[j].Row(b)[:len(vi)]
+				gi := gi[:len(vi)]
+				for t, v := range vi {
+					gi[t] += g * vj[t]
+					gj[t] += g * v
+				}
+			}
+		}
+	}
+}
+
+// Backward returns one gradient matrix per forward input, in order (scratch
+// owned by d, valid until the next Backward call).
 func (d *DotInteraction) Backward(gradOut *tensor.Matrix) []*tensor.Matrix {
 	if d.lastInputs == nil {
 		panic("nn: DotInteraction.Backward before Forward")
 	}
 	batch := d.lastInputs[0].Rows
-	grads := make([]*tensor.Matrix, d.NumVec)
-	for i := range grads {
-		grads[i] = tensor.New(batch, d.Dim)
-	}
-	perSample := int64(d.NumVec) * int64(d.NumVec) * int64(d.Dim)
-	par.ForWork(batch, perSample, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			grow := gradOut.Row(b)
-			// Pass-through gradient for the copied dense vector.
-			copy(grads[0].Row(b), grow[:d.Dim])
-			k := d.Dim
-			for i := 1; i < d.NumVec; i++ {
-				vi := d.lastInputs[i].Row(b)
-				gi := grads[i].Row(b)
-				for j := 0; j < i; j++ {
-					vj := d.lastInputs[j].Row(b)
-					gj := grads[j].Row(b)
-					g := grow[k]
-					k++
-					if g == 0 {
-						continue
-					}
-					for t := 0; t < d.Dim; t++ {
-						gi[t] += g * vj[t]
-						gj[t] += g * vi[t]
-					}
-				}
-			}
+	if d.grads == nil {
+		d.grads = make([]*tensor.Matrix, d.NumVec)
+		for i := range d.grads {
+			d.grads[i] = &tensor.Matrix{}
 		}
-	})
+	}
+	for i := range d.grads {
+		d.grads[i].Resize(batch, d.Dim)
+	}
+	grads := d.grads
+	perSample := int64(d.NumVec) * int64(d.NumVec) * int64(d.Dim)
+	if par.Serial(batch, perSample) {
+		d.bwdRange(grads, gradOut, 0, batch)
+	} else {
+		par.ForWork(batch, perSample, func(lo, hi int) {
+			d.bwdRange(grads, gradOut, lo, hi)
+		})
+	}
 	return grads
 }

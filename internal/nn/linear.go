@@ -8,6 +8,12 @@ import (
 
 // Linear is a fully connected layer computing y = x·W + b with
 // W of shape (in x out) and b of length out.
+//
+// Forward/backward scratch (the output, the per-call weight-gradient
+// staging and the input gradient) lives in per-instance buffers that are
+// resized instead of reallocated, so steady-state training allocates
+// nothing. A returned matrix is therefore valid only until the next
+// Forward/Backward call on the same instance; shadows own private scratch.
 type Linear struct {
 	In, Out int
 	W       *tensor.Matrix // in x out
@@ -16,6 +22,9 @@ type Linear struct {
 	GradB   *tensor.Matrix
 
 	lastInput *tensor.Matrix // cached for backward
+	out       tensor.Matrix  // forward output scratch
+	gwScratch tensor.Matrix  // per-call dW staging (summed into GradW)
+	gradIn    tensor.Matrix  // backward output scratch
 }
 
 // NewLinear returns a Linear layer with Xavier-initialised weights.
@@ -43,28 +52,30 @@ func (l *Linear) Shadow() *Linear {
 	}
 }
 
-// Forward computes x·W + b for a batch x of shape (B x in).
+// Forward computes x·W + b for a batch x of shape (B x in). The returned
+// matrix is scratch owned by l, valid until the next Forward call.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: Linear forward input cols %d want %d", x.Cols, l.In))
 	}
 	l.lastInput = x
-	out := tensor.New(x.Rows, l.Out)
+	out := l.out.ResizeNoZero(x.Rows, l.Out) // MatMul zeroes its destination
 	tensor.MatMul(out, x, l.W)
 	tensor.AddBiasRow(out, l.B.Data)
 	return out
 }
 
-// Backward accumulates dW = xᵀ·g, db = Σrows g and returns dx = g·Wᵀ.
+// Backward accumulates dW = xᵀ·g, db = Σrows g and returns dx = g·Wᵀ
+// (scratch owned by l, valid until the next Backward call).
 func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if l.lastInput == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
-	gw := tensor.New(l.In, l.Out)
+	gw := l.gwScratch.ResizeNoZero(l.In, l.Out) // MatMulTransA zeroes its destination
 	tensor.MatMulTransA(gw, l.lastInput, gradOut)
 	tensor.AxpyInto(l.GradW, 1, gw)
 	tensor.SumRowsInto(l.GradB.Data, gradOut)
-	gradIn := tensor.New(gradOut.Rows, l.In)
+	gradIn := l.gradIn.ResizeNoZero(gradOut.Rows, l.In) // fully overwritten
 	tensor.MatMulTransB(gradIn, gradOut, l.W)
 	return gradIn
 }

@@ -26,13 +26,20 @@ const (
 //
 // It returns the reduced loss and dL/dlogits under the same reduction.
 func BCEWithLogits(logits *tensor.Matrix, targets []float32, red Reduction) (float64, *tensor.Matrix) {
+	return BCEWithLogitsInto(tensor.New(logits.Rows, 1), logits, targets, red)
+}
+
+// BCEWithLogitsInto is BCEWithLogits writing the gradient into a
+// caller-supplied buffer (resized to B x 1), so steady-state training can
+// reuse one gradient matrix per executor instead of allocating per step.
+func BCEWithLogitsInto(grad *tensor.Matrix, logits *tensor.Matrix, targets []float32, red Reduction) (float64, *tensor.Matrix) {
 	if logits.Cols != 1 {
 		panic(fmt.Sprintf("nn: BCEWithLogits wants Bx1 logits, got %dx%d", logits.Rows, logits.Cols))
 	}
 	if logits.Rows != len(targets) {
 		panic(fmt.Sprintf("nn: BCEWithLogits %d logits vs %d targets", logits.Rows, len(targets)))
 	}
-	grad := tensor.New(logits.Rows, 1)
+	grad.ResizeNoZero(logits.Rows, 1) // every element written below
 	var loss float64
 	for i := 0; i < logits.Rows; i++ {
 		x := float64(logits.Data[i])

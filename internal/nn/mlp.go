@@ -12,6 +12,8 @@ import (
 type MLP struct {
 	Sizes  []int
 	layers []Layer
+
+	params []Param // memoised Params() result (layer Grad pointers are stable)
 }
 
 // NewMLP builds an MLP from the layer sizes, e.g. {13, 512, 256, 64}.
@@ -65,8 +67,13 @@ func (m *MLP) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	return gradOut
 }
 
-// Params returns the parameters of every layer in order.
+// Params returns the parameters of every layer in order. The slice is
+// memoised (parameter and gradient storage is stable for the life of the
+// MLP), so the per-step optimizer path performs no allocations.
 func (m *MLP) Params() []Param {
+	if m.params != nil {
+		return m.params
+	}
 	var ps []Param
 	for i, l := range m.layers {
 		for _, p := range l.Params() {
@@ -74,6 +81,7 @@ func (m *MLP) Params() []Param {
 			ps = append(ps, p)
 		}
 	}
+	m.params = ps
 	return ps
 }
 

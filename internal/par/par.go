@@ -32,6 +32,22 @@ func Workers() int {
 // before forking is worth a goroutine handoff (~a few microseconds of math).
 const minShardWork = 1 << 15
 
+// Serial reports whether a kernel over n items of perItem scalar ops each
+// should run serially: a single worker, or total work below the forking
+// threshold. Hot kernels branch on it and run their loop body directly in
+// the serial case instead of building a closure for ForWork — a closure
+// passed to ForWork escapes to the heap even when ForWork would take its
+// own serial path, and the steady-state training loop must not allocate.
+func Serial(n int, perItem int64) bool {
+	if n <= 0 {
+		return true
+	}
+	if perItem < 1 {
+		perItem = 1
+	}
+	return Workers() <= 1 || int64(n)*perItem < 2*minShardWork
+}
+
 // ForWork runs fn over contiguous shards covering [0, n). perItem estimates
 // the scalar-operation cost of one item; loops whose total work is below
 // 2*minShardWork — or when Workers() == 1 — run serially as fn(0, n) on the

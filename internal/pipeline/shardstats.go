@@ -7,7 +7,9 @@ import (
 	"hotline/internal/cost"
 	"hotline/internal/data"
 	"hotline/internal/embedding"
+	"hotline/internal/model"
 	"hotline/internal/shard"
+	"hotline/internal/train"
 )
 
 // ShardMeasurement carries *measured* sharding statistics for a workload:
@@ -227,16 +229,95 @@ func buildPartitioner(probe data.Config, p ShardProbe, batch int, hot shard.HotC
 // one full replica of the learned hot set (the paper's ≤512 MB HBM tier).
 func DefaultShardCacheBytes(cfg data.Config) int64 { return data.ScaledHotBudget(cfg) }
 
+// overlapCache memoises MeasureOverlapExposed per (dataset, nodes). The
+// fraction is a wall-clock measurement, so memoising keeps every workload
+// built in one process — and the concurrent experiment sweep — consistent.
+var overlapCache sync.Map // string -> float64
+
+// overlapMu serialises first-time overlap measurement.
+var overlapMu sync.Mutex
+
+// MeasureOverlapExposed trains the pipelined Hotline executor functionally
+// on a down-sampled copy of cfg over a sharded service with the given
+// per-node device-cache budget (<= 0 selects the scaled hot-set default) —
+// once with synchronous staged gathers, once with the cross-iteration
+// prefetch pipeline (classification and fabric gathers for mini-batch i+1
+// issued while iteration i finishes) — and returns the measured fraction
+// of gather wall time the pipeline left exposed, in [0, 1]. The cache
+// budget is part of the memo identity: a cache-starved topology has far
+// more gather traffic to hide, so its exposure must be measured under the
+// same budget the workload's gather stats were.
+//
+// The probe shrinks the MLPs (the access stream, and therefore the gather
+// traffic, is untouched); less compute per iteration means less time to
+// hide traffic under, so the returned fraction is a conservative estimate
+// of what the full model would hide. The mn-overlap scenario measures the
+// production-shape model and overrides the workload's fraction with it.
+func MeasureOverlapExposed(cfg data.Config, nodes int, cacheBytes int64) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	if cacheBytes <= 0 {
+		cacheBytes = DefaultShardCacheBytes(cfg)
+	}
+	key := fmt.Sprintf("%s/%d/%d", cfg.Name, nodes, cacheBytes)
+	if v, ok := overlapCache.Load(key); ok {
+		return v.(float64)
+	}
+	overlapMu.Lock()
+	defer overlapMu.Unlock()
+	if v, ok := overlapCache.Load(key); ok {
+		return v.(float64)
+	}
+
+	fn := cfg
+	fn.Samples = 2048
+	fn.BotMLP = []int{cfg.BotMLP[0], 64, cfg.EmbedDim}
+	fn.TopMLP = []int{64, 1}
+	const iters, batch, seed = 8, 256, 42
+	runOne := func(overlap bool) shard.OverlapStats {
+		svc := shard.New(shard.Config{
+			Nodes: nodes, CacheBytes: cacheBytes,
+			RowBytes: int64(fn.EmbedDim) * 4,
+		}, nil)
+		tr := train.NewHotlineSharded(model.New(fn, seed), 0.1, svc)
+		tr.OverlapGather = overlap
+		tr.LearnSamples = 512
+		gen := data.NewGenerator(fn)
+		b := gen.NextBatch(batch)
+		for i := 1; i <= iters; i++ {
+			var next *data.Batch
+			if i < iters {
+				next = gen.NextBatch(batch)
+			}
+			tr.StepPipelined(b, next)
+			b = next
+		}
+		return svc.Gatherer().Stats()
+	}
+	syncStats := runOne(false)
+	overStats := runOne(true)
+	f := shard.ExposedFrac(overStats, syncStats)
+	overlapCache.Store(key, f)
+	return f
+}
+
 // NewShardedWorkload assembles a workload whose timing models consume
 // measured sharding statistics (sys.Nodes simulated nodes, cacheBytes of
 // device cache per node, LRU caches over round-robin ownership) instead of
-// the analytic popularity fractions.
+// the analytic popularity fractions. The exposed-gather fraction is also
+// measured — the pipelined async engine against its synchronous baseline
+// (MeasureOverlapExposed) — so every mn-* scenario prices overlap from
+// measurement by default instead of the analytic overlap schedule.
 func NewShardedWorkload(cfg data.Config, batch int, sys cost.System, cacheBytes int64) Workload {
 	w := NewWorkload(cfg, batch, sys)
 	if cacheBytes <= 0 {
 		cacheBytes = DefaultShardCacheBytes(cfg)
 	}
 	m := MeasureShardStats(cfg, sys.Nodes, cacheBytes, batch, shard.PolicyLRU)
+	if sys.Nodes > 1 {
+		m.SetExposedFrac(MeasureOverlapExposed(cfg, sys.Nodes, cacheBytes))
+	}
 	w.Shard = &m
 	return w
 }

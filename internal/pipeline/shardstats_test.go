@@ -149,3 +149,34 @@ func TestShardedWorkloadFeedsTimingModels(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedWorkloadMeasuresOverlap: NewShardedWorkload must price the
+// exposed-gather fraction from the pipelined async engine's measurement by
+// default — every mn-* scenario consumes it, not only mn-overlap.
+func TestShardedWorkloadMeasuresOverlap(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	for _, nodes := range []int{2, 4} {
+		w := NewShardedWorkload(cfg, 4096*nodes, cost.PaperCluster(nodes), 0)
+		if w.Shard == nil {
+			t.Fatalf("nodes=%d: workload carries no shard measurement", nodes)
+		}
+		if !w.Shard.OverlapMeasured {
+			t.Fatalf("nodes=%d: exposed fraction not measured by default", nodes)
+		}
+		if f := w.Shard.ExposedFrac; f < 0 || f > 1 {
+			t.Fatalf("nodes=%d: exposed fraction %v outside [0,1]", nodes, f)
+		}
+		// Memoisation: a second workload must see the identical fraction
+		// (the sweep's determinism depends on it).
+		w2 := NewShardedWorkload(cfg, 4096*nodes, cost.PaperCluster(nodes), 0)
+		if w2.Shard.ExposedFrac != w.Shard.ExposedFrac {
+			t.Fatalf("nodes=%d: exposed fraction not memoised (%v vs %v)",
+				nodes, w.Shard.ExposedFrac, w2.Shard.ExposedFrac)
+		}
+	}
+	// Single node: no fabric, no overlap measurement.
+	w := NewShardedWorkload(cfg, 4096, cost.PaperCluster(1), 0)
+	if w.Shard.OverlapMeasured {
+		t.Fatal("nodes=1 must not report a measured overlap")
+	}
+}

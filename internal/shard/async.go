@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -12,7 +11,10 @@ import (
 // rows of one table that must cross the fabric, grouped by the node that
 // owns (and therefore streams) them, plus a staging slot for every row.
 // Plans are built under the service mutex (PlanGather) and are immutable
-// afterwards.
+// afterwards. Plans are ring entries of the async engine: consuming a
+// window (AsyncGatherer.Release) recycles its plan, so the two-deep
+// cross-iteration pipeline reuses a fixed set of plans instead of
+// allocating one per call.
 type GatherPlan struct {
 	// Table keys the accounting and the staging lookups.
 	Table int
@@ -26,7 +28,25 @@ type GatherPlan struct {
 }
 
 func newGatherPlan(table, nodes int) *GatherPlan {
-	return &GatherPlan{Table: table, perOwner: make([][]int32, nodes), slot: make(map[int32]int)}
+	p := &GatherPlan{slot: make(map[int32]int)}
+	p.reset(table, nodes)
+	return p
+}
+
+// reset readies a recycled plan for a new window, keeping the per-owner
+// slices and the slot map's buckets.
+func (p *GatherPlan) reset(table, nodes int) {
+	p.Table = table
+	p.Bytes = 0
+	if cap(p.perOwner) < nodes {
+		p.perOwner = make([][]int32, nodes)
+	} else {
+		p.perOwner = p.perOwner[:nodes]
+		for i := range p.perOwner {
+			p.perOwner[i] = p.perOwner[i][:0]
+		}
+	}
+	clear(p.slot)
 }
 
 // add registers one fabric fetch of row from owner. Rows are staged once
@@ -50,15 +70,14 @@ func (p *GatherPlan) Rows() int { return len(p.slot) }
 // window's Handle reports completion, then apply the rows in their own
 // fixed iteration order — which keeps training bit-identical to the
 // synchronous path (the staged values are exact copies of the owner-shard
-// rows, and weights do not change while a window is in flight).
+// rows, and weights do not change while a window is in flight). Stagings
+// are ring entries like plans: AsyncGatherer.Release recycles the buffer
+// (and the plan it shares its slot map with) for the next window.
 type Staging struct {
 	dim  int
 	buf  []float32
 	slot map[int32]int
-}
-
-func newStaging(p *GatherPlan, dim int) *Staging {
-	return &Staging{dim: dim, buf: make([]float32, len(p.slot)*dim), slot: p.slot}
+	plan *GatherPlan // recycled together with the staging
 }
 
 // Lookup returns the staged copy of row, if the plan fetched it.
@@ -78,34 +97,47 @@ func (st *Staging) Rows() int { return len(st.slot) }
 // underlying storage (which is stable while a window is in flight).
 type FetchFunc func(row int32, dst []float32)
 
-// Handle tracks one submitted gather window.
+// Handle tracks one submitted gather window. Await may be called exactly
+// once per window; the handle is recycled into the engine's pool when it
+// returns.
 type Handle struct {
 	g       *AsyncGatherer
 	staging *Staging
-	pending atomic.Int64
-	done    chan struct{}
+
+	mu      sync.Mutex
+	cond    sync.Cond // cond.L = &mu
+	pending int
 }
 
 // jobDone retires one per-owner fetch job.
 func (h *Handle) jobDone() {
-	if h.pending.Add(-1) == 0 {
-		close(h.done)
+	h.mu.Lock()
+	h.pending--
+	if h.pending == 0 {
+		h.cond.Broadcast()
 	}
+	h.mu.Unlock()
 }
 
 // Await blocks until every fetch of the window has landed and returns the
 // staging buffer. The calling goroutine helps drain outstanding queue
 // buffers instead of idling, and the blocked wall time is accounted as
 // exposed gather time — the part of the fabric traffic the overlap failed
-// to hide.
+// to hide. The handle is recycled on return; pass the staging to
+// AsyncGatherer.Release once its rows are consumed.
 func (h *Handle) Await() *Staging {
 	start := time.Now()
 	for _, q := range h.g.queues {
 		q.drainOn(h.g)
 	}
-	<-h.done
-	h.g.noteExposed(time.Since(start))
-	return h.staging
+	h.mu.Lock()
+	for h.pending > 0 {
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
+	st := h.staging
+	h.g.noteExposed(time.Since(start), h)
+	return st
 }
 
 // OverlapStats aggregates what the async engine moved and how much of it
@@ -136,6 +168,20 @@ type OverlapStats struct {
 // overlap-off and an overlap-on run of the same workload yields the
 // exposed-gather fraction the mn-overlap scenario feeds the timing models.
 func (s OverlapStats) ExposedGather() time.Duration { return s.SyncGather + s.Exposed }
+
+// ExposedFrac returns this engine's exposed share of the given synchronous
+// gather baseline, clamped to [0, 1] (0 = fully hidden).
+func ExposedFrac(overlap, sync OverlapStats) float64 {
+	base := sync.ExposedGather()
+	if base <= 0 {
+		return 0
+	}
+	f := float64(overlap.ExposedGather()) / float64(base)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
 
 // fetchJob is one owner node's contribution to a gather window.
 type fetchJob struct {
@@ -240,11 +286,23 @@ func runJobs(jobs []fetchJob, g *AsyncGatherer) {
 // issues a window; the returned Handle's Await blocks only for whatever the
 // overlap failed to hide. GatherSync runs the same plan inline, timing the
 // fully exposed cost the synchronous path pays.
+//
+// Plans, stagings and handles are pooled ring entries: the engine holds a
+// free list that grows to the pipeline's peak window count (one window per
+// table, two iterations deep under the cross-iteration pipeline) and is
+// then reused verbatim, so the steady-state prefetch path allocates
+// nothing. Consumers return a window with Release when they have read its
+// staged rows.
 type AsyncGatherer struct {
 	queues []*gatherQueue
 
 	mu    sync.Mutex
 	stats OverlapStats
+
+	poolMu       sync.Mutex
+	freePlans    []*GatherPlan
+	freeStagings []*Staging
+	freeHandles  []*Handle
 }
 
 // NewAsyncGatherer builds an engine for a topology of `nodes` owner nodes.
@@ -259,13 +317,100 @@ func NewAsyncGatherer(nodes int) *AsyncGatherer {
 	return g
 }
 
+// AcquirePlan hands out a recycled (or new) plan for a window over the
+// engine's topology. The service's PlanGather calls this so plans cycle
+// through the ring instead of being allocated per accounting pass.
+func (g *AsyncGatherer) AcquirePlan(table int) *GatherPlan {
+	g.poolMu.Lock()
+	n := len(g.freePlans)
+	if n == 0 {
+		g.poolMu.Unlock()
+		return newGatherPlan(table, len(g.queues))
+	}
+	p := g.freePlans[n-1]
+	g.freePlans = g.freePlans[:n-1]
+	g.poolMu.Unlock()
+	p.reset(table, len(g.queues))
+	return p
+}
+
+// acquireStaging binds a pooled staging buffer to a plan.
+func (g *AsyncGatherer) acquireStaging(plan *GatherPlan, dim int) *Staging {
+	need := len(plan.slot) * dim
+	g.poolMu.Lock()
+	n := len(g.freeStagings)
+	var st *Staging
+	if n > 0 {
+		st = g.freeStagings[n-1]
+		g.freeStagings = g.freeStagings[:n-1]
+	}
+	g.poolMu.Unlock()
+	if st == nil {
+		st = &Staging{}
+	}
+	if cap(st.buf) < need {
+		st.buf = make([]float32, need)
+	}
+	st.buf = st.buf[:need]
+	st.dim = dim
+	st.slot = plan.slot
+	st.plan = plan
+	return st
+}
+
+// acquireHandle hands out a recycled (or new) handle.
+func (g *AsyncGatherer) acquireHandle() *Handle {
+	g.poolMu.Lock()
+	n := len(g.freeHandles)
+	var h *Handle
+	if n > 0 {
+		h = g.freeHandles[n-1]
+		g.freeHandles = g.freeHandles[:n-1]
+	}
+	g.poolMu.Unlock()
+	if h == nil {
+		h = &Handle{g: g}
+		h.cond.L = &h.mu
+	}
+	return h
+}
+
+// Release recycles a consumed window: the staging buffer and the plan whose
+// slot map it shares go back into the ring. Callers must not touch the
+// staging (or any row slice obtained from Lookup) afterwards. Releasing is
+// optional — an unreleased window is simply collected by the GC — so
+// external users of Submit/GatherSync that predate the ring keep working.
+func (g *AsyncGatherer) Release(st *Staging) {
+	if st == nil {
+		return
+	}
+	plan := st.plan
+	st.plan = nil
+	st.slot = nil
+	g.poolMu.Lock()
+	g.freeStagings = append(g.freeStagings, st)
+	if plan != nil {
+		g.freePlans = append(g.freePlans, plan)
+	}
+	g.poolMu.Unlock()
+}
+
+// releaseHandle recycles a completed handle (after Await).
+func (g *AsyncGatherer) releaseHandle(h *Handle) {
+	h.staging = nil
+	g.poolMu.Lock()
+	g.freeHandles = append(g.freeHandles, h)
+	g.poolMu.Unlock()
+}
+
 // Submit issues one gather window asynchronously and returns its Handle.
 // The submitting goroutine yields once so the drainers get scheduled even
 // on a single-CPU host — the window then streams while the caller's compute
 // runs, which is exactly the overlap the paper's pipeline performs in
 // hardware.
 func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Handle {
-	h := &Handle{g: g, staging: newStaging(plan, dim), done: make(chan struct{})}
+	h := g.acquireHandle()
+	h.staging = g.acquireStaging(plan, dim)
 	jobs := 0
 	for _, rows := range plan.perOwner {
 		if len(rows) > 0 {
@@ -278,10 +423,11 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 	g.stats.PrefetchBytes += plan.Bytes
 	g.mu.Unlock()
 	if jobs == 0 {
-		close(h.done)
 		return h
 	}
-	h.pending.Store(int64(jobs))
+	h.mu.Lock()
+	h.pending = jobs
+	h.mu.Unlock()
 	for owner, rows := range plan.perOwner {
 		if len(rows) == 0 {
 			continue
@@ -298,7 +444,7 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 // against.
 func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *Staging {
 	start := time.Now()
-	st := newStaging(plan, dim)
+	st := g.acquireStaging(plan, dim)
 	for _, rows := range plan.perOwner {
 		for _, row := range rows {
 			i := st.slot[row]
@@ -335,8 +481,11 @@ func (g *AsyncGatherer) noteBusy(d time.Duration) {
 	g.mu.Unlock()
 }
 
-func (g *AsyncGatherer) noteExposed(d time.Duration) {
+// noteExposed accounts one Await's blocked wall time and recycles the
+// handle.
+func (g *AsyncGatherer) noteExposed(d time.Duration, h *Handle) {
 	g.mu.Lock()
 	g.stats.Exposed += d
 	g.mu.Unlock()
+	g.releaseHandle(h)
 }

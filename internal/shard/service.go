@@ -206,6 +206,10 @@ type Service struct {
 	mu     sync.Mutex
 	caches []*DeviceCache
 	stats  Stats
+	// dedupScratch is the per-call (requesting node, row) dedup set for
+	// gather and scatter walks, reused under the mutex so the steady-state
+	// accounting path allocates nothing.
+	dedupScratch map[uint64]struct{}
 }
 
 // New builds a Service. hot may be nil (admit every remote row).
@@ -298,8 +302,9 @@ func (s *Service) planGather(table int, indices [][]int32, collect bool) *Gather
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var plan *GatherPlan
-	// gathered dedups fabric fetches within this call (one iteration's bag).
-	var gathered map[uint64]struct{}
+	// gathered dedups fabric fetches within this call (one iteration's bag);
+	// the scratch set is reused across calls under the mutex.
+	gathered := s.acquireDedup()
 	for b := range indices {
 		node := s.NodeOf(b)
 		cache := s.caches[node]
@@ -318,16 +323,13 @@ func (s *Service) planGather(table int, indices [][]int32, collect bool) *Gather
 			// The dedup key is (requesting node, row); the table is fixed
 			// within one call.
 			nk := uint64(node)<<32 | uint64(uint32(ix))
-			if gathered == nil {
-				gathered = make(map[uint64]struct{})
-			}
 			if _, ok := gathered[nk]; !ok {
 				gathered[nk] = struct{}{}
 				s.stats.GatherRows++
 				s.stats.GatherBytes += s.cfg.RowBytes
 				if collect {
 					if plan == nil {
-						plan = newGatherPlan(table, s.cfg.Nodes)
+						plan = s.acquirePlan(table)
 					}
 					plan.add(ix, s.Owner(table, ix), s.cfg.RowBytes)
 				}
@@ -346,6 +348,26 @@ func (s *Service) planGather(table int, indices [][]int32, collect bool) *Gather
 	return plan
 }
 
+// acquireDedup returns the cleared per-call dedup scratch set. Must be
+// called (and the set fully consumed) under s.mu.
+func (s *Service) acquireDedup() map[uint64]struct{} {
+	if s.dedupScratch == nil {
+		s.dedupScratch = make(map[uint64]struct{})
+	} else {
+		clear(s.dedupScratch)
+	}
+	return s.dedupScratch
+}
+
+// acquirePlan hands out a gather plan, recycling through the async engine's
+// ring when one is attached.
+func (s *Service) acquirePlan(table int) *GatherPlan {
+	if s.gather != nil {
+		return s.gather.AcquirePlan(table)
+	}
+	return newGatherPlan(table, s.cfg.Nodes)
+}
+
 // RecordScatter accounts the gradient push-back for one bag's backward
 // pass: every node locally pre-reduces its gradient contributions, then
 // sends one row-sized message per distinct remote row it touched to that
@@ -356,7 +378,7 @@ func (s *Service) RecordScatter(table int, indices [][]int32) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var sent map[uint64]struct{}
+	sent := s.acquireDedup()
 	for b := range indices {
 		node := s.NodeOf(b)
 		for _, ix := range indices[b] {
@@ -364,9 +386,6 @@ func (s *Service) RecordScatter(table int, indices [][]int32) {
 				continue
 			}
 			nk := uint64(node)<<32 | uint64(uint32(ix))
-			if sent == nil {
-				sent = make(map[uint64]struct{})
-			}
 			if _, ok := sent[nk]; ok {
 				continue
 			}

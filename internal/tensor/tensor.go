@@ -32,6 +32,62 @@ func FromSlice(rows, cols int, data []float32) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
 
+// Resize reshapes m to rows x cols and zeroes every element, reusing the
+// existing backing array when its capacity suffices. This is the scratch
+// substrate of the steady-state training loop: per-step buffers are resized
+// instead of reallocated, so after warm-up a step performs no allocations.
+func (m *Matrix) Resize(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		// Grow geometrically: µ-batch sizes jitter step to step, and exact
+		// sizing would re-allocate on every new maximum instead of letting
+		// the scratch buffer converge after a couple of steps.
+		newCap := n
+		if c := 2 * cap(m.Data); c > newCap {
+			newCap = c
+		}
+		m.Data = make([]float32, n, newCap)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// ResizeNoZero is Resize without the clearing pass, for destinations whose
+// every element is about to be overwritten (or that the consuming kernel
+// zeroes itself, like MatMul). Reusing a buffer through Resize would memset
+// it twice per step on the hot path.
+func (m *Matrix) ResizeNoZero(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		newCap := n
+		if c := 2 * cap(m.Data); c > newCap {
+			newCap = c
+		}
+		m.Data = make([]float32, n, newCap)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// Reset truncates m to 0x0, keeping the backing array for later Resize.
+func (m *Matrix) Reset() {
+	m.Rows, m.Cols = 0, 0
+	m.Data = m.Data[:0]
+}
+
 // At returns element (r, c).
 func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
 
@@ -46,6 +102,26 @@ func (m *Matrix) Clone() *Matrix {
 	out := New(m.Rows, m.Cols)
 	copy(out.Data, m.Data)
 	return out
+}
+
+// CopyFrom resizes m to src's shape and copies src's contents into it,
+// reusing m's backing array when possible.
+func (m *Matrix) CopyFrom(src *Matrix) *Matrix {
+	n := src.Rows * src.Cols
+	if cap(m.Data) < n {
+		// Same geometric growth as Resize: µ-batch sizes jitter, and exact
+		// sizing would re-allocate on every new maximum.
+		newCap := n
+		if c := 2 * cap(m.Data); c > newCap {
+			newCap = c
+		}
+		m.Data = make([]float32, n, newCap)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = src.Rows, src.Cols
+	copy(m.Data, src.Data)
+	return m
 }
 
 // Zero sets every element to 0 in place.
@@ -78,6 +154,45 @@ func (m *Matrix) Equal(other *Matrix) bool {
 // String renders a compact shape descriptor (not the contents).
 func (m *Matrix) String() string { return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols) }
 
+// The hot kernels below branch on par.Serial and call their range body
+// directly in the serial case: a closure passed to par.ForWork escapes to
+// the heap at its creation point, so building one only on the parallel
+// branch keeps the steady-state training loop allocation-free.
+
+// matMulRange computes rows [lo, hi) of dst = a x b (dst rows pre-zeroed).
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			// Reslicing drow to brow's length lets the compiler drop the
+			// bounds checks in the innermost loop.
+			axpyUnrolled(drow[:len(brow)], brow, aik)
+		}
+	}
+}
+
+// axpyUnrolled computes dst[j] += alpha*src[j] with 4-wide unrolling. Each
+// output element keeps its own addition chain, so the result is bit-equal
+// to the plain loop — the unroll only exposes instruction parallelism.
+func axpyUnrolled(dst, src []float32, alpha float32) {
+	j := 0
+	for ; j+4 <= len(src) && j+4 <= len(dst); j += 4 {
+		dst[j] += alpha * src[j]
+		dst[j+1] += alpha * src[j+1]
+		dst[j+2] += alpha * src[j+2]
+		dst[j+3] += alpha * src[j+3]
+	}
+	for ; j < len(src); j++ {
+		dst[j] += alpha * src[j]
+	}
+}
+
 // MatMul computes dst = a x b. dst must be a.Rows x b.Cols and must not
 // alias a or b. It uses the cache-friendly i-k-j loop order.
 func MatMul(dst, a, b *Matrix) {
@@ -88,23 +203,45 @@ func MatMul(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	dst.Zero()
-	n := b.Cols
-	par.ForWork(a.Rows, 2*int64(a.Cols)*int64(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for k := 0; k < a.Cols; k++ {
-				aik := arow[k]
-				if aik == 0 {
-					continue
-				}
-				brow := b.Data[k*n : k*n+n]
-				for j := 0; j < n; j++ {
-					drow[j] += aik * brow[j]
-				}
-			}
-		}
+	perRow := 2 * int64(a.Cols) * int64(b.Cols)
+	if par.Serial(a.Rows, perRow) {
+		matMulRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	par.ForWork(a.Rows, perRow, func(lo, hi int) {
+		matMulRange(dst, a, b, lo, hi)
 	})
+}
+
+// matMulTransBRange computes rows [lo, hi) of dst = a x bᵀ. Output columns
+// are processed in pairs: the two dot products keep their own k-ascending
+// accumulation chains (bit-equal to the plain loop) while their instruction
+// streams interleave.
+func matMulTransBRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		j := 0
+		for ; j+2 <= b.Rows; j += 2 {
+			brow0 := b.Row(j)[:len(arow)]
+			brow1 := b.Row(j + 1)[:len(arow)]
+			var sum0, sum1 float32
+			for k, av := range arow {
+				sum0 += av * brow0[k]
+				sum1 += av * brow1[k]
+			}
+			drow[j] = sum0
+			drow[j+1] = sum1
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Row(j)[:len(arow)]
+			var sum float32
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
 }
 
 // MatMulTransB computes dst = a x bᵀ. dst must be a.Rows x b.Rows.
@@ -115,20 +252,34 @@ func MatMulTransB(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	par.ForWork(a.Rows, 2*int64(a.Cols)*int64(b.Rows), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var sum float32
-				for k := range arow {
-					sum += arow[k] * brow[k]
-				}
-				drow[j] = sum
-			}
-		}
+	perRow := 2 * int64(a.Cols) * int64(b.Rows)
+	if par.Serial(a.Rows, perRow) {
+		matMulTransBRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	par.ForWork(a.Rows, perRow, func(lo, hi int) {
+		matMulTransBRange(dst, a, b, lo, hi)
 	})
+}
+
+// matMulTransARange computes output rows (columns of a) [lo, hi) of
+// dst = aᵀ x b, accumulating over r in ascending order — the same
+// per-element addition sequence for every shard split, so the result is
+// bit-identical to the serial r-outer loop.
+func matMulTransARange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	ac := a.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : i*n+n]
+		for r := 0; r < a.Rows; r++ {
+			aval := a.Data[r*ac+i]
+			if aval == 0 {
+				continue
+			}
+			brow := b.Data[r*n : r*n+n]
+			axpyUnrolled(drow[:len(brow)], brow, aval)
+		}
+	}
 }
 
 // MatMulTransA computes dst = aᵀ x b. dst must be a.Cols x b.Cols.
@@ -141,8 +292,11 @@ func MatMulTransA(dst, a, b *Matrix) {
 	}
 	dst.Zero()
 	n := b.Cols
-	if par.Workers() <= 1 {
-		// Cache-friendly r-outer accumulation on a single core.
+	perCol := 2 * int64(a.Rows) * int64(n)
+	if par.Serial(a.Cols, perCol) {
+		// Cache-friendly r-outer accumulation on a single core. Per output
+		// element this is the same ascending-r addition sequence as the
+		// column-parallel form, so both orders are bit-identical.
 		for r := 0; r < a.Rows; r++ {
 			arow := a.Row(r)
 			brow := b.Row(r)
@@ -150,32 +304,14 @@ func MatMulTransA(dst, a, b *Matrix) {
 				if aval == 0 {
 					continue
 				}
-				drow := dst.Data[i*n : i*n+n]
-				for j := 0; j < n; j++ {
-					drow[j] += aval * brow[j]
-				}
+				axpyUnrolled(dst.Data[i*n:i*n+n], brow, aval)
 			}
 		}
 		return
 	}
-	// Parallel form: each goroutine owns whole output rows (columns of a),
-	// accumulating over r in ascending order — the same per-element addition
-	// sequence as the serial loop, so the result is bit-identical.
-	ac := a.Cols
-	par.ForWork(ac, 2*int64(a.Rows)*int64(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dst.Data[i*n : i*n+n]
-			for r := 0; r < a.Rows; r++ {
-				aval := a.Data[r*ac+i]
-				if aval == 0 {
-					continue
-				}
-				brow := b.Data[r*n : r*n+n]
-				for j := 0; j < n; j++ {
-					drow[j] += aval * brow[j]
-				}
-			}
-		}
+	// Parallel form: each goroutine owns whole output rows (columns of a).
+	par.ForWork(a.Cols, perCol, func(lo, hi int) {
+		matMulTransARange(dst, a, b, lo, hi)
 	})
 }
 
@@ -192,12 +328,25 @@ func AddBiasRow(m *Matrix, bias []float32) {
 	}
 }
 
+// sumRowsRange accumulates columns [lo, hi) of the column-wise sum of m
+// into dst, over r in ascending order.
+func sumRowsRange(dst []float32, m *Matrix, lo, hi int) {
+	cols := m.Cols
+	for c := lo; c < hi; c++ {
+		for r := 0; r < m.Rows; r++ {
+			dst[c] += m.Data[r*cols+c]
+		}
+	}
+}
+
 // SumRowsInto accumulates the column-wise sum of m into dst (length m.Cols).
 func SumRowsInto(dst []float32, m *Matrix) {
 	if len(dst) != m.Cols {
 		panic(fmt.Sprintf("tensor: SumRowsInto dst len %d want %d", len(dst), m.Cols))
 	}
-	if par.Workers() <= 1 {
+	if par.Serial(m.Cols, int64(m.Rows)) {
+		// Row-outer on a single core; per output element the addition order
+		// (r ascending) matches the column-parallel form bit for bit.
 		for r := 0; r < m.Rows; r++ {
 			row := m.Row(r)
 			for c := range row {
@@ -206,15 +355,8 @@ func SumRowsInto(dst []float32, m *Matrix) {
 		}
 		return
 	}
-	// Column-parallel form: each goroutine sums whole columns over r in
-	// ascending order — bit-identical to the serial row-outer loop.
-	cols := m.Cols
-	par.ForWork(cols, int64(m.Rows), func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			for r := 0; r < m.Rows; r++ {
-				dst[c] += m.Data[r*cols+c]
-			}
-		}
+	par.ForWork(m.Cols, int64(m.Rows), func(lo, hi int) {
+		sumRowsRange(dst, m, lo, hi)
 	})
 }
 
@@ -227,13 +369,23 @@ func Add(dst, a, b *Matrix) {
 	}
 }
 
+// axpyRange computes dst[lo:hi] += alpha*src[lo:hi].
+func axpyRange(dst *Matrix, alpha float32, src *Matrix, lo, hi int) {
+	d, s := dst.Data, src.Data
+	for i := lo; i < hi; i++ {
+		d[i] += alpha * s[i]
+	}
+}
+
 // AxpyInto computes dst += alpha*src element-wise.
 func AxpyInto(dst *Matrix, alpha float32, src *Matrix) {
 	checkSameShape("AxpyInto", dst, src)
+	if par.Serial(len(dst.Data), 1) {
+		axpyRange(dst, alpha, src, 0, len(dst.Data))
+		return
+	}
 	par.ForWork(len(dst.Data), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst.Data[i] += alpha * src.Data[i]
-		}
+		axpyRange(dst, alpha, src, lo, hi)
 	})
 }
 
@@ -255,14 +407,24 @@ func Apply(dst, src *Matrix, f func(float32) float32) {
 	})
 }
 
+// hadamardRange computes dst[lo:hi] = a[lo:hi] ⊙ b[lo:hi].
+func hadamardRange(dst, a, b *Matrix, lo, hi int) {
+	d, x, y := dst.Data, a.Data, b.Data
+	for i := lo; i < hi; i++ {
+		d[i] = x[i] * y[i]
+	}
+}
+
 // Hadamard computes dst = a ⊙ b element-wise.
 func Hadamard(dst, a, b *Matrix) {
 	checkSameShape("Hadamard", a, b)
 	checkSameShape("Hadamard(dst)", dst, a)
+	if par.Serial(len(dst.Data), 1) {
+		hadamardRange(dst, a, b, 0, len(dst.Data))
+		return
+	}
 	par.ForWork(len(dst.Data), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst.Data[i] = a.Data[i] * b.Data[i]
-		}
+		hadamardRange(dst, a, b, lo, hi)
 	})
 }
 

@@ -323,3 +323,48 @@ func BenchmarkMatMul128(b *testing.B) {
 		MatMul(dst, a, m)
 	}
 }
+
+// TestWorkspaceReuse: the arena hands back the same buffers after Reset,
+// matrices come back zeroed, and Int32 contents are caller-owned.
+func TestWorkspaceReuse(t *testing.T) {
+	var ws Workspace
+	m1 := ws.Matrix(4, 3)
+	m1.Fill(7)
+	s1 := ws.Int32(5)
+	for i := range s1 {
+		s1[i] = int32(i)
+	}
+	ws.Reset()
+	m2 := ws.Matrix(2, 2)
+	if m2 != m1 {
+		t.Fatal("Matrix must reuse the pooled buffer after Reset")
+	}
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatal("reused workspace matrix must come back zeroed")
+		}
+	}
+	s2 := ws.Int32(3)
+	if &s2[0] != &s1[0] {
+		t.Fatal("Int32 must reuse the pooled slab after Reset")
+	}
+}
+
+// TestMatrixReset: Reset truncates to 0x0 but keeps capacity for Resize.
+func TestMatrixReset(t *testing.T) {
+	m := New(3, 4)
+	m.Fill(1)
+	m.Reset()
+	if m.Rows != 0 || m.Cols != 0 || len(m.Data) != 0 {
+		t.Fatalf("Reset left %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if cap(m.Data) != 12 {
+		t.Fatalf("Reset dropped capacity: %d", cap(m.Data))
+	}
+	m.Resize(2, 3)
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Resize after Reset must zero the reused storage")
+		}
+	}
+}

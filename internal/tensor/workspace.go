@@ -1,0 +1,58 @@
+package tensor
+
+// Workspace is the per-step scratch arena of the steady-state training loop:
+// a cursor-based pool of matrices and flat scratch slices that is Reset once
+// per training step and then handed out in call order. After the first step
+// warms the pool every acquisition reuses the buffer the same call site got
+// last step, so the loop runs allocation-free while each buffer keeps a
+// stable identity for exactly one step.
+//
+// Ownership contract: the component that Resets a workspace owns its
+// boundary — the model resets its forward workspace at the top of every
+// Forward pass and its optimizer workspace at the top of ApplySparseAdagrad.
+// Buffers obtained from a workspace are valid until the next Reset; holding
+// one across that boundary is a bug. A Workspace is not safe for concurrent
+// use — concurrent µ-batch passes run on separate models, each owning a
+// private workspace.
+type Workspace struct {
+	mats []*Matrix
+	mi   int
+	i32s [][]int32
+	ii   int
+}
+
+// Reset returns every pooled buffer to the arena. Called once per owner
+// boundary, before any acquisition.
+func (w *Workspace) Reset() { w.mi, w.ii = 0, 0 }
+
+// Matrix hands out a zeroed rows x cols matrix from the arena.
+func (w *Workspace) Matrix(rows, cols int) *Matrix {
+	if w.mi == len(w.mats) {
+		w.mats = append(w.mats, New(rows, cols))
+		w.mi++
+		return w.mats[w.mi-1]
+	}
+	m := w.mats[w.mi]
+	w.mi++
+	return m.Resize(rows, cols)
+}
+
+// Int32 hands out a []int32 of length n from the arena. Contents are
+// unspecified (stale values from a previous step) — callers either
+// overwrite every element or truncate to [:0] and append; zeroing here
+// would be a wasted pass over the buffer on the hot path.
+func (w *Workspace) Int32(n int) []int32 {
+	if w.ii == len(w.i32s) {
+		w.i32s = append(w.i32s, make([]int32, n))
+		w.ii++
+		return w.i32s[w.ii-1]
+	}
+	s := w.i32s[w.ii]
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	w.i32s[w.ii] = s
+	w.ii++
+	return s
+}

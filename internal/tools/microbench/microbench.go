@@ -1,0 +1,211 @@
+// Package microbench defines the repository's micro-benchmark targets in
+// one place, so `go test -bench` (bench_test.go) and the hotline-bench
+// -bench runner execute identical code, and the runner can emit a
+// machine-readable BENCH_<date>.json recording the performance trajectory
+// (ns/op, B/op, allocs/op per target) across PRs. The checked-in bench/
+// files are the reference points the zero-allocation and ≥25%-speedup
+// criteria are judged against.
+package microbench
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"hotline/internal/accel"
+	"hotline/internal/cost"
+	"hotline/internal/data"
+	"hotline/internal/embedding"
+	"hotline/internal/model"
+	"hotline/internal/pipeline"
+	"hotline/internal/shard"
+	"hotline/internal/tensor"
+	"hotline/internal/train"
+)
+
+// Target is one named micro-benchmark over a hot substrate.
+type Target struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Targets returns every micro-benchmark in display order.
+func Targets() []Target {
+	return []Target{
+		{"EALTouch", EALTouch},
+		{"EALClassify", EALClassify},
+		{"HotlineTrainStep", HotlineTrainStep},
+		{"HotlineTrainStepPipelined", HotlineTrainStepPipelined},
+		{"ShardedPrefetchWindow", ShardedPrefetchWindow},
+		{"PipelineIteration", PipelineIteration},
+		{"ZipfSample", ZipfSample},
+	}
+}
+
+// EALTouch measures the Embedding Access Logger's learning-phase
+// throughput (the accelerator's innermost loop).
+func EALTouch(b *testing.B) {
+	eal := accel.NewEAL(accel.EALConfig{SizeBytes: 1 << 20, Banks: 64, Ways: 8, BytesPerEntry: 2, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eal.Touch(i%26, int32(i%100000))
+	}
+}
+
+// EALClassify measures acceleration-phase classification of a 4K Criteo
+// Kaggle mini-batch (steady state: 0 allocs/op).
+func EALClassify(b *testing.B) {
+	cfg := data.CriteoKaggle()
+	acc := accel.New(accel.DefaultConfig())
+	gen := data.NewGenerator(cfg)
+	for i := 0; i < 2; i++ {
+		acc.LearnBatch(gen.NextBatch(1024))
+	}
+	batch := gen.NextBatch(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Classify(batch)
+	}
+}
+
+// benchTrainCfg is the scaled Kaggle model of the train-step benchmarks.
+func benchTrainCfg() data.Config {
+	cfg := data.CriteoKaggle()
+	cfg.BotMLP = []int{13, 64, 16}
+	cfg.TopMLP = []int{64, 1}
+	return cfg
+}
+
+// HotlineTrainStep measures one functional Hotline training step
+// (segregate + two µ-batch passes + update) on a scaled Kaggle model
+// (steady state: 0 allocs/op at Parallelism(1)).
+func HotlineTrainStep(b *testing.B) {
+	cfg := benchTrainCfg()
+	tr := train.NewHotline(model.New(cfg, 1), 0.1)
+	gen := data.NewGenerator(cfg)
+	batch := gen.NextBatch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(batch)
+	}
+}
+
+// HotlineTrainStepPipelined is HotlineTrainStep through the
+// cross-iteration pipelined entry point (lookahead staged every step).
+func HotlineTrainStepPipelined(b *testing.B) {
+	cfg := benchTrainCfg()
+	tr := train.NewHotline(model.New(cfg, 1), 0.1)
+	gen := data.NewGenerator(cfg)
+	cur := gen.NextBatch(64)
+	next := gen.NextBatch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.StepPipelined(cur, next)
+		cur, next = next, cur
+	}
+}
+
+// ShardedPrefetchWindow measures one asynchronous gather window end to end
+// (plan → double-buffered queues → staging → consume → ring release) on a
+// 4-node service.
+func ShardedPrefetchWindow(b *testing.B) {
+	const dim, rows = 16, 256
+	svc := shard.New(shard.Config{
+		Nodes: 4, CacheBytes: 8 * int64(dim) * 4, RowBytes: int64(dim) * 4,
+	}, nil)
+	svc.EnableAsyncGather()
+	sb := embedding.ShardBag(embedding.NewTable(rows, dim, tensor.NewRNG(3)), svc, 0)
+	idx := make([][]int32, 32)
+	for i := range idx {
+		idx[i] = []int32{int32(i * 7 % rows), int32(i * 13 % rows), int32(i % 7)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Prefetch(idx)
+		sb.Forward(idx)
+	}
+}
+
+// PipelineIteration measures the full analytic timing model for every
+// pipeline on the 4-GPU Kaggle workload.
+func PipelineIteration(b *testing.B) {
+	w := pipeline.NewWorkload(data.CriteoKaggle(), 4096, cost.PaperSystem(4))
+	pipes := pipeline.All()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pipes {
+			p.Iteration(w)
+		}
+	}
+}
+
+// ZipfSample measures the workload generator's inner sampler.
+func ZipfSample(b *testing.B) {
+	z := data.NewZipf(1_000_000, 1.1)
+	rng := tensor.NewRNG(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(rng)
+	}
+}
+
+// Result is one target's measured outcome.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the machine-readable BENCH_<date>.json payload.
+type Report struct {
+	Date        string   `json:"date"`
+	Label       string   `json:"label,omitempty"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Parallelism int      `json:"parallelism"`
+	Results     []Result `json:"results"`
+}
+
+// Run executes every target under testing.Benchmark and returns the report.
+func Run(label string, now time.Time) Report {
+	rep := Report{
+		Date:      now.Format("2006-01-02"),
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, t := range Targets() {
+		r := testing.Benchmark(t.Fn)
+		rep.Results = append(rep.Results, Result{
+			Name:        t.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return rep
+}
+
+// JSON renders the report with a trailing newline.
+func (r Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,94 @@
+package train
+
+import (
+	"testing"
+
+	"hotline/internal/data"
+	"hotline/internal/model"
+	"hotline/internal/par"
+)
+
+// allocCfg is the benchmark model shape: real Criteo Kaggle sparse stream
+// over small MLPs, so the test exercises every executor path quickly.
+func allocCfg() data.Config {
+	cfg := data.CriteoKaggle()
+	cfg.BotMLP = []int{13, 64, 16}
+	cfg.TopMLP = []int{64, 1}
+	return cfg
+}
+
+// TestHotlineStepZeroAllocSteadyState is the tentpole's contract: after
+// warm-up, one Hotline training step — classification, both µ-batch
+// passes, gradient reduction, dense SGD and the sparse update — performs
+// ZERO allocations at Parallelism(1). (Parallel runs pay goroutine fan-out;
+// that is the forking cost, not the step's.)
+func TestHotlineStepZeroAllocSteadyState(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	cfg := allocCfg()
+	tr := NewHotline(model.New(cfg, 1), 0.1)
+	gen := data.NewGenerator(cfg)
+	b := gen.NextBatch(64)
+	// Warm past the learning phase, buffer growth AND the backward-arena
+	// slot cap (256): the shadow model's arenas are rewound by ZeroAll, not
+	// by the sparse update, so a long run must stay slot-bounded too.
+	for i := 0; i < 300; i++ {
+		tr.Step(b)
+	}
+	if n := testing.AllocsPerRun(30, func() { tr.Step(b) }); n > 0 {
+		t.Fatalf("Hotline Step allocated %.1f times per step, want 0", n)
+	}
+}
+
+// TestHotlineStepPipelinedZeroAllocSteadyState repeats the contract for the
+// cross-iteration pipelined entry point (lookahead classification staged
+// every step).
+func TestHotlineStepPipelinedZeroAllocSteadyState(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	cfg := allocCfg()
+	tr := NewHotline(model.New(cfg, 1), 0.1)
+	gen := data.NewGenerator(cfg)
+	b := gen.NextBatch(64)
+	next := gen.NextBatch(64)
+	for i := 0; i < 30; i++ {
+		tr.StepPipelined(b, next)
+		b, next = next, b
+	}
+	if n := testing.AllocsPerRun(30, func() {
+		tr.StepPipelined(b, next)
+		b, next = next, b
+	}); n > 0 {
+		t.Fatalf("pipelined Step allocated %.1f times per step, want 0", n)
+	}
+}
+
+// TestBaselineStepZeroAllocSteadyState: the baseline executor's step is
+// also allocation-free (forward, loss, backward, SGD, sparse update).
+func TestBaselineStepZeroAllocSteadyState(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	cfg := allocCfg()
+	tr := NewBaseline(model.New(cfg, 1), 0.1)
+	gen := data.NewGenerator(cfg)
+	b := gen.NextBatch(64)
+	for i := 0; i < 5; i++ {
+		tr.Step(b)
+	}
+	if n := testing.AllocsPerRun(30, func() { tr.Step(b) }); n > 0 {
+		t.Fatalf("baseline Step allocated %.1f times per step, want 0", n)
+	}
+}
+
+// TestAdagradStepSteadyStateAllocs: the Adagrad executors reuse the merge
+// workspace; the merged-update path stays allocation-free too.
+func TestAdagradStepSteadyStateAllocs(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	cfg := allocCfg()
+	tr := NewHotlineAdagrad(model.New(cfg, 1), 0.1)
+	gen := data.NewGenerator(cfg)
+	b := gen.NextBatch(64)
+	for i := 0; i < 30; i++ {
+		tr.Step(b)
+	}
+	if n := testing.AllocsPerRun(30, func() { tr.Step(b) }); n > 0 {
+		t.Fatalf("Adagrad Step allocated %.1f times per step, want 0", n)
+	}
+}

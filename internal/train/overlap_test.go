@@ -85,6 +85,110 @@ func TestOverlapDeterminism(t *testing.T) {
 	}
 }
 
+// TestPipelinedOverlapDeterminism extends the determinism contract to the
+// cross-iteration pipeline: training with StepPipelined — mini-batch i+1
+// classified and its non-popular fabric gathers issued while iteration i
+// finishes — is byte-identical to fully synchronous batch-by-batch sharded
+// training, for nodes {1,2,4,8} and both the round-robin and hot-aware
+// placements. The -race harness runs this too, so the two-deep window ring
+// hand-off is also proven race-free.
+func TestPipelinedOverlapDeterminism(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	cfg.Samples = 1024
+	cfg.BotMLP = []int{13, 32, 16}
+	cfg.TopMLP = []int{32, 1}
+	const seed, iters, batch = 42, 8, 128
+
+	for _, hotAware := range []bool{false, true} {
+		for _, nodes := range []int{1, 2, 4, 8} {
+			run := func(pipelined bool) (*model.Model, shard.OverlapStats) {
+				svc := shard.New(shard.Config{
+					Nodes: nodes, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+					Part: buildPartitioner(t, cfg, nodes, iters, batch, hotAware),
+				}, nil)
+				tr := NewHotlineSharded(model.New(cfg, seed), 0.1, svc)
+				tr.OverlapGather = pipelined
+				tr.LearnSamples = 512
+				gen := data.NewGenerator(cfg)
+				if !pipelined {
+					for i := 0; i < iters; i++ {
+						tr.Step(gen.NextBatch(batch))
+					}
+				} else {
+					b := gen.NextBatch(batch)
+					for i := 1; i <= iters; i++ {
+						var next *data.Batch
+						if i < iters {
+							next = gen.NextBatch(batch)
+						}
+						tr.StepPipelined(b, next)
+						b = next
+					}
+				}
+				return tr.M, svc.Gatherer().Stats()
+			}
+			sync, _ := run(false)
+			pipe, pipeStats := run(true)
+			if !model.DenseStateEqual(sync, pipe) {
+				t.Fatalf("nodes=%d hotAware=%v: pipelined dense state diverged", nodes, hotAware)
+			}
+			if !model.SparseStateEqual(sync, pipe) {
+				t.Fatalf("nodes=%d hotAware=%v: pipelined sparse state diverged", nodes, hotAware)
+			}
+			if nodes > 1 && pipeStats.Windows == 0 {
+				t.Fatalf("nodes=%d hotAware=%v: pipelined run issued no prefetch windows", nodes, hotAware)
+			}
+		}
+	}
+}
+
+// TestPipelinedSpeculationMiss drives StepPipelined with a lookahead batch
+// that is NOT the one trained next: the stale prefetch windows must be
+// joined and discarded (never consumed against moved weights), and training
+// must keep matching a non-speculating executor fed the same EAL stream.
+func TestPipelinedSpeculationMiss(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	cfg.Samples = 1024
+	cfg.BotMLP = []int{13, 32, 16}
+	cfg.TopMLP = []int{32, 1}
+	const seed, iters, batch = 42, 6, 128
+
+	svc := shard.New(shard.Config{
+		Nodes: 4, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+	}, nil)
+	tr := NewHotlineSharded(model.New(cfg, seed), 0.1, svc)
+	tr.LearnSamples = 512
+	gen := data.NewGenerator(cfg)
+	decoyGen := data.NewGenerator(cfg)
+	decoyGen.SetDay(1)
+	var batches []*data.Batch
+	for i := 0; i < iters; i++ {
+		batches = append(batches, gen.NextBatch(batch))
+	}
+
+	// Reference: the same batches AND the same EAL learning stream,
+	// including the decoy lookaheads (a lookahead commits its accelerator
+	// learning even when the speculation misses).
+	refSvc := shard.New(shard.Config{
+		Nodes: 4, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+	}, nil)
+	ref := NewHotlineSharded(model.New(cfg, seed), 0.1, refSvc)
+	ref.LearnSamples = 512
+	refDecoy := data.NewGenerator(cfg)
+	refDecoy.SetDay(1)
+
+	for i := 0; i < iters; i++ {
+		// Speculate on a decoy batch that will never be trained.
+		tr.StepPipelined(batches[i], decoyGen.NextBatch(batch))
+
+		ref.Step(batches[i])
+		ref.learn(refDecoy.NextBatch(batch)) // mirror the decoy's EAL feed
+	}
+	if !model.DenseStateEqual(tr.M, ref.M) || !model.SparseStateEqual(tr.M, ref.M) {
+		t.Fatal("speculation misses must not change training state")
+	}
+}
+
 // TestOverlapMatchesUnshardedExecutor closes the loop to the original
 // executor parity: overlapped sharded training equals the plain unsharded
 // Hotline trainer bit for bit.

@@ -82,3 +82,39 @@ func TestShardedHotlineParallelDeterminism(t *testing.T) {
 		t.Fatal("sharded training must be bit-identical across worker counts")
 	}
 }
+
+// TestShardedAdagradTrainerParity is the mn-adagrad scenario's contract at
+// the executor level: end-to-end Hotline training under dense + sparse
+// Adagrad on sharded tables is bit-identical to the unsharded Adagrad
+// executor for every node count (the accumulators are globally indexed and
+// the merged per-mini-batch update is applied in fixed table order).
+func TestShardedAdagradTrainerParity(t *testing.T) {
+	cfg := shardedCfg()
+	const seed, iters, batch = 77, 4, 64
+
+	ref := NewHotlineAdagrad(model.New(cfg, seed), 0.1)
+	refGen := data.NewGenerator(cfg)
+	for i := 0; i < iters; i++ {
+		ref.Step(refGen.NextBatch(batch))
+	}
+
+	for _, nodes := range []int{1, 2, 4} {
+		svc := shard.New(shard.Config{
+			Nodes: nodes, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+		}, nil)
+		hot := NewHotlineShardedAdagrad(model.New(cfg, seed), 0.1, svc)
+		gen := data.NewGenerator(cfg)
+		b := gen.NextBatch(batch)
+		for i := 1; i <= iters; i++ {
+			var next *data.Batch
+			if i < iters {
+				next = gen.NextBatch(batch)
+			}
+			hot.StepPipelined(b, next) // the pipeline must hold for Adagrad too
+			b = next
+		}
+		if !model.DenseStateEqual(ref.M, hot.M) || !model.SparseStateEqual(ref.M, hot.M) {
+			t.Fatalf("nodes=%d: sharded Adagrad training diverged from unsharded executor", nodes)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"hotline/internal/accel"
 	"hotline/internal/data"
+	"hotline/internal/embedding"
 	"hotline/internal/metrics"
 	"hotline/internal/model"
 	"hotline/internal/nn"
@@ -22,28 +23,134 @@ type Trainer interface {
 	Model() *model.Model
 }
 
-// Baseline is the standard full-mini-batch SGD executor.
+// PipelinedTrainer is a Trainer that can look one mini-batch ahead: while
+// the caller consumes iteration i's result, the executor has already
+// classified mini-batch i+1 and issued its fabric prefetches. Run feeds
+// pipelined trainers automatically.
+type PipelinedTrainer interface {
+	Trainer
+	// StepPipelined trains on b and then stages next (classification +
+	// cross-iteration gather prefetch); pass nil for the final batch.
+	// Training state is bit-identical to calling Step(b) for every batch.
+	StepPipelined(b, next *data.Batch) float64
+}
+
+// denseOptimizer is the dense update rule an executor caches across steps
+// (nn.SGD and nn.Adagrad both satisfy it).
+type denseOptimizer interface {
+	Step()
+}
+
+// syncLR pushes the executor's (public, user-mutable) learning rate into
+// the cached optimizer, so assigning t.LR mid-training keeps working like
+// it did when the optimizer was rebuilt every step.
+func syncLR(opt denseOptimizer, lr float32) {
+	switch o := opt.(type) {
+	case *nn.SGD:
+		o.LR = lr
+	case *nn.Adagrad:
+		o.LR = lr
+	}
+}
+
+// Baseline is the standard full-mini-batch executor (SGD by default; see
+// EnableAdagrad).
 type Baseline struct {
 	M  *model.Model
 	LR float32
+
+	denseOpt denseOptimizer
+	adagrad  []*embedding.AdagradState
+	bceGrad  tensor.Matrix
 }
 
 // NewBaseline wraps a model in the standard executor.
 func NewBaseline(m *model.Model, lr float32) *Baseline { return &Baseline{M: m, LR: lr} }
 
+// NewBaselineAdagrad is NewBaseline with dense and sparse Adagrad.
+func NewBaselineAdagrad(m *model.Model, lr float32) *Baseline {
+	t := NewBaseline(m, lr)
+	t.EnableAdagrad()
+	return t
+}
+
+// EnableAdagrad switches the executor to dense + sparse Adagrad (the DLRM
+// reference's production optimizer). Must be called before the first Step.
+func (t *Baseline) EnableAdagrad() {
+	t.denseOpt = nn.NewAdagrad(t.M.DenseParams(), t.LR)
+	t.adagrad = newAdagradStates(t.M)
+}
+
+// newAdagradStates builds one globally-indexed accumulator per table.
+func newAdagradStates(m *model.Model) []*embedding.AdagradState {
+	states := make([]*embedding.AdagradState, len(m.Tables))
+	for i, b := range m.Tables {
+		states[i] = embedding.NewAdagradStateFor(b)
+	}
+	return states
+}
+
 // Name implements Trainer.
-func (t *Baseline) Name() string { return "baseline" }
+func (t *Baseline) Name() string {
+	if t.adagrad != nil {
+		return "baseline-adagrad"
+	}
+	return "baseline"
+}
 
 // Model implements Trainer.
 func (t *Baseline) Model() *model.Model { return t.M }
 
-// Step implements Trainer.
-func (t *Baseline) Step(b *data.Batch) float64 { return t.M.TrainStep(b, t.LR) }
+// Step implements Trainer. The SGD path is exactly Model.TrainStep (one
+// implementation of the standard step); only the Adagrad variant lives
+// here.
+func (t *Baseline) Step(b *data.Batch) float64 {
+	m := t.M
+	if t.adagrad == nil {
+		return m.TrainStep(b, t.LR)
+	}
+	m.ZeroAll()
+	logits := m.Forward(b)
+	loss, grad := nn.BCEWithLogitsInto(&t.bceGrad, logits, b.Labels, nn.ReduceMean)
+	m.Backward(grad, 1)
+	syncLR(t.denseOpt, t.LR)
+	t.denseOpt.Step()
+	m.ApplySparseAdagrad(t.adagrad, t.LR)
+	return loss
+}
+
+// stagedBatch is one pipelined lookahead: the next mini-batch, its copied
+// classification, the materialised non-popular µ-batch and whether its
+// fabric gathers are already in flight.
+type stagedBatch struct {
+	valid      bool
+	prefetched bool
+	batch      *data.Batch
+	popIdx     []int
+	nonIdx     []int
+	nonSub     *data.Batch
+}
 
 // HotlineTrainer is the µ-batch executor: the accelerator classifies each
 // mini-batch, the popular µ-batch "runs first" (GPU in the paper), the
 // non-popular µ-batch follows, and one combined update is applied — at
 // parity with the baseline's gradients.
+//
+// The executor is pipelined across iterations (StepPipelined): given the
+// next mini-batch it runs the accelerator's learning + classification for
+// it at the END of the current step — after the sparse update, exactly when
+// the paper's accelerator classifies mini-batch i+1 while the GPUs train on
+// i — and, on a sharded service with an async engine, issues the next
+// non-popular µ-batch's fabric gathers so they stream through the dense
+// optimizer step and the next iteration's popular pass. Training state is
+// bit-identical to the unpipelined executor: the EAL sees batches in the
+// same order, classification happens against the same EAL state, and the
+// prefetch is planned at the same point of the cache-state sequence (right
+// after the update, before the next popular pass).
+//
+// Step scratch (µ-batch buffers, classification copies, loss gradients) is
+// reused across steps; the steady-state loop performs no allocations at
+// Parallelism(1).
 type HotlineTrainer struct {
 	M   *model.Model
 	LR  float32
@@ -66,14 +173,28 @@ type HotlineTrainer struct {
 
 	// OverlapGather, on a sharded service with an async engine, prefetches
 	// the non-popular µ-batch's remote embedding rows so the fabric gather
-	// streams while the popular µ-batch computes — the paper's pipeline,
-	// executed in the functional layer. Training state is bit-identical
-	// with the flag on or off (TestOverlapDeterminism); only the measured
-	// exposed-gather time changes. NewHotlineSharded enables it.
+	// streams while compute runs — within the iteration when stepping
+	// batch-by-batch, across iterations under StepPipelined. Training state
+	// is bit-identical with the flag on or off (TestOverlapDeterminism);
+	// only the measured exposed-gather time changes. NewHotlineSharded
+	// enables it.
 	OverlapGather bool
 
 	// stats
 	PopularInputs, TotalInputs int64
+
+	// optimizer state (cached across steps)
+	denseOpt denseOptimizer
+	adagrad  []*embedding.AdagradState
+
+	// step scratch
+	popIdx, nonIdx   []int // classification copy for unpipelined steps
+	popSub           data.Batch
+	nonSubs          [2]*data.Batch // alternating non-popular buffers
+	nonFlip          int
+	popGrad, nonGrad tensor.Matrix
+
+	staged stagedBatch
 }
 
 // NewHotline wraps a model in the Hotline executor with a default
@@ -83,8 +204,29 @@ func NewHotline(m *model.Model, lr float32) *HotlineTrainer {
 	return &HotlineTrainer{M: m, LR: lr, Acc: accel.New(cfg), LearnSamples: 1536}
 }
 
+// NewHotlineAdagrad is NewHotline with dense and sparse Adagrad.
+func NewHotlineAdagrad(m *model.Model, lr float32) *HotlineTrainer {
+	t := NewHotline(m, lr)
+	t.EnableAdagrad()
+	return t
+}
+
+// EnableAdagrad switches the executor to dense + sparse Adagrad. The
+// µ-batch gradients of each table are merged into one combined update per
+// mini-batch (Adagrad is non-linear in the gradient — see
+// Model.ApplySparseAdagrad). Must be called before the first Step.
+func (t *HotlineTrainer) EnableAdagrad() {
+	t.denseOpt = nn.NewAdagrad(t.M.DenseParams(), t.LR)
+	t.adagrad = newAdagradStates(t.M)
+}
+
 // Name implements Trainer.
-func (t *HotlineTrainer) Name() string { return "hotline" }
+func (t *HotlineTrainer) Name() string {
+	if t.adagrad != nil {
+		return "hotline-adagrad"
+	}
+	return "hotline"
+}
 
 // Model implements Trainer.
 func (t *HotlineTrainer) Model() *model.Model { return t.M }
@@ -97,33 +239,63 @@ func (t *HotlineTrainer) PopularFraction() float64 {
 	return float64(t.PopularInputs) / float64(t.TotalInputs)
 }
 
-// Step implements Trainer: segregate, run both µ-batches, update once.
-func (t *HotlineTrainer) Step(b *data.Batch) float64 {
-	// Learning phase: the first ~LearnSamples inputs train the EAL; after
-	// that the accelerator keeps re-sampling 5% of batches to track drift.
+// learn feeds one mini-batch through the accelerator's learning phase
+// (initial warm-up, then periodic 5% re-sampling).
+func (t *HotlineTrainer) learn(b *data.Batch) {
 	if t.seenSamples < t.LearnSamples {
 		t.Acc.LearnBatch(b)
 		t.seenSamples += b.Size()
 	} else {
 		t.Acc.MaybeLearn(b)
 	}
+}
 
-	cl := t.Acc.Classify(b)
-	t.PopularInputs += int64(len(cl.PopularIdx))
+// Step implements Trainer: segregate, run both µ-batches, update once.
+func (t *HotlineTrainer) Step(b *data.Batch) float64 { return t.StepPipelined(b, nil) }
+
+// StepPipelined implements PipelinedTrainer: a full training step on b,
+// then the lookahead for next (accelerator learning + classification +
+// cross-iteration gather prefetch). See the type comment for the
+// determinism argument.
+func (t *HotlineTrainer) StepPipelined(b, next *data.Batch) float64 {
+	var pop, non []int
+	var nonSub *data.Batch
+	prefetched := false
+	if t.staged.valid && t.staged.batch == b {
+		// The lookahead already learned, classified and (when sharded)
+		// prefetched this batch at the end of the previous step.
+		pop, non = t.staged.popIdx, t.staged.nonIdx
+		nonSub = t.staged.nonSub
+		prefetched = t.staged.prefetched
+	} else {
+		if t.staged.valid {
+			// The lookahead speculated on a different batch: its windows
+			// must never be consumed against weights that moved since.
+			if t.staged.prefetched && t.shadow != nil {
+				t.shadow.AbortPrefetchSparse()
+			}
+		}
+		t.learn(b)
+		cl := t.Acc.Classify(b)
+		t.popIdx = append(t.popIdx[:0], cl.PopularIdx...)
+		t.nonIdx = append(t.nonIdx[:0], cl.NonPopularIdx...)
+		pop, non = t.popIdx, t.nonIdx
+	}
+	t.staged.valid = false
+	t.PopularInputs += int64(len(pop))
 	t.TotalInputs += int64(b.Size())
 
 	n := b.Size()
 	invN := float32(1) / float32(n)
 	t.M.ZeroAll()
 	var totalLoss float64
-	pop, non := cl.PopularIdx, cl.NonPopularIdx
 	if len(pop) == 0 || len(non) == 0 {
 		// Degenerate split: a single µ-batch runs on the primary model.
-		for _, idx := range [][]int{pop, non} {
-			if len(idx) == 0 {
-				continue
-			}
-			totalLoss += microBatchPass(t.M, b, idx, invN)
+		if len(pop) > 0 {
+			totalLoss += t.passOn(t.M, b, pop, invN, &t.popGrad)
+		}
+		if len(non) > 0 {
+			totalLoss += t.passOn(t.M, b, non, invN, &t.popGrad)
 		}
 	} else {
 		// Popular µ-batch on the primary model (it is dispatched to the
@@ -137,9 +309,10 @@ func (t *HotlineTrainer) Step(b *data.Batch) float64 {
 			t.shadow = model.NewShadow(t.M)
 		}
 		t.shadow.ZeroAll()
-		var lossPop, lossNon float64
-		nonSub := b.Subset(non)
-		if t.OverlapGather && t.Shard != nil && t.Shard.Gatherer() != nil {
+		if nonSub == nil {
+			nonSub = t.nextNonSub(b, non)
+		}
+		if !prefetched && t.overlapReady() {
 			// Issue the non-popular µ-batch's fabric gathers before the
 			// popular µ-batch is dispatched: the async engine streams the
 			// remote rows into staging while the popular pass computes, and
@@ -148,33 +321,103 @@ func (t *HotlineTrainer) Step(b *data.Batch) float64 {
 			// order, so the service's counters are deterministic.
 			t.shadow.PrefetchSparse(nonSub)
 		}
-		par.Do(
-			func() { lossPop = microBatchPass(t.M, b, pop, invN) },
-			func() { lossNon = subBatchPass(t.shadow, nonSub, invN) },
-		)
-		t.M.AbsorbShadow(t.shadow)
-		totalLoss = lossPop + lossNon
+		totalLoss = t.runSplit(b, pop, nonSub, invN)
 	}
-	opt := nn.NewSGD(t.M.DenseParams(), t.LR)
-	opt.Step()
-	t.M.ApplySparse(t.LR)
+	if t.denseOpt == nil {
+		t.denseOpt = nn.NewSGD(t.M.DenseParams(), t.LR)
+	}
+	syncLR(t.denseOpt, t.LR)
+	t.denseOpt.Step()
+	if t.adagrad != nil {
+		t.M.ApplySparseAdagrad(t.adagrad, t.LR)
+	} else {
+		t.M.ApplySparse(t.LR)
+	}
+	if next != nil {
+		t.stage(next)
+	}
 	return totalLoss / float64(n)
 }
 
-// microBatchPass runs forward/backward for one µ-batch on m. Sum-reduced
-// gradients are scaled by 1/n (the full mini-batch size) so the accumulated
-// update equals the baseline's mean-reduced mini-batch update (Eq. 5).
-func microBatchPass(m *model.Model, b *data.Batch, idx []int, invN float32) float64 {
-	return subBatchPass(m, b.Subset(idx), invN)
+// runSplit runs the popular and non-popular µ-batch passes (concurrently
+// when workers allow) and folds the shadow's gradients back in fixed order.
+func (t *HotlineTrainer) runSplit(b *data.Batch, pop []int, nonSub *data.Batch, invN float32) float64 {
+	var totalLoss float64
+	if par.Workers() <= 1 {
+		lossPop := t.passOn(t.M, b, pop, invN, &t.popGrad)
+		lossNon := passInto(t.shadow, nonSub, invN, &t.nonGrad)
+		totalLoss = lossPop + lossNon
+	} else {
+		var lossPop, lossNon float64
+		par.Do(
+			func() { lossPop = t.passOn(t.M, b, pop, invN, &t.popGrad) },
+			func() { lossNon = passInto(t.shadow, nonSub, invN, &t.nonGrad) },
+		)
+		totalLoss = lossPop + lossNon
+	}
+	t.M.AbsorbShadow(t.shadow)
+	return totalLoss
 }
 
-// subBatchPass is microBatchPass against an already-extracted subset (the
-// executor subsets the non-popular µ-batch up front so its sparse index
-// sets can be prefetched before the pass runs).
-func subBatchPass(m *model.Model, sub *data.Batch, invN float32) float64 {
+// overlapReady reports whether cross-µ-batch gather prefetching is active.
+func (t *HotlineTrainer) overlapReady() bool {
+	return t.OverlapGather && t.Shard != nil && t.Shard.Gatherer() != nil
+}
+
+// nextNonSub materialises the non-popular µ-batch into the next buffer of
+// the alternating pair. Two buffers are needed by the pipeline: while
+// iteration i consumes one, the lookahead subsets iteration i+1's µ-batch
+// (whose index lists back the in-flight prefetch window) into the other.
+func (t *HotlineTrainer) nextNonSub(b *data.Batch, non []int) *data.Batch {
+	t.nonFlip ^= 1
+	if t.nonSubs[t.nonFlip] == nil {
+		t.nonSubs[t.nonFlip] = &data.Batch{}
+	}
+	return b.SubsetInto(t.nonSubs[t.nonFlip], non)
+}
+
+// stage runs the lookahead for the next mini-batch: accelerator learning
+// and classification (the same EAL-state sequence as stepping it directly),
+// then — when overlapping on a sharded service and the split is real — the
+// non-popular µ-batch's fabric prefetch, planned right after this step's
+// sparse update so the staged rows are exact copies of the weights the next
+// forward will read.
+func (t *HotlineTrainer) stage(next *data.Batch) {
+	t.learn(next)
+	cl := t.Acc.Classify(next)
+	t.staged.batch = next
+	t.staged.popIdx = append(t.staged.popIdx[:0], cl.PopularIdx...)
+	t.staged.nonIdx = append(t.staged.nonIdx[:0], cl.NonPopularIdx...)
+	t.staged.nonSub = nil
+	t.staged.prefetched = false
+	t.staged.valid = true
+	if len(t.staged.popIdx) == 0 || len(t.staged.nonIdx) == 0 {
+		return
+	}
+	t.staged.nonSub = t.nextNonSub(next, t.staged.nonIdx)
+	if t.overlapReady() {
+		if t.shadow == nil {
+			t.shadow = model.NewShadow(t.M)
+		}
+		t.shadow.PrefetchSparse(t.staged.nonSub)
+		t.staged.prefetched = true
+	}
+}
+
+// passOn subsets idx out of b into the executor's popular-side buffer and
+// runs one µ-batch pass on m.
+func (t *HotlineTrainer) passOn(m *model.Model, b *data.Batch, idx []int, invN float32, grad *tensor.Matrix) float64 {
+	return passInto(m, b.SubsetInto(&t.popSub, idx), invN, grad)
+}
+
+// passInto runs forward/backward for one already-extracted µ-batch on m.
+// Sum-reduced gradients are scaled by 1/n (the full mini-batch size) so the
+// accumulated update equals the baseline's mean-reduced mini-batch update
+// (Eq. 5). grad is the executor-owned loss-gradient buffer for this pass.
+func passInto(m *model.Model, sub *data.Batch, invN float32, grad *tensor.Matrix) float64 {
 	logits := m.Forward(sub)
-	loss, grad := nn.BCEWithLogits(logits, sub.Labels, nn.ReduceSum)
-	m.Backward(grad, invN)
+	loss, g := nn.BCEWithLogitsInto(grad, logits, sub.Labels, nn.ReduceSum)
+	m.Backward(g, invN)
 	return loss
 }
 
@@ -194,8 +437,17 @@ type RunConfig struct {
 }
 
 // Run trains for cfg.Iters mini-batches from gen, evaluating on a held-out
-// batch every EvalEvery iterations, and returns the metric curve.
+// batch every EvalEvery iterations, and returns the metric curve. Trainers
+// implementing PipelinedTrainer are fed one batch ahead, so the executor's
+// lookahead (classification + cross-iteration prefetch) overlaps the
+// caller's evaluation and batch generation; the batch stream and the
+// training math are identical either way.
 func Run(t Trainer, gen *data.Generator, cfg RunConfig) []CurvePoint {
+	if cfg.Iters <= 0 {
+		// Nothing to train; in particular, do not consume a batch from the
+		// caller's generator (the priming draw below would shift its stream).
+		return nil
+	}
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 10
 	}
@@ -208,10 +460,20 @@ func Run(t Trainer, gen *data.Generator, cfg RunConfig) []CurvePoint {
 	evalGen.NextBatch(cfg.EvalSize)
 	evalBatch := evalGen.NextBatch(cfg.EvalSize)
 
+	pt, pipelined := t.(PipelinedTrainer)
 	var curve []CurvePoint
 	var lastLoss float64
+	b := gen.NextBatch(cfg.BatchSize)
 	for i := 1; i <= cfg.Iters; i++ {
-		lastLoss = t.Step(gen.NextBatch(cfg.BatchSize))
+		var next *data.Batch
+		if i < cfg.Iters {
+			next = gen.NextBatch(cfg.BatchSize)
+		}
+		if pipelined {
+			lastLoss = pt.StepPipelined(b, next)
+		} else {
+			lastLoss = t.Step(b)
+		}
 		if i%cfg.EvalEvery == 0 || i == cfg.Iters {
 			probs := t.Model().Predict(evalBatch)
 			curve = append(curve, CurvePoint{
@@ -220,6 +482,7 @@ func Run(t Trainer, gen *data.Generator, cfg RunConfig) []CurvePoint {
 				Metrics:   metrics.Evaluate(probs, evalBatch.Labels),
 			})
 		}
+		b = next
 	}
 	return curve
 }
@@ -239,7 +502,20 @@ type ParityReport struct {
 func Parity(cfg data.Config, seed uint64, run RunConfig) ParityReport {
 	base := NewBaseline(model.New(cfg, seed), 0.1)
 	hot := NewHotline(model.New(cfg, seed), 0.1)
+	return parityOf(base, hot, cfg, run)
+}
 
+// ParityAdagrad is Parity under dense + sparse Adagrad on both executors
+// (the mn-adagrad scenario's accuracy check).
+func ParityAdagrad(cfg data.Config, seed uint64, run RunConfig) ParityReport {
+	base := NewBaselineAdagrad(model.New(cfg, seed), 0.1)
+	hot := NewHotlineAdagrad(model.New(cfg, seed), 0.1)
+	return parityOf(base, hot, cfg, run)
+}
+
+// parityOf drives two executors over identical streams and reports the
+// state divergence and final metrics.
+func parityOf(base *Baseline, hot *HotlineTrainer, cfg data.Config, run RunConfig) ParityReport {
 	genA := data.NewGenerator(cfg)
 	genB := data.NewGenerator(cfg)
 	for i := 0; i < run.Iters; i++ {
