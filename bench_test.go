@@ -86,6 +86,10 @@ func BenchmarkHotlineTrainStep(b *testing.B) { microbench.HotlineTrainStep(b) }
 // entry point (lookahead classification staged every step).
 func BenchmarkHotlineTrainStepPipelined(b *testing.B) { microbench.HotlineTrainStepPipelined(b) }
 
+// BenchmarkHotlineTrainStepDepth4 is the train step through the depth-4
+// lookahead pipeline (three mini-batches staged ahead every step).
+func BenchmarkHotlineTrainStepDepth4(b *testing.B) { microbench.HotlineTrainStepDepth4(b) }
+
 // BenchmarkShardedPrefetchWindow measures one async gather window end to
 // end on a 4-node service (plan → queues → staging → consume → release).
 func BenchmarkShardedPrefetchWindow(b *testing.B) { microbench.ShardedPrefetchWindow(b) }

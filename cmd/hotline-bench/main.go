@@ -17,9 +17,14 @@
 //	hotline-bench -list                   # list experiment ids
 //	hotline-bench -exp fig18 -iters 200   # longer functional training
 //	hotline-bench -exp all -json report.json -quiet
+//	hotline-bench -exp mn-depth           # prefetch depth sweep (exposure vs repair)
+//	hotline-bench -exp mn-scale -depth 4  # scenarios at pipeline depth 4
 //	hotline-bench -smoke                  # fast CI smoke sweep
 //	hotline-bench -bench                  # micro-benchmarks -> BENCH_<date>.json
 //	hotline-bench -bench -bench-out -     # ... to stdout
+//	hotline-bench -bench -bench-baseline bench/BENCH_2026-07-30_seed.json
+//	                                      # diff vs a snapshot; >10% train-step
+//	                                      # regression fails the run
 package main
 
 import (
@@ -63,13 +68,19 @@ func main() {
 	jsonPath := flag.String("json", "", "write a JSON sweep report to this file ('-' = stdout)")
 	quiet := flag.Bool("quiet", false, "suppress table rendering (summary/JSON only)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: shortest functional training")
+	depth := flag.Int("depth", 0, "prefetch pipeline depth k for executors and the -bench report (0 = keep default, currently 2; see mn-depth for the sweep)")
 	bench := flag.Bool("bench", false, "run the micro-benchmarks and emit BENCH_<date>.json")
 	benchOut := flag.String("bench-out", "", "micro-benchmark output path (default BENCH_<date>.json; '-' = stdout)")
 	benchLabel := flag.String("bench-label", "", "label recorded in the benchmark report")
+	benchBaseline := flag.String("bench-baseline", "", "diff the -bench report against this BENCH json and fail on train-step regressions")
+	benchMaxRegress := flag.Float64("bench-max-regress", 0.10, "max allowed fractional ns/op regression vs -bench-baseline")
 	flag.Parse()
 
+	if *depth > 0 {
+		hotline.PipelineDepth(*depth)
+	}
 	if *bench {
-		runMicrobench(*benchOut, *benchLabel, *parallel)
+		runMicrobench(*benchOut, *benchLabel, *parallel, *benchBaseline, *benchMaxRegress)
 		return
 	}
 
@@ -173,8 +184,9 @@ func main() {
 }
 
 // runMicrobench executes the shared micro-benchmark targets (the same code
-// `go test -bench` runs) and writes the machine-readable trajectory file.
-func runMicrobench(outPath, label string, parallel int) {
+// `go test -bench` runs), writes the machine-readable trajectory file and —
+// when a baseline report is given — fails on train-step regressions.
+func runMicrobench(outPath, label string, parallel int, baselinePath string, maxRegress float64) {
 	if parallel >= 0 {
 		hotline.Parallelism(parallel)
 	} else {
@@ -196,11 +208,74 @@ func runMicrobench(outPath, label string, parallel int) {
 	}
 	if outPath == "-" {
 		os.Stdout.Write(out)
-		return
-	}
-	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+	} else if err := os.WriteFile(outPath, out, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "hotline-bench:", err)
 		os.Exit(1)
+	} else {
+		fmt.Fprintf(os.Stderr, "hotline-bench: wrote %s\n", outPath)
 	}
-	fmt.Fprintf(os.Stderr, "hotline-bench: wrote %s\n", outPath)
+	if baselinePath != "" && !diffBench(rep, baselinePath, maxRegress) {
+		os.Exit(1)
+	}
+}
+
+// benchGates are the targets the baseline diff enforces: the end-to-end
+// training-step costs the tentpole optimisations are judged on. Other
+// targets (and targets the baseline predates) are reported but never fail
+// the diff, so new benchmarks can land before the snapshot is refreshed.
+var benchGates = map[string]bool{
+	"HotlineTrainStep":          true,
+	"HotlineTrainStepPipelined": true,
+}
+
+// benchAnchor is the machine-speed calibration target: a pure arithmetic
+// kernel whose ns/op tracks the host CPU but is untouched by training-path
+// changes. Comparing a snapshot recorded on one machine against a run on
+// another (the CI runner vs the dev container) in raw ns/op would gate on
+// hardware, not code; scaling the baseline by the anchor's ratio first
+// cancels the machine difference to first order.
+const benchAnchor = "ZipfSample"
+
+// diffBench compares a fresh report against a checked-in baseline snapshot
+// and reports whether every gated target stayed within maxRegress of its
+// machine-normalised baseline ns/op.
+func diffBench(rep microbench.Report, baselinePath string, maxRegress float64) bool {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotline-bench:", err)
+		return false
+	}
+	var base microbench.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "hotline-bench: %s: %v\n", baselinePath, err)
+		return false
+	}
+	baseNs := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	scale := 1.0
+	for _, r := range rep.Results {
+		if r.Name == benchAnchor && baseNs[benchAnchor] > 0 && r.NsPerOp > 0 {
+			scale = r.NsPerOp / baseNs[benchAnchor]
+			fmt.Fprintf(os.Stderr, "hotline-bench: vs %s: machine scale %.2fx (%s)\n",
+				baselinePath, scale, benchAnchor)
+		}
+	}
+	ok := true
+	for _, r := range rep.Results {
+		b, have := baseNs[r.Name]
+		if !have || b <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp/(b*scale) - 1
+		verdict := "ok"
+		if benchGates[r.Name] && ratio > maxRegress {
+			verdict = fmt.Sprintf("REGRESSION > %.0f%%", maxRegress*100)
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "hotline-bench: vs %s: %-28s %+7.1f%%  %s\n",
+			baselinePath, r.Name, ratio*100, verdict)
+	}
+	return ok
 }

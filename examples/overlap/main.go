@@ -61,7 +61,8 @@ func main() {
 	} {
 		probe := hotline.ShardProbe{Nodes: nodes, CacheBytes: cache, Batch: 1024, Placement: kind}
 		if kind == hotline.PlaceCapacity {
-			probe.Weights = []int{3, 2, 2, 1}
+			// Ownership weights derive from real per-node HBM budgets.
+			probe.HBMBytes = []int64{4 * cache, 2 * cache, 2 * cache, cache}
 		}
 		m := hotline.MeasureShard(full, probe)
 		fmt.Printf("  %-18s local %5.1f%%  cache hit %5.1f%%  a2a %7.1f KB/iter\n",

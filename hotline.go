@@ -43,6 +43,22 @@ func Parallelism(n int) int { return par.SetWorkers(n) }
 // NumWorkers returns the effective worker count (>= 1).
 func NumWorkers() int { return par.Workers() }
 
+// PipelineDepth sets the prefetch pipeline depth k newly built Hotline
+// executors use — how many gather windows may be in flight at once (the one
+// the current iteration consumes plus k-1 staged for future mini-batches) —
+// and returns the previous default. Depth 1 degenerates to synchronous
+// staged gathers; depth 2 (the default) is the classic cross-iteration
+// pipeline; deeper queues hide more fabric traffic at the cost of dirty-row
+// repair traffic. Training state is bit-identical for every depth: staged
+// rows rewritten by intervening sparse updates are delta-repaired before
+// use (unless ShardService.SetStaleReads opts into measured staleness).
+// k < 1 restores the default. Executors also expose the knob per-instance
+// (HotlineTrainer.Depth).
+func PipelineDepth(k int) int { return train.SetDefaultPipelineDepth(k) }
+
+// DefaultPipelineDepth returns the current default prefetch pipeline depth.
+func DefaultPipelineDepth() int { return train.DefaultPipelineDepth() }
+
 // --- datasets and generators ---------------------------------------------
 
 // DatasetConfig describes one synthetic workload (paper Table II shape).
@@ -113,6 +129,12 @@ func NewHotlineTrainer(m *Model, lr float32) *train.HotlineTrainer {
 // while the current iteration finishes (bit-identical to stepping batch by
 // batch). RunTraining feeds pipelined trainers automatically.
 type PipelinedTrainer = train.PipelinedTrainer
+
+// LookaheadTrainer is a PipelinedTrainer with a depth-k pipeline: the
+// executor stages up to k-1 future mini-batches (classification + fabric
+// prefetch), bit-identical to batch-by-batch stepping for every depth.
+// RunTraining feeds lookahead trainers that many batches ahead.
+type LookaheadTrainer = train.LookaheadTrainer
 
 // NewBaselineAdagradTrainer is the baseline executor under dense + sparse
 // Adagrad (the DLRM reference's production optimizer).
@@ -215,8 +237,18 @@ var NewShardedWorkload = pipeline.NewShardedWorkload
 
 // MeasureOverlapExposed runs the pipelined Hotline executor functionally —
 // sync vs cross-iteration prefetch — and returns the measured fraction of
-// gather wall time left exposed (memoised per dataset and node count).
+// gather wall time left exposed (memoised per dataset, node count and
+// cache budget; default pipeline depth).
 var MeasureOverlapExposed = pipeline.MeasureOverlapExposed
+
+// MeasureOverlapExposedDepth is MeasureOverlapExposed at an explicit
+// pipeline depth k (memoised per depth too): the mn-depth scenario's
+// queue-depth-vs-staleness sweep.
+var MeasureOverlapExposedDepth = pipeline.MeasureOverlapExposedDepth
+
+// NewShardedWorkloadDepth is NewShardedWorkload with the overlap measured
+// at an explicit pipeline depth k.
+var NewShardedWorkloadDepth = pipeline.NewShardedWorkloadDepth
 
 // DefaultShardCacheBytes returns the default per-node device-cache budget
 // for a dataset (its scaled hot-set budget).
@@ -245,6 +277,11 @@ var NewRoundRobinPartitioner = shard.NewRoundRobin
 // NewCapacityWeightedPartitioner spreads rows proportionally to integer
 // per-node capacity weights (heterogeneous clusters).
 var NewCapacityWeightedPartitioner = shard.NewCapacityWeighted
+
+// NewCapacityWeightedHBMPartitioner derives the capacity-weighted placement
+// from real per-node HBM byte budgets (each node's device-memory allowance
+// at the given row footprint) instead of hand-picked weights.
+var NewCapacityWeightedHBMPartitioner = shard.NewCapacityWeightedHBM
 
 // ShardRequestCounter tallies per-node request counts from access streams;
 // its HotAware method builds the placement that pins popular rows to their

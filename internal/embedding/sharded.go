@@ -24,9 +24,14 @@ import (
 // When the service carries an async gather engine, Prefetch issues a
 // µ-batch's fabric fetches ahead of time; the matching Forward then blocks
 // only on whatever the overlap failed to hide and reads the remote rows
-// from the staging buffer (exact copies, applied in the fixed batch order).
-// Like Table, forward output and sparse-gradient buffers are per-instance
-// scratch reused across calls.
+// from the staging buffer. Up to pipeline-depth windows can be open at
+// once (the depth-k cross-iteration pipeline): the bag and its shadows
+// share one shard.WindowQueue registering every issued window in stream
+// order, sparse updates mark the staged rows they rewrite as dirty, and
+// the consuming Forward delta-repairs them first — so the values applied
+// are bit-identical to a synchronous gather at consume time, for any
+// depth. Like Table, forward output and sparse-gradient buffers are
+// per-instance scratch reused across calls.
 type ShardedBag struct {
 	Rows, Dim int
 	// TableIdx keys the service's cache and traffic accounting.
@@ -39,19 +44,15 @@ type ShardedBag struct {
 	owner []int32
 	local []int32
 
+	// windows is the open prefetch-window registry and dirty-row tracker,
+	// shared with shadows (a shadow issues the lookahead windows; the
+	// primary bag's sparse updates invalidate their staged rows).
+	windows *shard.WindowQueue
+
 	lastIndices [][]int32
 	fwdOut      tensor.Matrix
 	bw          backwardArena
-	pending     pendingGather
 	fetchFn     shard.FetchFunc // bound once; a per-call method value would allocate
-}
-
-// pendingGather is one issued but not yet consumed prefetch window (reused
-// across steps; active reports whether a window is outstanding).
-type pendingGather struct {
-	active  bool
-	indices [][]int32
-	handle  *shard.Handle // nil when the plan needed no fabric fetches
 }
 
 // ShardBag partitions a table's rows across the service's nodes under its
@@ -77,6 +78,7 @@ func ShardBag(t *Table, svc *shard.Service, tableIdx int) *ShardedBag {
 	for r := 0; r < t.Rows; r++ {
 		copy(s.shards[s.owner[r]].Row(int(s.local[r])), t.W.Row(r))
 	}
+	s.windows = svc.NewWindowQueue()
 	s.fetchFn = s.fetchRow
 	return s
 }
@@ -94,61 +96,39 @@ func (s *ShardedBag) RowView(r int) []float32 {
 // exactly like a synchronous gather) and the engine streams them into a
 // staging buffer while the caller computes something else — the Hotline
 // executor overlaps the non-popular gather with the popular µ-batch inside
-// an iteration, and the cross-iteration pipeline issues the NEXT
-// mini-batch's gather right after the current sparse update so it streams
-// through the dense step and the next classification. The next Forward
-// over the same index set consumes the window; it is a no-op without an
-// engine or on a single node.
+// an iteration, and the depth-k cross-iteration pipeline issues the next
+// k-1 mini-batches' gathers right after the current sparse update so they
+// stream through the dense step and the following iterations. Windows are
+// registered FIFO in the shared WindowQueue; the Forward over the same
+// index set consumes the oldest one. A no-op without an engine or on a
+// single node.
 func (s *ShardedBag) Prefetch(indices [][]int32) {
 	g := s.svc.Gatherer()
 	if g == nil || s.svc.Nodes() == 1 {
 		return
 	}
-	s.dropStalePrefetch(nil)
 	plan := s.svc.PlanGather(s.TableIdx, indices)
-	s.pending.active = true
-	s.pending.indices = indices
-	s.pending.handle = nil
+	var h *shard.Handle
 	if plan != nil {
-		s.pending.handle = g.Submit(plan, s.Dim, s.fetchFn)
+		h = g.Submit(plan, s.Dim, s.fetchFn)
 	}
+	s.windows.Push(indices, h)
 }
 
-// AbortPrefetch joins and discards any outstanding prefetch window (its
-// accounting already happened — a wasted prefetch). The executor calls it
-// when a pipelined lookahead turns out not to match the batch actually
-// trained, so a reused index buffer can never satisfy a stale window.
-func (s *ShardedBag) AbortPrefetch() { s.dropStalePrefetch(nil) }
+// AbortPrefetch joins and discards every outstanding prefetch window of
+// this bag and its shadows (their accounting already happened — wasted
+// prefetches). The executor calls it when a pipelined lookahead turns out
+// not to match the batches actually trained, so a reused index buffer can
+// never satisfy a stale window.
+func (s *ShardedBag) AbortPrefetch() { s.windows.Abort() }
+
+// PendingWindows reports the open (issued, unconsumed) prefetch windows
+// shared across this bag and its shadows.
+func (s *ShardedBag) PendingWindows() int { return s.windows.Len() }
 
 // fetchRow copies one owner-resident row into its staging slot.
 func (s *ShardedBag) fetchRow(row int32, dst []float32) {
 	copy(dst, s.RowView(int(row)))
-}
-
-// dropStalePrefetch discards a pending window that does not match indices
-// (its accounting already happened — a wasted prefetch, like any real
-// system that speculated wrong — but its staging must be joined and
-// recycled before new traffic is issued).
-func (s *ShardedBag) dropStalePrefetch(indices [][]int32) {
-	p := &s.pending
-	if !p.active || sameIndexSet(p.indices, indices) {
-		return
-	}
-	if p.handle != nil {
-		st := p.handle.Await()
-		s.svc.Gatherer().Release(st)
-	}
-	p.active = false
-	p.indices = nil
-	p.handle = nil
-}
-
-// sameIndexSet reports whether a and b are the same index set (the same
-// backing slice — the executor prefetches and forwards the identical
-// µ-batch view). Empty sets never match: an empty prefetch carries no
-// traffic, so consuming it would only mask a caller bug.
-func sameIndexSet(a, b [][]int32) bool {
-	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
 }
 
 // fwdRange computes output rows [lo, hi) of the pooled lookup, reading
@@ -179,31 +159,27 @@ func (s *ShardedBag) fwdRange(out *tensor.Matrix, indices [][]int32, staged *sha
 // Forward implements Bag: the sum-pooled lookup with shard routing. The
 // service accounting runs as a serial pre-pass (cache state must evolve in
 // batch order); the arithmetic then shards across workers exactly like the
-// single-node operator. A matching Prefetch window is consumed (blocking
-// only on the exposed remainder of the gather); otherwise, with an engine
-// attached, the fabric rows are staged synchronously — the measured
-// baseline the overlap is compared against. Consumed staging buffers are
-// recycled into the engine's ring.
+// single-node operator. When the oldest open Prefetch window matches the
+// index set it is consumed — blocking only on the exposed remainder of the
+// gather, with rows dirtied by intervening sparse updates delta-repaired
+// first (or served stale under Service.SetStaleReads). A non-matching
+// forward (an evaluation pass, a popular µ-batch) leaves younger windows
+// untouched and, with an engine attached, stages its fabric rows
+// synchronously — the measured baseline the overlap is compared against.
+// Consumed staging buffers are recycled into the engine's ring.
 func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 	var staged *shard.Staging
+	var win *shard.Window
 	g := s.svc.Gatherer()
-	if p := &s.pending; p.active && sameIndexSet(p.indices, indices) {
-		h := p.handle
-		p.active = false
-		p.indices = nil
-		p.handle = nil
-		if h != nil {
-			staged = h.Await()
+	if w := s.windows.Match(indices); w != nil {
+		win = w
+		staged = s.windows.Consume(w, s.fetchFn)
+	} else if g != nil && s.svc.Nodes() > 1 {
+		if plan := s.svc.PlanGather(s.TableIdx, indices); plan != nil {
+			staged = g.GatherSync(plan, s.Dim, s.fetchFn)
 		}
 	} else {
-		s.dropStalePrefetch(indices)
-		if g != nil && s.svc.Nodes() > 1 {
-			if plan := s.svc.PlanGather(s.TableIdx, indices); plan != nil {
-				staged = g.GatherSync(plan, s.Dim, s.fetchFn)
-			}
-		} else {
-			s.svc.RecordGather(s.TableIdx, indices)
-		}
+		s.svc.RecordGather(s.TableIdx, indices)
 	}
 
 	out := s.fwdOut.Resize(len(indices), s.Dim)
@@ -217,6 +193,9 @@ func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 	}
 	if staged != nil {
 		g.Release(staged)
+	}
+	if win != nil {
+		s.windows.Recycle(win)
 	}
 	s.lastIndices = indices
 	return out
@@ -254,7 +233,11 @@ func (s *ShardedBag) sgdRange(sg SparseGrad, lr float32, lo, hi int) {
 }
 
 // ApplySparseSGD implements Bag: each owner node updates its resident rows.
+// Open prefetch windows that staged any updated row are marked dirty first
+// (and joined, so no in-flight fetch races the write); the consuming
+// forward repairs them.
 func (s *ShardedBag) ApplySparseSGD(sg SparseGrad, lr float32) {
+	s.windows.MarkDirty(sg.Rows)
 	perItem := int64(s.Dim) * 2
 	if par.Serial(len(sg.Rows), perItem) {
 		s.sgdRange(sg, lr, 0, len(sg.Rows))
@@ -269,8 +252,10 @@ func (s *ShardedBag) ApplySparseSGD(sg SparseGrad, lr float32) {
 // ApplySparseAdagrad implements Bag: the adaptive update runs on each
 // owner-resident row against the shared (globally indexed) accumulator, in
 // the same serial row order as the single-node table — bit-identical for
-// every node count and placement.
+// every node count and placement. Like the SGD path, staged copies of the
+// updated rows in open prefetch windows are marked dirty first.
 func (s *ShardedBag) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32) {
+	s.windows.MarkDirty(sg.Rows)
 	for i, ix := range sg.Rows {
 		adagradRow(s.RowView(int(ix)), st.Accum.Row(int(ix)), sg.Grad.Row(i), lr, st.Eps)
 	}
@@ -291,12 +276,15 @@ func (s *ShardedBag) EmbedDim() int { return s.Dim }
 func (s *ShardedBag) SizeBytes() int64 { return int64(s.Rows) * int64(s.Dim) * 4 }
 
 // ShadowBag implements Bag: the shadow shares shard storage, the placement
-// maps and the service (its accounting is mutex-guarded) with private
-// forward and prefetch state.
+// maps, the service (its accounting is mutex-guarded) AND the prefetch
+// window registry — a lookahead window issued on the shadow must be
+// visible to the primary bag's sparse updates for dirty-row tracking —
+// with private forward state.
 func (s *ShardedBag) ShadowBag() Bag {
 	sh := &ShardedBag{
 		Rows: s.Rows, Dim: s.Dim, TableIdx: s.TableIdx,
 		svc: s.svc, shards: s.shards, owner: s.owner, local: s.local,
+		windows: s.windows,
 	}
 	sh.fetchFn = sh.fetchRow
 	return sh

@@ -7,9 +7,11 @@ import (
 
 // heavyExperiments run functional training or large design-space probes and
 // dominate the suite's wall time; -short skips them (the sweep tests still
-// cover a fast subset end-to-end).
+// cover a fast subset end-to-end, and CI's scenario step runs mn-depth and
+// mn-syn through hotline-bench -smoke without the race detector).
 var heavyExperiments = map[string]bool{
 	"tab5": true, "fig18": true, "fig27": true, "fig28": true, "abl-eal": true,
+	"mn-depth": true, "mn-syn": true,
 }
 
 func TestAllExperimentsRun(t *testing.T) {
@@ -63,6 +65,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-eal", "abl-feistel", "abl-overlap", "abl-sampling",
 		"mn-scale", "mn-cache", "mn-skew", "mn-policy",
 		"mn-place", "mn-overlap", "mn-adagrad",
+		"mn-depth", "mn-syn", "mn-batch",
 	}
 	for _, id := range extras {
 		if !have[id] {

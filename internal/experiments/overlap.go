@@ -29,8 +29,10 @@ func init() {
 
 // MNPlacement sweeps the row-ownership policy at 4 nodes under cache
 // pressure on the Criteo Kaggle skew: blind round-robin, capacity-weighted
-// (a heterogeneous 3:2:2:1 cluster) and hot-row-aware (popular rows pinned
-// to their dominant requesting node). Hot-aware ownership turns the
+// (a heterogeneous cluster whose per-node HBM byte budgets are 4x/2x/2x/1x
+// the device-cache budget — ownership weights derive from those real byte
+// budgets, not hand-picked demo weights) and hot-row-aware (popular rows
+// pinned to their dominant requesting node). Hot-aware ownership turns the
 // heaviest remote request streams into local ones, so gather and
 // gradient-scatter messages — and with them the measured all-to-all bytes —
 // drop relative to round-robin.
@@ -42,7 +44,7 @@ func MNPlacement() *report.Table {
 	probes := []pipeline.ShardProbe{
 		{Nodes: 4, CacheBytes: cache, Batch: mnBatch, Placement: shard.PlaceRoundRobin},
 		{Nodes: 4, CacheBytes: cache, Batch: mnBatch, Placement: shard.PlaceCapacity,
-			Weights: []int{3, 2, 2, 1}},
+			HBMBytes: []int64{4 * cache, 2 * cache, 2 * cache, cache}},
 		{Nodes: 4, CacheBytes: cache, Batch: mnBatch, Placement: shard.PlaceHotAware},
 	}
 	for _, p := range probes {

@@ -20,10 +20,10 @@ func sweepIDs(t *testing.T) []string {
 }
 
 // wallClockExperiments report measured wall-clock durations of the
-// functional layer (the async-overlap scenario). Their timing cells
-// legitimately vary run to run, so the byte-identical sweep contract skips
-// them; everything structural about them is still checked.
-var wallClockExperiments = map[string]bool{"mn-overlap": true}
+// functional layer (the async-overlap scenario and the depth sweep). Their
+// timing cells legitimately vary run to run, so the byte-identical sweep
+// contract skips them; everything structural about them is still checked.
+var wallClockExperiments = map[string]bool{"mn-overlap": true, "mn-depth": true}
 
 // TestRunAllExperiments: every id yields a non-empty table, and the
 // concurrent sweep produces byte-identical tables to serial runs.

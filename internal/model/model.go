@@ -100,13 +100,16 @@ type sparsePrefetcher interface {
 }
 
 // PrefetchSparse issues asynchronous gathers for every embedding access the
-// batch will make, on bags that support prefetching. The following
+// batch will make, on bags that support prefetching. The eventual
 // Forward(b) consumes the staged rows; the Hotline executor calls this for
-// the non-popular µ-batch before dispatching the popular one — or, in the
-// cross-iteration pipeline, for the NEXT mini-batch right after the current
-// sparse update — overlapping the fabric traffic with compute. The TBSM
-// sequence table is skipped (its per-timestep index sets are built inside
-// Forward) and everything else is a no-op on non-prefetching bags.
+// the non-popular µ-batch before dispatching the popular one — and, in the
+// depth-k cross-iteration pipeline, for up to k-1 FUTURE mini-batches
+// right after the current sparse update — overlapping the fabric traffic
+// with compute. Windows are registered FIFO per bag, and rows a later
+// sparse update rewrites are delta-repaired before consumption, so staging
+// ahead never changes training state. The TBSM sequence table is skipped
+// (its per-timestep index sets are built inside Forward) and everything
+// else is a no-op on non-prefetching bags.
 func (m *Model) PrefetchSparse(b *data.Batch) {
 	for t, bag := range m.Tables {
 		if m.IsTBSM() && t == 0 {
@@ -118,10 +121,11 @@ func (m *Model) PrefetchSparse(b *data.Batch) {
 	}
 }
 
-// AbortPrefetchSparse joins and discards every outstanding prefetch window.
-// The pipelined executor calls it when a lookahead speculated on a batch
-// that is not the one actually trained next, so a stale window can never be
-// consumed against updated weights.
+// AbortPrefetchSparse joins and discards every outstanding prefetch window
+// (the whole staged lookahead, however deep). The pipelined executor calls
+// it when a lookahead speculated on batches that are not the ones actually
+// trained next, so a stale window can never be consumed against a reused
+// index buffer.
 func (m *Model) AbortPrefetchSparse() {
 	for _, bag := range m.Tables {
 		if p, ok := bag.(sparsePrefetcher); ok {

@@ -51,10 +51,14 @@ type ShardMeasurement struct {
 	// Evictions counts device-cache displacements during the measured
 	// window (cache-pressure indicator for the ablations).
 	Evictions int64
+	// PipelineDepth is the prefetch pipeline depth k the overlap
+	// measurement ran at (how many gather windows may be in flight at
+	// once); 0 means no overlap measurement was taken.
+	PipelineDepth int
 	// OverlapMeasured reports that a functional overlap run (the
-	// mn-overlap scenario) measured ExposedFrac; the zero value means
-	// unmeasured, so the timing models keep their analytic overlap
-	// schedule unless a measurement was made explicitly.
+	// mn-overlap / mn-depth scenarios) measured ExposedFrac; the zero
+	// value means unmeasured, so the timing models keep their analytic
+	// overlap schedule unless a measurement was made explicitly.
 	OverlapMeasured bool
 	// ExposedFrac is the measured fraction of the fabric gather that stays
 	// on the critical path under the async overlap engine (0 = fully
@@ -88,9 +92,11 @@ type ShardProbe struct {
 	Policy shard.Policy
 	// Placement selects the row-ownership policy.
 	Placement shard.PlacementKind
-	// Weights are the per-node capacity weights for PlaceCapacity
-	// (uniform when empty).
-	Weights []int
+	// HBMBytes are the real per-node HBM byte budgets PlaceCapacity
+	// derives its ownership weights from (a heterogeneous cluster where
+	// some nodes hold more device memory than others). Empty means a
+	// homogeneous cluster: every node gets the probe's CacheBytes budget.
+	HBMBytes []int64
 }
 
 // shardStatsCache memoises measurements per full probe identity.
@@ -126,7 +132,7 @@ func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int, 
 // replays).
 func MeasureShard(cfg data.Config, p ShardProbe) ShardMeasurement {
 	key := fmt.Sprintf("%s/%d/%d/%d/%s/%s/%v",
-		cfg.Name, p.Nodes, p.CacheBytes, p.Batch, p.Policy, p.Placement, p.Weights)
+		cfg.Name, p.Nodes, p.CacheBytes, p.Batch, p.Policy, p.Placement, p.HBMBytes)
 	if v, ok := shardStatsCache.Load(key); ok {
 		return v.(ShardMeasurement)
 	}
@@ -201,14 +207,19 @@ func MeasureShard(cfg data.Config, p ShardProbe) ShardMeasurement {
 func buildPartitioner(probe data.Config, p ShardProbe, batch int, hot shard.HotClassifier) shard.Partitioner {
 	switch p.Placement {
 	case shard.PlaceCapacity:
-		w := p.Weights
-		if len(w) == 0 {
-			w = make([]int, p.Nodes)
-			for i := range w {
-				w[i] = 1
+		// Ownership weights derive from the real per-node HBM byte
+		// budgets: heterogeneous budgets from the probe, else every node's
+		// device budget from the probe's CacheBytes (a pure-remote probe
+		// degenerates to the uniform one-row-per-node weighting).
+		rowBytes := int64(probe.EmbedDim) * 4
+		hbm := p.HBMBytes
+		if len(hbm) == 0 {
+			hbm = make([]int64, p.Nodes)
+			for i := range hbm {
+				hbm[i] = max(p.CacheBytes, rowBytes)
 			}
 		}
-		return shard.NewCapacityWeighted(w)
+		return shard.NewCapacityWeightedHBM(hbm, rowBytes)
 	case shard.PlaceHotAware:
 		rc := shard.NewRequestCounter(p.Nodes)
 		gen := data.NewGenerator(probe)
@@ -229,38 +240,60 @@ func buildPartitioner(probe data.Config, p ShardProbe, batch int, hot shard.HotC
 // one full replica of the learned hot set (the paper's ≤512 MB HBM tier).
 func DefaultShardCacheBytes(cfg data.Config) int64 { return data.ScaledHotBudget(cfg) }
 
-// overlapCache memoises MeasureOverlapExposed per (dataset, nodes). The
-// fraction is a wall-clock measurement, so memoising keeps every workload
-// built in one process — and the concurrent experiment sweep — consistent.
+// overlapCache memoises MeasureOverlapExposedDepth per (dataset, nodes,
+// cache budget, depth). The fraction is a wall-clock measurement, so
+// memoising keeps every workload built in one process — and the concurrent
+// experiment sweep — consistent.
 var overlapCache sync.Map // string -> float64
 
 // overlapMu serialises first-time overlap measurement.
 var overlapMu sync.Mutex
 
-// MeasureOverlapExposed trains the pipelined Hotline executor functionally
-// on a down-sampled copy of cfg over a sharded service with the given
-// per-node device-cache budget (<= 0 selects the scaled hot-set default) —
-// once with synchronous staged gathers, once with the cross-iteration
-// prefetch pipeline (classification and fabric gathers for mini-batch i+1
-// issued while iteration i finishes) — and returns the measured fraction
-// of gather wall time the pipeline left exposed, in [0, 1]. The cache
-// budget is part of the memo identity: a cache-starved topology has far
-// more gather traffic to hide, so its exposure must be measured under the
-// same budget the workload's gather stats were.
+// MeasureOverlapExposed is MeasureOverlapExposedDepth at the executors'
+// current default pipeline depth (train.DefaultPipelineDepth — 2 unless
+// hotline.PipelineDepth / hotline-bench -depth moved it), so workloads
+// price the overlap of the pipeline the executors actually run.
+func MeasureOverlapExposed(cfg data.Config, nodes int, cacheBytes int64) float64 {
+	return MeasureOverlapExposedDepth(cfg, nodes, cacheBytes, train.DefaultPipelineDepth())
+}
+
+// MeasureOverlapExposedDepth trains the pipelined Hotline executor
+// functionally on a down-sampled copy of cfg over a sharded service with
+// the given per-node device-cache budget (<= 0 selects the scaled hot-set
+// default) — once with synchronous staged gathers, once with the depth-k
+// prefetch pipeline (classification and fabric gathers for the next k-1
+// mini-batches issued while iteration i finishes, dirty rows delta-
+// repaired) — and returns the measured fraction of gather wall time the
+// pipeline left exposed, in [0, 1]. Both the cache budget and the depth
+// are part of the memo identity: a cache-starved topology has far more
+// gather traffic to hide, and a deeper pipeline has more compute to hide
+// it under, so exposure must be measured under the same knobs the
+// workload's gather stats were.
 //
 // The probe shrinks the MLPs (the access stream, and therefore the gather
 // traffic, is untouched); less compute per iteration means less time to
 // hide traffic under, so the returned fraction is a conservative estimate
-// of what the full model would hide. The mn-overlap scenario measures the
-// production-shape model and overrides the workload's fraction with it.
-func MeasureOverlapExposed(cfg data.Config, nodes int, cacheBytes int64) float64 {
+// of what the full model would hide. The mn-overlap and mn-depth scenarios
+// measure the production-shape model and override the workload's fraction
+// with it.
+func MeasureOverlapExposedDepth(cfg data.Config, nodes int, cacheBytes int64, depth int) float64 {
 	if nodes <= 1 {
 		return 0
 	}
 	if cacheBytes <= 0 {
 		cacheBytes = DefaultShardCacheBytes(cfg)
 	}
-	key := fmt.Sprintf("%s/%d/%d", cfg.Name, nodes, cacheBytes)
+	if depth < 1 {
+		depth = train.DefaultPipelineDepth()
+	}
+	if depth == 1 {
+		// The depth-1 pipeline's only window belongs to the consuming
+		// forward, so it runs the synchronous code path verbatim — its
+		// exposure is 1 by construction, and timing the ratio of two
+		// identical runs would only measure scheduler noise.
+		return 1
+	}
+	key := fmt.Sprintf("%s/%d/%d/%d", cfg.Name, nodes, cacheBytes, depth)
 	if v, ok := overlapCache.Load(key); ok {
 		return v.(float64)
 	}
@@ -282,16 +315,19 @@ func MeasureOverlapExposed(cfg data.Config, nodes int, cacheBytes int64) float64
 		}, nil)
 		tr := train.NewHotlineSharded(model.New(fn, seed), 0.1, svc)
 		tr.OverlapGather = overlap
+		tr.Depth = depth
 		tr.LearnSamples = 512
 		gen := data.NewGenerator(fn)
-		b := gen.NextBatch(batch)
-		for i := 1; i <= iters; i++ {
-			var next *data.Batch
-			if i < iters {
-				next = gen.NextBatch(batch)
+		batches := make([]*data.Batch, iters)
+		for i := range batches {
+			batches[i] = gen.NextBatch(batch)
+		}
+		for i := 0; i < iters; i++ {
+			end := i + depth
+			if end > iters {
+				end = iters
 			}
-			tr.StepPipelined(b, next)
-			b = next
+			tr.StepLookahead(batches[i], batches[i+1:end])
 		}
 		return svc.Gatherer().Stats()
 	}
@@ -302,21 +338,32 @@ func MeasureOverlapExposed(cfg data.Config, nodes int, cacheBytes int64) float64
 	return f
 }
 
-// NewShardedWorkload assembles a workload whose timing models consume
+// NewShardedWorkload is NewShardedWorkloadDepth at the executors' current
+// default pipeline depth.
+func NewShardedWorkload(cfg data.Config, batch int, sys cost.System, cacheBytes int64) Workload {
+	return NewShardedWorkloadDepth(cfg, batch, sys, cacheBytes, train.DefaultPipelineDepth())
+}
+
+// NewShardedWorkloadDepth assembles a workload whose timing models consume
 // measured sharding statistics (sys.Nodes simulated nodes, cacheBytes of
 // device cache per node, LRU caches over round-robin ownership) instead of
 // the analytic popularity fractions. The exposed-gather fraction is also
-// measured — the pipelined async engine against its synchronous baseline
-// (MeasureOverlapExposed) — so every mn-* scenario prices overlap from
-// measurement by default instead of the analytic overlap schedule.
-func NewShardedWorkload(cfg data.Config, batch int, sys cost.System, cacheBytes int64) Workload {
+// measured — the depth-k pipelined async engine against its synchronous
+// baseline (MeasureOverlapExposedDepth) — so every mn-* scenario prices
+// overlap from measurement by default instead of the analytic overlap
+// schedule, at the pipeline depth the scenario sweeps.
+func NewShardedWorkloadDepth(cfg data.Config, batch int, sys cost.System, cacheBytes int64, depth int) Workload {
 	w := NewWorkload(cfg, batch, sys)
 	if cacheBytes <= 0 {
 		cacheBytes = DefaultShardCacheBytes(cfg)
 	}
+	if depth < 1 {
+		depth = train.DefaultPipelineDepth()
+	}
 	m := MeasureShardStats(cfg, sys.Nodes, cacheBytes, batch, shard.PolicyLRU)
 	if sys.Nodes > 1 {
-		m.SetExposedFrac(MeasureOverlapExposed(cfg, sys.Nodes, cacheBytes))
+		m.PipelineDepth = depth
+		m.SetExposedFrac(MeasureOverlapExposedDepth(cfg, sys.Nodes, cacheBytes, depth))
 	}
 	w.Shard = &m
 	return w

@@ -6,6 +6,7 @@ import (
 	"hotline/internal/cost"
 	"hotline/internal/data"
 	"hotline/internal/shard"
+	"hotline/internal/train"
 )
 
 func TestMeasureShardStatsBasics(t *testing.T) {
@@ -85,7 +86,8 @@ func TestMeasureShardPlacements(t *testing.T) {
 	ha := MeasureShard(cfg, ShardProbe{Nodes: 4, CacheBytes: cache, Batch: 1024,
 		Placement: shard.PlaceHotAware})
 	cw := MeasureShard(cfg, ShardProbe{Nodes: 4, CacheBytes: cache, Batch: 1024,
-		Placement: shard.PlaceCapacity, Weights: []int{3, 2, 2, 1}})
+		Placement: shard.PlaceCapacity,
+		HBMBytes:  []int64{3 * cache, 2 * cache, 2 * cache, cache}})
 	if rr.Placement != "round-robin" || ha.Placement != "hot-aware" || cw.Placement != "capacity-weighted" {
 		t.Fatalf("placement labels: %q %q %q", rr.Placement, ha.Placement, cw.Placement)
 	}
@@ -178,5 +180,57 @@ func TestShardedWorkloadMeasuresOverlap(t *testing.T) {
 	w := NewShardedWorkload(cfg, 4096, cost.PaperCluster(1), 0)
 	if w.Shard.OverlapMeasured {
 		t.Fatal("nodes=1 must not report a measured overlap")
+	}
+}
+
+// TestMeasureOverlapExposedDepthKeyed: the depth is part of the overlap
+// memo identity — each k gets its own measurement — and the default-depth
+// helpers agree with the explicit depth-2 probe.
+func TestMeasureOverlapExposedDepthKeyed(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	f2 := MeasureOverlapExposedDepth(cfg, 2, 0, 2)
+	if got := MeasureOverlapExposed(cfg, 2, 0); got != f2 {
+		t.Fatalf("default-depth helper diverged: %v vs %v", got, f2)
+	}
+	if got := MeasureOverlapExposedDepth(cfg, 2, 0, 2); got != f2 {
+		t.Fatalf("depth measurement not memoised: %v vs %v", got, f2)
+	}
+	if f := MeasureOverlapExposedDepth(cfg, 1, 0, 4); f != 0 {
+		t.Fatalf("single node must expose nothing: %v", f)
+	}
+}
+
+// TestDepthExposedFracNonIncreasing is the mn-depth acceptance claim at
+// test granularity: the depth-2 pipeline must not expose MORE gather time
+// than the degenerate depth-1 queue, whose single window is issued at
+// consume time — synchronous by construction, so its fraction is exactly
+// 1 (not a noisy timing of two identical runs).
+func TestDepthExposedFracNonIncreasing(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	f1 := MeasureOverlapExposedDepth(cfg, 4, 0, 1)
+	f2 := MeasureOverlapExposedDepth(cfg, 4, 0, 2)
+	if f1 != 1 {
+		t.Fatalf("depth-1 exposure must be exactly 1 (synchronous by construction), got %v", f1)
+	}
+	if f2 > f1 {
+		t.Fatalf("exposed fraction must be non-increasing from k=1 (%v) to k=2 (%v)", f1, f2)
+	}
+}
+
+// TestShardedWorkloadDepthRecorded: a depth-swept workload records the
+// pipeline depth its overlap was measured at.
+func TestShardedWorkloadDepthRecorded(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	w := NewShardedWorkloadDepth(cfg, 4096*2, cost.PaperCluster(2), 0, 4)
+	if w.Shard == nil || !w.Shard.OverlapMeasured {
+		t.Fatal("depth workload must measure overlap")
+	}
+	if w.Shard.PipelineDepth != 4 {
+		t.Fatalf("pipeline depth not recorded: %d", w.Shard.PipelineDepth)
+	}
+	wd := NewShardedWorkload(cfg, 4096*2, cost.PaperCluster(2), 0)
+	if wd.Shard.PipelineDepth != train.DefaultPipelineDepth() {
+		t.Fatalf("default workload depth = %d want %d",
+			wd.Shard.PipelineDepth, train.DefaultPipelineDepth())
 	}
 }

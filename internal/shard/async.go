@@ -11,10 +11,9 @@ import (
 // rows of one table that must cross the fabric, grouped by the node that
 // owns (and therefore streams) them, plus a staging slot for every row.
 // Plans are built under the service mutex (PlanGather) and are immutable
-// afterwards. Plans are ring entries of the async engine: consuming a
-// window (AsyncGatherer.Release) recycles its plan, so the two-deep
-// cross-iteration pipeline reuses a fixed set of plans instead of
-// allocating one per call.
+// afterwards. Plans are entries of the engine's PrefetchRing: consuming a
+// window (AsyncGatherer.Release) recycles its plan, so a depth-k pipeline
+// reuses a fixed set of plans instead of allocating one per call.
 type GatherPlan struct {
 	// Table keys the accounting and the staging lookups.
 	Table int
@@ -68,11 +67,12 @@ func (p *GatherPlan) Rows() int { return len(p.slot) }
 // dense rows x dim matrix plus the row -> slot map from the plan. Workers
 // fill disjoint slots concurrently; consumers read it only after the
 // window's Handle reports completion, then apply the rows in their own
-// fixed iteration order — which keeps training bit-identical to the
-// synchronous path (the staged values are exact copies of the owner-shard
-// rows, and weights do not change while a window is in flight). Stagings
-// are ring entries like plans: AsyncGatherer.Release recycles the buffer
-// (and the plan it shares its slot map with) for the next window.
+// fixed iteration order. Under the depth-k pipeline a staged row can go
+// stale (a later sparse update rewrites the owner row while the window is
+// open); the WindowQueue's dirty-row tracker repairs exactly those rows
+// before consumption, which keeps every depth bit-identical to batch-by-
+// batch stepping. Stagings are ring entries like plans: AsyncGatherer.
+// Release recycles the buffer (and the plan it shares its slot map with).
 type Staging struct {
 	dim  int
 	buf  []float32
@@ -89,16 +89,25 @@ func (st *Staging) Lookup(row int32) ([]float32, bool) {
 	return st.buf[i*st.dim : (i+1)*st.dim], true
 }
 
+// Has reports whether the plan staged row, without touching the buffer (so
+// it is safe while fetches are still in flight — the slot map is immutable
+// after planning).
+func (st *Staging) Has(row int32) bool {
+	_, ok := st.slot[row]
+	return ok
+}
+
 // Rows returns the staged row count.
 func (st *Staging) Rows() int { return len(st.slot) }
 
 // FetchFunc copies one owner-resident row into its staging slot. It runs on
 // gather workers concurrently with compute, so it must only read the
-// underlying storage (which is stable while a window is in flight).
+// underlying storage (which is stable while a window is in flight: sparse
+// updates join any window whose staged rows they touch before mutating).
 type FetchFunc func(row int32, dst []float32)
 
 // Handle tracks one submitted gather window. Await may be called exactly
-// once per window; the handle is recycled into the engine's pool when it
+// once per window; the handle is recycled into the engine's ring when it
 // returns.
 type Handle struct {
 	g       *AsyncGatherer
@@ -128,7 +137,7 @@ func (h *Handle) jobDone() {
 func (h *Handle) Await() *Staging {
 	start := time.Now()
 	for _, q := range h.g.queues {
-		q.drainOn(h.g)
+		q.drainOn()
 	}
 	h.mu.Lock()
 	for h.pending > 0 {
@@ -152,6 +161,16 @@ type OverlapStats struct {
 	// asynchronously; SyncRows / SyncBytes the volume fetched inline.
 	PrefetchRows, SyncRows   int64
 	PrefetchBytes, SyncBytes int64
+	// RepairRows / RepairBytes total the dirty-row delta repairs a depth-k
+	// pipeline shipped: rows staged at issue time that a later sparse
+	// update rewrote, re-fetched from their owner shard before the window
+	// was consumed. Depth k <= 2 never repairs (no update intervenes);
+	// deeper lookahead trades this extra traffic for more hiding time.
+	RepairRows, RepairBytes int64
+	// StaleRows counts distinct dirtied rows consumed WITHOUT repair under
+	// the opt-in stale mode (Service.SetStaleReads) — the rows whose
+	// staleness the mn-depth scenario prices in accuracy.
+	StaleRows int64
 	// GatherBusy is the summed time workers spent copying rows (both modes).
 	GatherBusy time.Duration
 	// Exposed is the summed wall time consumers were blocked in Await —
@@ -166,7 +185,8 @@ type OverlapStats struct {
 // consumer's critical path: inline (synchronous) staged gathers plus the
 // time consumers were blocked in Await. Comparing it between an
 // overlap-off and an overlap-on run of the same workload yields the
-// exposed-gather fraction the mn-overlap scenario feeds the timing models.
+// exposed-gather fraction the mn-overlap/mn-depth scenarios feed the
+// timing models.
 func (s OverlapStats) ExposedGather() time.Duration { return s.SyncGather + s.Exposed }
 
 // ExposedFrac returns this engine's exposed share of the given synchronous
@@ -190,84 +210,129 @@ type fetchJob struct {
 	h     *Handle
 }
 
-// gatherQueue is one owner node's double-buffered job queue: producers
-// append to the fill buffer while a drainer works through the other, and
-// the two swap when the drainer comes back — so a new window can queue up
-// while the previous one is still streaming.
-type gatherQueue struct {
-	mu       sync.Mutex
-	fill     []fetchJob
-	spare    []fetchJob // the drained buffer, recycled on swap
-	draining bool
+// engineCounters is the stats cell shared by the engine and its persistent
+// drainer goroutines. It deliberately lives outside AsyncGatherer so a
+// parked drainer keeps only its queue (and this cell) alive — the engine
+// itself stays collectable, and its cleanup closes the queues.
+type engineCounters struct {
+	mu    sync.Mutex
+	stats OverlapStats
 }
 
-// enqueue appends a job and starts a drainer goroutine if none is running.
-func (q *gatherQueue) enqueue(j fetchJob, g *AsyncGatherer) {
+func (c *engineCounters) noteBusy(d time.Duration) {
+	c.mu.Lock()
+	c.stats.GatherBusy += d
+	c.mu.Unlock()
+}
+
+// gatherQueue is one owner node's job queue, drained by a persistent
+// goroutine: producers append to the fill buffer and wake the drainer with
+// a cond signal — no per-window goroutine spawn, so the steady-state wake
+// path performs zero allocations. Consumers blocked in Await help drain
+// via drainOn. Drained buffers recycle through a small free list.
+type gatherQueue struct {
+	mu              sync.Mutex
+	cond            sync.Cond // wakes the persistent drainer; cond.L = &mu
+	fill            []fetchJob
+	free            [][]fetchJob // drained buffers awaiting reuse
+	c               *engineCounters
+	started, closed bool
+}
+
+func newGatherQueue(c *engineCounters) *gatherQueue {
+	q := &gatherQueue{c: c}
+	q.cond.L = &q.mu
+	return q
+}
+
+// enqueue appends a job and wakes the persistent drainer (starting it on
+// first use, so sync-only engines never park a goroutine).
+func (q *gatherQueue) enqueue(j fetchJob) {
 	q.mu.Lock()
+	if q.fill == nil {
+		q.fill = q.takeFreeLocked()
+	}
 	q.fill = append(q.fill, j)
-	start := !q.draining
-	if start {
-		q.draining = true
+	if !q.started && !q.closed {
+		q.started = true
+		go q.drainLoop()
+	} else {
+		q.cond.Signal()
 	}
 	q.mu.Unlock()
-	if start {
-		go q.drain(g)
-	}
 }
 
-// swap takes the filled buffer, leaving the spare in its place. Returns nil
-// when the queue is empty (and, for the background drainer, clears the
-// draining flag so the next enqueue restarts it).
-func (q *gatherQueue) swap(background bool) []fetchJob {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+// takeFreeLocked pops a recycled buffer (nil when none).
+func (q *gatherQueue) takeFreeLocked() []fetchJob {
+	if n := len(q.free); n > 0 {
+		b := q.free[n-1][:0]
+		q.free = q.free[:n-1]
+		return b
+	}
+	return nil
+}
+
+// swapLocked takes the filled buffer, leaving a recycled one in its place.
+// Returns nil when the queue is empty.
+func (q *gatherQueue) swapLocked() []fetchJob {
 	if len(q.fill) == 0 {
-		if background {
-			q.draining = false
-		}
 		return nil
 	}
 	jobs := q.fill
-	q.fill = q.spare[:0]
-	q.spare = nil // owned by the drainer until it returns the buffer
+	q.fill = q.takeFreeLocked()
 	return jobs
 }
 
 // finish recycles a drained buffer.
 func (q *gatherQueue) finish(jobs []fetchJob) {
 	q.mu.Lock()
-	if q.spare == nil {
-		q.spare = jobs[:0]
-	}
+	q.free = append(q.free, jobs[:0])
 	q.mu.Unlock()
 }
 
-// drain is the background drainer: it alternates the double buffers until
-// the queue runs dry, then exits.
-func (q *gatherQueue) drain(g *AsyncGatherer) {
+// drainLoop is the persistent drainer: it parks on the cond when the queue
+// is dry and exits only when the engine is closed.
+func (q *gatherQueue) drainLoop() {
 	for {
-		jobs := q.swap(true)
-		if jobs == nil {
+		q.mu.Lock()
+		for len(q.fill) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		jobs := q.swapLocked()
+		if jobs == nil { // closed and dry
+			q.started = false
+			q.mu.Unlock()
 			return
 		}
-		runJobs(jobs, g)
+		q.mu.Unlock()
+		runJobs(jobs, q.c)
 		q.finish(jobs)
 	}
 }
 
 // drainOn lets a consumer goroutine (inside Await) help with queued work
 // instead of idling.
-func (q *gatherQueue) drainOn(g *AsyncGatherer) {
-	jobs := q.swap(false)
+func (q *gatherQueue) drainOn() {
+	q.mu.Lock()
+	jobs := q.swapLocked()
+	q.mu.Unlock()
 	if jobs == nil {
 		return
 	}
-	runJobs(jobs, g)
+	runJobs(jobs, q.c)
 	q.finish(jobs)
 }
 
+// close wakes and retires the persistent drainer once the queue runs dry.
+func (q *gatherQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
 // runJobs executes fetches and accounts worker busy time.
-func runJobs(jobs []fetchJob, g *AsyncGatherer) {
+func runJobs(jobs []fetchJob, c *engineCounters) {
 	start := time.Now()
 	for _, j := range jobs {
 		st := j.h.staging
@@ -277,32 +342,28 @@ func runJobs(jobs []fetchJob, g *AsyncGatherer) {
 		}
 		j.h.jobDone()
 	}
-	g.noteBusy(time.Since(start))
+	c.noteBusy(time.Since(start))
 }
 
 // AsyncGatherer executes gather plans off the consumer's critical path: one
-// double-buffered queue per owner node (the node streaming its resident
-// rows over the fabric), drained by on-demand worker goroutines. Submit
-// issues a window; the returned Handle's Await blocks only for whatever the
-// overlap failed to hide. GatherSync runs the same plan inline, timing the
-// fully exposed cost the synchronous path pays.
+// job queue per owner node (the node streaming its resident rows over the
+// fabric), drained by a persistent per-queue goroutine that parks when its
+// queue runs dry. Submit issues a window; the returned Handle's Await
+// blocks only for whatever the overlap failed to hide. GatherSync runs the
+// same plan inline, timing the fully exposed cost the synchronous path
+// pays.
 //
-// Plans, stagings and handles are pooled ring entries: the engine holds a
-// free list that grows to the pipeline's peak window count (one window per
-// table, two iterations deep under the cross-iteration pipeline) and is
-// then reused verbatim, so the steady-state prefetch path allocates
-// nothing. Consumers return a window with Release when they have read its
-// staged rows.
+// Plans, stagings and handles pool through a PrefetchRing that grows to the
+// pipeline's peak window count — one window per table, depth k iterations
+// deep — and is then reused verbatim, so the steady-state prefetch path
+// allocates nothing. Consumers return a window with Release when they have
+// read its staged rows. Drainer goroutines start lazily on the first
+// Submit and are retired by Close (or automatically when the engine
+// becomes unreachable).
 type AsyncGatherer struct {
 	queues []*gatherQueue
-
-	mu    sync.Mutex
-	stats OverlapStats
-
-	poolMu       sync.Mutex
-	freePlans    []*GatherPlan
-	freeStagings []*Staging
-	freeHandles  []*Handle
+	c      *engineCounters
+	ring   *PrefetchRing
 }
 
 // NewAsyncGatherer builds an engine for a topology of `nodes` owner nodes.
@@ -310,69 +371,42 @@ func NewAsyncGatherer(nodes int) *AsyncGatherer {
 	if nodes < 1 {
 		panic(fmt.Sprintf("shard: async gatherer over %d nodes", nodes))
 	}
-	g := &AsyncGatherer{queues: make([]*gatherQueue, nodes)}
-	for i := range g.queues {
-		g.queues[i] = &gatherQueue{}
+	g := &AsyncGatherer{
+		queues: make([]*gatherQueue, nodes),
+		c:      &engineCounters{},
+		ring:   NewPrefetchRing(),
 	}
+	for i := range g.queues {
+		g.queues[i] = newGatherQueue(g.c)
+	}
+	// The drainers reference only their queue and the shared counters, so
+	// the engine itself stays collectable; retire them when it goes away.
+	runtime.AddCleanup(g, func(queues []*gatherQueue) {
+		for _, q := range queues {
+			q.close()
+		}
+	}, g.queues)
 	return g
 }
+
+// Close retires the persistent drainer goroutines. Windows submitted after
+// Close still complete (consumers drain them in Await); Close is optional —
+// an unreachable engine's drainers are retired by the runtime cleanup.
+func (g *AsyncGatherer) Close() {
+	for _, q := range g.queues {
+		q.close()
+	}
+}
+
+// Ring exposes the engine's prefetch ring (plans, stagings and handles pool
+// through it).
+func (g *AsyncGatherer) Ring() *PrefetchRing { return g.ring }
 
 // AcquirePlan hands out a recycled (or new) plan for a window over the
 // engine's topology. The service's PlanGather calls this so plans cycle
 // through the ring instead of being allocated per accounting pass.
 func (g *AsyncGatherer) AcquirePlan(table int) *GatherPlan {
-	g.poolMu.Lock()
-	n := len(g.freePlans)
-	if n == 0 {
-		g.poolMu.Unlock()
-		return newGatherPlan(table, len(g.queues))
-	}
-	p := g.freePlans[n-1]
-	g.freePlans = g.freePlans[:n-1]
-	g.poolMu.Unlock()
-	p.reset(table, len(g.queues))
-	return p
-}
-
-// acquireStaging binds a pooled staging buffer to a plan.
-func (g *AsyncGatherer) acquireStaging(plan *GatherPlan, dim int) *Staging {
-	need := len(plan.slot) * dim
-	g.poolMu.Lock()
-	n := len(g.freeStagings)
-	var st *Staging
-	if n > 0 {
-		st = g.freeStagings[n-1]
-		g.freeStagings = g.freeStagings[:n-1]
-	}
-	g.poolMu.Unlock()
-	if st == nil {
-		st = &Staging{}
-	}
-	if cap(st.buf) < need {
-		st.buf = make([]float32, need)
-	}
-	st.buf = st.buf[:need]
-	st.dim = dim
-	st.slot = plan.slot
-	st.plan = plan
-	return st
-}
-
-// acquireHandle hands out a recycled (or new) handle.
-func (g *AsyncGatherer) acquireHandle() *Handle {
-	g.poolMu.Lock()
-	n := len(g.freeHandles)
-	var h *Handle
-	if n > 0 {
-		h = g.freeHandles[n-1]
-		g.freeHandles = g.freeHandles[:n-1]
-	}
-	g.poolMu.Unlock()
-	if h == nil {
-		h = &Handle{g: g}
-		h.cond.L = &h.mu
-	}
-	return h
+	return g.ring.Plan(table, len(g.queues))
 }
 
 // Release recycles a consumed window: the staging buffer and the plan whose
@@ -380,28 +414,7 @@ func (g *AsyncGatherer) acquireHandle() *Handle {
 // staging (or any row slice obtained from Lookup) afterwards. Releasing is
 // optional — an unreleased window is simply collected by the GC — so
 // external users of Submit/GatherSync that predate the ring keep working.
-func (g *AsyncGatherer) Release(st *Staging) {
-	if st == nil {
-		return
-	}
-	plan := st.plan
-	st.plan = nil
-	st.slot = nil
-	g.poolMu.Lock()
-	g.freeStagings = append(g.freeStagings, st)
-	if plan != nil {
-		g.freePlans = append(g.freePlans, plan)
-	}
-	g.poolMu.Unlock()
-}
-
-// releaseHandle recycles a completed handle (after Await).
-func (g *AsyncGatherer) releaseHandle(h *Handle) {
-	h.staging = nil
-	g.poolMu.Lock()
-	g.freeHandles = append(g.freeHandles, h)
-	g.poolMu.Unlock()
-}
+func (g *AsyncGatherer) Release(st *Staging) { g.ring.ReleaseStaging(st) }
 
 // Submit issues one gather window asynchronously and returns its Handle.
 // The submitting goroutine yields once so the drainers get scheduled even
@@ -409,19 +422,20 @@ func (g *AsyncGatherer) releaseHandle(h *Handle) {
 // runs, which is exactly the overlap the paper's pipeline performs in
 // hardware.
 func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Handle {
-	h := g.acquireHandle()
-	h.staging = g.acquireStaging(plan, dim)
+	h := g.ring.Handle()
+	h.g = g
+	h.staging = g.ring.Staging(plan, dim)
 	jobs := 0
 	for _, rows := range plan.perOwner {
 		if len(rows) > 0 {
 			jobs++
 		}
 	}
-	g.mu.Lock()
-	g.stats.Windows++
-	g.stats.PrefetchRows += int64(plan.Rows())
-	g.stats.PrefetchBytes += plan.Bytes
-	g.mu.Unlock()
+	g.c.mu.Lock()
+	g.c.stats.Windows++
+	g.c.stats.PrefetchRows += int64(plan.Rows())
+	g.c.stats.PrefetchBytes += plan.Bytes
+	g.c.mu.Unlock()
 	if jobs == 0 {
 		return h
 	}
@@ -432,7 +446,7 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 		if len(rows) == 0 {
 			continue
 		}
-		g.queues[owner].enqueue(fetchJob{rows: rows, fetch: fetch, h: h}, g)
+		g.queues[owner].enqueue(fetchJob{rows: rows, fetch: fetch, h: h})
 	}
 	runtime.Gosched()
 	return h
@@ -444,7 +458,7 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 // against.
 func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *Staging {
 	start := time.Now()
-	st := g.acquireStaging(plan, dim)
+	st := g.ring.Staging(plan, dim)
 	for _, rows := range plan.perOwner {
 		for _, row := range rows {
 			i := st.slot[row]
@@ -452,40 +466,49 @@ func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *
 		}
 	}
 	el := time.Since(start)
-	g.mu.Lock()
-	g.stats.SyncWindows++
-	g.stats.SyncRows += int64(plan.Rows())
-	g.stats.SyncBytes += plan.Bytes
-	g.stats.SyncGather += el
-	g.mu.Unlock()
+	g.c.mu.Lock()
+	g.c.stats.SyncWindows++
+	g.c.stats.SyncRows += int64(plan.Rows())
+	g.c.stats.SyncBytes += plan.Bytes
+	g.c.stats.SyncGather += el
+	g.c.mu.Unlock()
 	return st
 }
 
 // Stats snapshots the overlap counters.
 func (g *AsyncGatherer) Stats() OverlapStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	g.c.mu.Lock()
+	defer g.c.mu.Unlock()
+	return g.c.stats
 }
 
 // ResetStats zeroes the overlap counters (e.g. after warm-up windows).
 func (g *AsyncGatherer) ResetStats() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stats = OverlapStats{}
+	g.c.mu.Lock()
+	defer g.c.mu.Unlock()
+	g.c.stats = OverlapStats{}
 }
 
-func (g *AsyncGatherer) noteBusy(d time.Duration) {
-	g.mu.Lock()
-	g.stats.GatherBusy += d
-	g.mu.Unlock()
+// noteRepair accounts one window's dirty-row delta repair.
+func (g *AsyncGatherer) noteRepair(rows int, bytes int64) {
+	g.c.mu.Lock()
+	g.c.stats.RepairRows += int64(rows)
+	g.c.stats.RepairBytes += bytes
+	g.c.mu.Unlock()
+}
+
+// noteStale accounts dirtied rows consumed without repair (stale mode).
+func (g *AsyncGatherer) noteStale(rows int) {
+	g.c.mu.Lock()
+	g.c.stats.StaleRows += int64(rows)
+	g.c.mu.Unlock()
 }
 
 // noteExposed accounts one Await's blocked wall time and recycles the
 // handle.
 func (g *AsyncGatherer) noteExposed(d time.Duration, h *Handle) {
-	g.mu.Lock()
-	g.stats.Exposed += d
-	g.mu.Unlock()
-	g.releaseHandle(h)
+	g.c.mu.Lock()
+	g.c.stats.Exposed += d
+	g.c.mu.Unlock()
+	g.ring.ReleaseHandle(h)
 }

@@ -19,20 +19,34 @@
 // Topology model: samples are dealt round-robin to nodes by batch position
 // (NodeOf), and row ownership is a Partitioner — round-robin (row r of
 // every table lives on node r mod N, the default), capacity-weighted
-// (proportional to per-node weights), or hot-row-aware (RequestCounter
-// tallies per-node request counts and HotAware pins each popular row to
-// its dominant requester, shrinking both gather and gradient-scatter
-// volume). Remote lookups first probe the requesting node's device cache;
-// misses are gathered over the fabric once per iteration (intra-batch
-// dedup) and popularity-classified rows are admitted into the cache on the
-// way through. A zero cache budget is the explicit pure-remote mode: no
-// admissions and no fill traffic.
+// (proportional to per-node capacity; NewCapacityWeightedHBM derives the
+// weights from real per-node HBM byte budgets), or hot-row-aware
+// (RequestCounter tallies per-node request counts and HotAware pins each
+// popular row to its dominant requester, shrinking both gather and
+// gradient-scatter volume). Remote lookups first probe the requesting
+// node's device cache; misses are gathered over the fabric once per
+// iteration (intra-batch dedup) and popularity-classified rows are
+// admitted into the cache on the way through. A zero cache budget is the
+// explicit pure-remote mode: no admissions and no fill traffic.
 //
 // Gathers can run asynchronously: PlanGather performs the exact accounting
 // walk of RecordGather and also returns the distinct remote rows grouped
-// by owner; the AsyncGatherer streams each owner's rows through
-// double-buffered per-node queues into a Staging buffer while the consumer
-// computes, and Handle.Await blocks only on what the overlap failed to
-// hide — the measured exposed-gather time the mn-overlap scenario and the
-// Hotline timing model consume.
+// by owner; the AsyncGatherer streams each owner's rows through per-node
+// queues — drained by persistent, cond-woken goroutines — into a Staging
+// buffer while the consumer computes, and Handle.Await blocks only on what
+// the overlap failed to hide — the measured exposed-gather time the
+// mn-overlap and mn-depth scenarios and the Hotline timing model consume.
+// Plans, stagings and handles pool through a PrefetchRing sized by the
+// pipeline's peak window count, so the steady-state path allocates
+// nothing.
+//
+// A depth-k pipeline keeps up to k windows open per table. The WindowQueue
+// is its dirty-row tracker: issued windows register FIFO, a sparse update
+// marks the staged rows it is about to rewrite dirty (joining in-flight
+// fetches first, so no fetch races a write), and the consuming forward
+// delta-repairs exactly those rows from the owner shards — every depth is
+// therefore bit-identical to batch-by-batch stepping. The opt-in stale
+// mode (Service.SetStaleReads) skips the repair, serves issue-time values
+// and counts them, so the accuracy cost of staleness is measured rather
+// than assumed.
 package shard

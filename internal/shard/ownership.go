@@ -111,6 +111,48 @@ func (p capacityWeighted) Owner(table int, row int32) int {
 func (p capacityWeighted) Nodes() int   { return p.nodes }
 func (p capacityWeighted) Name() string { return PlaceCapacity.String() }
 
+// NewCapacityWeightedHBM derives the capacity-weighted placement from real
+// per-node HBM byte budgets — each node's device-memory allowance for its
+// embedding shard (e.g. its shard.Config cache budget on a heterogeneous
+// cluster) — instead of hand-picked demo weights. The weight of node n is
+// how many rowBytes-sized embedding rows its budget holds; weights are
+// reduced by their GCD so the repeating ownership schedule stays short.
+// A node whose budget holds no full row gets weight zero (it owns no rows
+// but still deals samples and caches replicas); at least one budget must
+// hold a row.
+func NewCapacityWeightedHBM(hbmBytes []int64, rowBytes int64) Partitioner {
+	if len(hbmBytes) == 0 {
+		panic("shard: capacity-weighted placement with no HBM budgets")
+	}
+	if rowBytes < 4 {
+		panic(fmt.Sprintf("shard: capacity-weighted placement with row footprint %d", rowBytes))
+	}
+	weights := make([]int, len(hbmBytes))
+	g := 0
+	for n, b := range hbmBytes {
+		if b < 0 {
+			panic(fmt.Sprintf("shard: negative HBM budget %d for node %d", b, n))
+		}
+		weights[n] = int(b / rowBytes)
+		g = gcd(g, weights[n])
+	}
+	if g == 0 {
+		panic(fmt.Sprintf("shard: no HBM budget in %v holds one %d-byte row", hbmBytes, rowBytes))
+	}
+	for n := range weights {
+		weights[n] /= g
+	}
+	return NewCapacityWeighted(weights)
+}
+
+// gcd returns the greatest common divisor (gcd(0, b) = b).
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
 // --- hot-row-aware ---------------------------------------------------------
 
 // Assigned overrides ownership for an explicit set of rows and delegates

@@ -49,6 +49,54 @@ func TestCapacityWeightedValidation(t *testing.T) {
 	}
 }
 
+func TestCapacityWeightedHBMBudgets(t *testing.T) {
+	// Real per-node HBM byte budgets: 32 KB / 16 KB / 16 KB / 8 KB at 64 B
+	// per row hold 512 / 256 / 256 / 128 rows -> weights reduce to 4:2:2:1.
+	p := NewCapacityWeightedHBM([]int64{32 << 10, 16 << 10, 16 << 10, 8 << 10}, 64)
+	if p.Nodes() != 4 || p.Name() != "capacity-weighted" {
+		t.Fatalf("identity: %d %q", p.Nodes(), p.Name())
+	}
+	counts := make([]int, 4)
+	const rows = 9000
+	for r := int32(0); r < rows; r++ {
+		counts[p.Owner(0, r)]++
+	}
+	if counts[0] != rows*4/9 || counts[1] != rows*2/9 || counts[2] != rows*2/9 || counts[3] != rows/9 {
+		t.Fatalf("HBM-derived spread: %v", counts)
+	}
+	// A budget below one row means the node owns no rows (but stays in the
+	// topology); byte remainders below a full row are ignored.
+	q := NewCapacityWeightedHBM([]int64{130, 63}, 64) // 2 rows vs 0 rows
+	for r := int32(0); r < 16; r++ {
+		if q.Owner(0, r) != 0 {
+			t.Fatalf("sub-row budget node owns row %d", r)
+		}
+	}
+}
+
+func TestCapacityWeightedHBMValidation(t *testing.T) {
+	cases := []struct {
+		budgets  []int64
+		rowBytes int64
+	}{
+		{nil, 64},                  // no budgets
+		{[]int64{}, 64},            // no budgets
+		{[]int64{1 << 20}, 0},      // invalid row footprint
+		{[]int64{-1, 1 << 20}, 64}, // negative budget
+		{[]int64{63, 63}, 64},      // no budget holds one row
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("budgets %v rowBytes %d must panic", c.budgets, c.rowBytes)
+				}
+			}()
+			NewCapacityWeightedHBM(c.budgets, c.rowBytes)
+		}()
+	}
+}
+
 func TestAssignedOverridesWithFallback(t *testing.T) {
 	a := NewAssigned(NewRoundRobin(4), "test")
 	a.Assign(0, 7, 2) // round-robin owner would be 3

@@ -1,0 +1,108 @@
+package shard
+
+import "sync"
+
+// PrefetchRing pools the plan/staging/handle triples of a prefetch pipeline
+// so the steady-state path allocates nothing: a depth-k pipeline cycles
+// through at most k windows per table, and the ring grows once to that peak
+// and is then reused verbatim. It generalises the two-deep window ring the
+// cross-iteration pipeline started with — the ring itself has no depth
+// limit; the executor's lookahead decides how many windows are in flight.
+//
+// The ring is safe for concurrent use (acquire under one mutex, release
+// under the same), but individual plans/stagings/handles are owned by
+// exactly one window between acquire and release.
+type PrefetchRing struct {
+	mu       sync.Mutex
+	plans    []*GatherPlan
+	stagings []*Staging
+	handles  []*Handle
+}
+
+// NewPrefetchRing returns an empty ring.
+func NewPrefetchRing() *PrefetchRing { return &PrefetchRing{} }
+
+// Plan hands out a recycled (or new) plan reset for a window over `nodes`
+// owner nodes.
+func (r *PrefetchRing) Plan(table, nodes int) *GatherPlan {
+	r.mu.Lock()
+	n := len(r.plans)
+	if n == 0 {
+		r.mu.Unlock()
+		return newGatherPlan(table, nodes)
+	}
+	p := r.plans[n-1]
+	r.plans = r.plans[:n-1]
+	r.mu.Unlock()
+	p.reset(table, nodes)
+	return p
+}
+
+// Staging binds a recycled (or new) staging buffer to a plan. The staging
+// shares the plan's slot map and is recycled together with it.
+func (r *PrefetchRing) Staging(plan *GatherPlan, dim int) *Staging {
+	need := len(plan.slot) * dim
+	r.mu.Lock()
+	n := len(r.stagings)
+	var st *Staging
+	if n > 0 {
+		st = r.stagings[n-1]
+		r.stagings = r.stagings[:n-1]
+	}
+	r.mu.Unlock()
+	if st == nil {
+		st = &Staging{}
+	}
+	if cap(st.buf) < need {
+		st.buf = make([]float32, need)
+	}
+	st.buf = st.buf[:need]
+	st.dim = dim
+	st.slot = plan.slot
+	st.plan = plan
+	return st
+}
+
+// Handle hands out a recycled (or new) handle with its cond initialised.
+func (r *PrefetchRing) Handle() *Handle {
+	r.mu.Lock()
+	n := len(r.handles)
+	var h *Handle
+	if n > 0 {
+		h = r.handles[n-1]
+		r.handles = r.handles[:n-1]
+	}
+	r.mu.Unlock()
+	if h == nil {
+		h = &Handle{}
+		h.cond.L = &h.mu
+	}
+	return h
+}
+
+// ReleaseStaging recycles a consumed staging and the plan whose slot map it
+// shares. Callers must not touch the staging (or any row slice obtained from
+// Lookup) afterwards.
+func (r *PrefetchRing) ReleaseStaging(st *Staging) {
+	if st == nil {
+		return
+	}
+	plan := st.plan
+	st.plan = nil
+	st.slot = nil
+	r.mu.Lock()
+	r.stagings = append(r.stagings, st)
+	if plan != nil {
+		r.plans = append(r.plans, plan)
+	}
+	r.mu.Unlock()
+}
+
+// ReleaseHandle recycles a completed handle (after Await).
+func (r *PrefetchRing) ReleaseHandle(h *Handle) {
+	h.staging = nil
+	h.g = nil
+	r.mu.Lock()
+	r.handles = append(r.handles, h)
+	r.mu.Unlock()
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hotline/internal/cost"
 	"hotline/internal/sim"
@@ -203,6 +204,13 @@ type Service struct {
 	// read-only after attach.
 	gather *AsyncGatherer
 
+	// stale selects the opt-in stale-read mode of the depth-k pipeline:
+	// windows consume their staged rows as fetched at issue time, skipping
+	// the dirty-row repair (WindowQueue.Consume) and merely counting the
+	// stale rows. Training then diverges from batch-by-batch stepping — the
+	// accuracy cost the mn-depth scenario measures.
+	stale atomic.Bool
+
 	mu     sync.Mutex
 	caches []*DeviceCache
 	stats  Stats
@@ -256,6 +264,16 @@ func (s *Service) EnableAsyncGather() *AsyncGatherer {
 
 // Gatherer returns the attached async gather engine, or nil.
 func (s *Service) Gatherer() *AsyncGatherer { return s.gather }
+
+// SetStaleReads toggles the opt-in stale-read mode: when on, depth-k
+// prefetch windows skip the dirty-row repair and serve staged rows exactly
+// as fetched at issue time (counted in OverlapStats.StaleRows). Off — the
+// default — every window is delta-repaired before use, keeping any
+// pipeline depth bit-identical to batch-by-batch stepping.
+func (s *Service) SetStaleReads(on bool) { s.stale.Store(on) }
+
+// StaleReads reports whether the stale-read mode is on.
+func (s *Service) StaleReads() bool { return s.stale.Load() }
 
 // NodeOf returns the node a batch position is dealt to (round-robin data
 // parallelism; µ-batches inherit the mapping by position).

@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"slices"
+	"sync"
+)
+
+// Window is one issued, not-yet-consumed prefetch window of a depth-k
+// pipeline: the index set it was planned for, the in-flight handle (until
+// the window is joined) or the landed staging buffer, and the dirty list —
+// staged rows a later sparse update rewrote, which must be delta-repaired
+// before the window's values may feed a forward pass.
+type Window struct {
+	indices [][]int32
+	handle  *Handle  // in flight; nil once joined (or when the plan was empty)
+	staging *Staging // set on join; nil when the plan needed no fetches
+	dirty   []int32  // staged rows invalidated since issue (may repeat)
+}
+
+// pendingStaging returns the window's staging buffer whether or not the
+// window has been joined (the slot map is immutable after planning, so
+// membership tests are safe while fetches are still in flight).
+func (w *Window) pendingStaging() *Staging {
+	if w.staging != nil {
+		return w.staging
+	}
+	if w.handle != nil {
+		return w.handle.staging
+	}
+	return nil
+}
+
+// join waits for the window's fetches to land (at most once).
+func (w *Window) join() {
+	if w.handle != nil {
+		w.staging = w.handle.Await()
+		w.handle = nil
+	}
+}
+
+// WindowQueue is the dirty-row tracker of one table's prefetch pipeline: a
+// FIFO of open windows shared by a sharded bag and all of its shadows (a
+// window is issued by the executor's lookahead on a shadow but invalidated
+// by sparse updates applied through the primary bag, so the registry must
+// span sharers). It keeps every pipeline depth bit-identical to
+// batch-by-batch stepping:
+//
+//   - Push registers an issued window in stream order.
+//   - MarkDirty, called by a sparse update BEFORE it mutates rows, joins
+//     every open window that staged any updated row (so no fetch can race
+//     the write) and records those rows as dirty.
+//   - Match pops the oldest window iff it was planned for exactly the
+//     requested index set.
+//   - Consume joins the popped window and re-fetches its dirty rows from
+//     the owner shards — the delta repair — unless the service is in the
+//     opt-in stale mode (SetStaleReads), where the stale values are served
+//     as-is and only counted (OverlapStats.StaleRows).
+//
+// Windows recycle through a free list, so the steady-state depth-k path
+// allocates nothing once the pipeline reaches its peak depth.
+type WindowQueue struct {
+	svc *Service
+
+	mu   sync.Mutex
+	open []*Window // FIFO, oldest window first
+	free []*Window
+}
+
+// NewWindowQueue returns an empty window registry routing through s.
+func (s *Service) NewWindowQueue() *WindowQueue { return &WindowQueue{svc: s} }
+
+// Len returns the number of open (issued, unconsumed) windows.
+func (q *WindowQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.open)
+}
+
+// maxOpenWindows bounds the FIFO: a well-behaved depth-k pipeline holds at
+// most k windows (k <= 8 in every shipped sweep), so the bound only bites
+// a caller that prefetches but whose forwards never match — e.g. index
+// slices rebuilt between Prefetch and Forward, which Match's identity test
+// rejects. Evicting the oldest window (joined, released, recycled) keeps
+// such a caller's memory and MarkDirty scans bounded instead of leaking a
+// staging buffer per call.
+const maxOpenWindows = 64
+
+// Push registers an issued window for indices. h is nil when the plan
+// needed no fabric fetches (the window is then an empty marker keeping the
+// FIFO aligned with the lookahead order). If the queue is already at
+// maxOpenWindows the oldest window is discarded like an aborted
+// speculation — its accounting already happened.
+func (q *WindowQueue) Push(indices [][]int32, h *Handle) {
+	q.mu.Lock()
+	if len(q.open) >= maxOpenWindows {
+		q.discardLocked(q.open[0])
+		copy(q.open, q.open[1:])
+		q.open = q.open[:len(q.open)-1]
+	}
+	var w *Window
+	if n := len(q.free); n > 0 {
+		w = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		w = &Window{}
+	}
+	w.indices = indices
+	w.handle = h
+	w.staging = nil
+	w.dirty = w.dirty[:0]
+	q.open = append(q.open, w)
+	q.mu.Unlock()
+}
+
+// discardLocked joins a window, releases its staging to the engine and
+// recycles the entry. Caller holds q.mu.
+func (q *WindowQueue) discardLocked(w *Window) {
+	w.join()
+	if w.staging != nil {
+		if g := q.svc.Gatherer(); g != nil {
+			g.Release(w.staging)
+		}
+	}
+	w.indices = nil
+	w.handle = nil
+	w.staging = nil
+	q.free = append(q.free, w)
+}
+
+// Match pops and returns the oldest open window iff it was planned for
+// exactly the given index set; otherwise it returns nil and leaves the
+// queue untouched (younger windows stay valid for later batches — a
+// non-matching forward, e.g. an evaluation pass, must not disturb the
+// pipeline). Pass the popped window to Consume, then Recycle.
+func (q *WindowQueue) Match(indices [][]int32) *Window {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.open) == 0 || !sameIndexSet(q.open[0].indices, indices) {
+		return nil
+	}
+	w := q.open[0]
+	copy(q.open, q.open[1:])
+	q.open = q.open[:len(q.open)-1]
+	return w
+}
+
+// MarkDirty records that a sparse update is about to rewrite the given
+// rows: every open window that staged one of them is joined (fetches
+// complete before the caller mutates storage) and the row is added to its
+// dirty list for repair at consume time. rows may contain repeats; the
+// repair pass dedups.
+func (q *WindowQueue) MarkDirty(rows []int32) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, w := range q.open {
+		st := w.pendingStaging()
+		if st == nil {
+			continue
+		}
+		for _, r := range rows {
+			if !st.Has(r) {
+				continue
+			}
+			w.join()
+			w.dirty = append(w.dirty, r)
+		}
+	}
+}
+
+// Consume joins a window popped by Match and returns its staging buffer
+// (nil when the plan was empty) with every dirty row repaired — re-fetched
+// from its owner shard via fetch, so the staged values are bit-identical to
+// what a synchronous gather would read now. In stale mode the repair is
+// skipped and the distinct dirtied rows are counted instead. Release the
+// staging to the engine, then Recycle the window.
+func (q *WindowQueue) Consume(w *Window, fetch FetchFunc) *Staging {
+	w.join()
+	st := w.staging
+	if st == nil || len(w.dirty) == 0 {
+		return st
+	}
+	// Dedup in place: repeated updates to one staged row repair it once.
+	slices.Sort(w.dirty)
+	w.dirty = slices.Compact(w.dirty)
+	if q.svc.StaleReads() {
+		q.svc.Gatherer().noteStale(len(w.dirty))
+		return st
+	}
+	for _, r := range w.dirty {
+		if v, ok := st.Lookup(r); ok {
+			fetch(r, v)
+		}
+	}
+	q.svc.Gatherer().noteRepair(len(w.dirty), int64(len(w.dirty))*q.svc.Config().RowBytes)
+	return st
+}
+
+// Recycle returns a consumed window to the free list (after its staging has
+// been released to the engine).
+func (q *WindowQueue) Recycle(w *Window) {
+	w.indices = nil
+	w.handle = nil
+	w.staging = nil
+	q.mu.Lock()
+	q.free = append(q.free, w)
+	q.mu.Unlock()
+}
+
+// Abort joins and discards every open window (its accounting already
+// happened — wasted prefetches, like any real system that speculated
+// wrong). The executor calls it when a pipelined lookahead turns out not to
+// match the batches actually trained, so a reused index buffer can never
+// satisfy a stale window.
+func (q *WindowQueue) Abort() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, w := range q.open {
+		q.discardLocked(w)
+	}
+	q.open = q.open[:0]
+}
+
+// sameIndexSet reports whether a and b are the same index set (the same
+// backing slice — the executor prefetches and forwards the identical
+// µ-batch view). Empty sets never match: an empty prefetch carries no
+// traffic, so consuming it would only mask a caller bug.
+func sameIndexSet(a, b [][]int32) bool {
+	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
+}

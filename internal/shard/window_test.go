@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"testing"
+)
+
+// windowFixture builds a 2-node pure-remote service with an engine, a
+// float32 backing store of `rows` rows, and a fetch function reading it.
+type windowFixture struct {
+	svc   *Service
+	g     *AsyncGatherer
+	store [][]float32
+	fetch FetchFunc
+}
+
+func newWindowFixture(t *testing.T, rows, dim int) *windowFixture {
+	t.Helper()
+	f := &windowFixture{}
+	f.svc = New(Config{Nodes: 2, CacheBytes: 0, RowBytes: int64(dim) * 4}, hotSet(0))
+	f.g = f.svc.EnableAsyncGather()
+	f.store = make([][]float32, rows)
+	for r := range f.store {
+		f.store[r] = make([]float32, dim)
+		for k := range f.store[r] {
+			f.store[r][k] = float32(r*100 + k)
+		}
+	}
+	f.fetch = func(row int32, dst []float32) { copy(dst, f.store[row]) }
+	return f
+}
+
+// issue plans and submits one window over the index set and registers it.
+func (f *windowFixture) issue(q *WindowQueue, idx [][]int32) {
+	plan := f.svc.PlanGather(0, idx)
+	var h *Handle
+	if plan != nil {
+		h = f.g.Submit(plan, len(f.store[0]), f.fetch)
+	}
+	q.Push(idx, h)
+}
+
+func TestWindowQueueMatchIsFIFOAndExact(t *testing.T) {
+	f := newWindowFixture(t, 8, 4)
+	q := f.svc.NewWindowQueue()
+	idxA := [][]int32{{0, 1}, {0, 1}}
+	idxB := [][]int32{{2, 3}, {2, 3}}
+	f.issue(q, idxA)
+	f.issue(q, idxB)
+	if q.Len() != 2 {
+		t.Fatalf("open windows = %d want 2", q.Len())
+	}
+	// A younger window must not be served while an older one is open, and
+	// a foreign index set must not disturb the queue.
+	if w := q.Match(idxB); w != nil {
+		t.Fatal("younger window served out of order")
+	}
+	if w := q.Match([][]int32{{0, 1}, {0, 1}}); w != nil {
+		t.Fatal("equal-content but different-identity index set must not match")
+	}
+	wa := q.Match(idxA)
+	if wa == nil {
+		t.Fatal("oldest window must match its index set")
+	}
+	st := q.Consume(wa, f.fetch)
+	if v, ok := st.Lookup(1); !ok || v[0] != 100 {
+		t.Fatalf("staged row 1 = %v ok=%v", v, ok)
+	}
+	f.g.Release(st)
+	q.Recycle(wa)
+	if wb := q.Match(idxB); wb == nil {
+		t.Fatal("second window must match after the first is consumed")
+	} else {
+		f.g.Release(q.Consume(wb, f.fetch))
+		q.Recycle(wb)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("open windows = %d want 0", q.Len())
+	}
+}
+
+func TestWindowQueueDirtyRowRepair(t *testing.T) {
+	f := newWindowFixture(t, 8, 4)
+	q := f.svc.NewWindowQueue()
+	idx := [][]int32{{0, 1}, {0, 1}} // rows 0 and 1 both cross the fabric
+	f.issue(q, idx)
+
+	// A sparse update rewrites row 1 after the window was issued: marking
+	// joins the in-flight fetches first, so the mutation cannot race them.
+	q.MarkDirty([]int32{1, 1, 5}) // repeats and un-staged rows are fine
+	f.store[1][0] = -42
+
+	w := q.Match(idx)
+	st := q.Consume(w, f.fetch)
+	if v, _ := st.Lookup(1); v[0] != -42 {
+		t.Fatalf("dirty row not repaired: %v", v)
+	}
+	if v, _ := st.Lookup(0); v[0] != 0 {
+		t.Fatalf("clean row must keep its staged value: %v", v)
+	}
+	stats := f.g.Stats()
+	if stats.RepairRows != 1 || stats.RepairBytes != 16 {
+		t.Fatalf("repair accounting: %+v", stats)
+	}
+	if stats.StaleRows != 0 {
+		t.Fatalf("repair mode counted stale rows: %+v", stats)
+	}
+	f.g.Release(st)
+	q.Recycle(w)
+}
+
+func TestWindowQueueStaleMode(t *testing.T) {
+	f := newWindowFixture(t, 8, 4)
+	f.svc.SetStaleReads(true)
+	q := f.svc.NewWindowQueue()
+	idx := [][]int32{{0, 1}, {0, 1}}
+	f.issue(q, idx)
+
+	q.MarkDirty([]int32{1})
+	f.store[1][0] = -42
+
+	w := q.Match(idx)
+	st := q.Consume(w, f.fetch)
+	if v, _ := st.Lookup(1); v[0] != 100 {
+		t.Fatalf("stale mode must serve the issue-time value, got %v", v)
+	}
+	stats := f.g.Stats()
+	if stats.StaleRows != 1 || stats.RepairRows != 0 {
+		t.Fatalf("stale accounting: %+v", stats)
+	}
+	f.g.Release(st)
+	q.Recycle(w)
+}
+
+func TestWindowQueueAbortDiscardsAll(t *testing.T) {
+	f := newWindowFixture(t, 8, 4)
+	q := f.svc.NewWindowQueue()
+	idxA := [][]int32{{0, 1}, {0, 1}}
+	idxB := [][]int32{{2, 3}, {2, 3}}
+	f.issue(q, idxA)
+	f.issue(q, idxB)
+	q.Abort()
+	if q.Len() != 0 {
+		t.Fatalf("abort left %d windows open", q.Len())
+	}
+	if w := q.Match(idxA); w != nil {
+		t.Fatal("aborted window must not match")
+	}
+}
+
+func TestWindowQueueEmptyPlanWindow(t *testing.T) {
+	// All-local accesses plan nothing; the empty window keeps the FIFO
+	// aligned and consumes to a nil staging.
+	f := newWindowFixture(t, 8, 4)
+	q := f.svc.NewWindowQueue()
+	idx := [][]int32{{0}, {1}} // node 0 owns row 0, node 1 owns row 1
+	f.issue(q, idx)
+	w := q.Match(idx)
+	if w == nil {
+		t.Fatal("empty-plan window must still match")
+	}
+	if st := q.Consume(w, f.fetch); st != nil {
+		t.Fatalf("empty-plan window staged %d rows", st.Rows())
+	}
+	q.Recycle(w)
+}
+
+func TestWindowQueueBoundsOpenWindows(t *testing.T) {
+	// A caller that prefetches but never pointer-matches its forwards must
+	// not leak windows: the FIFO evicts its oldest entry past the cap.
+	f := newWindowFixture(t, 8, 4)
+	q := f.svc.NewWindowQueue()
+	for i := 0; i < 3*maxOpenWindows; i++ {
+		f.issue(q, [][]int32{{0, 1}, {0, 1}}) // fresh slice header each call
+	}
+	if q.Len() != maxOpenWindows {
+		t.Fatalf("open windows = %d want cap %d", q.Len(), maxOpenWindows)
+	}
+}
+
+func TestPrefetchRingRecycles(t *testing.T) {
+	r := NewPrefetchRing()
+	p := r.Plan(3, 2)
+	p.add(7, 1, 64)
+	st := r.Staging(p, 4)
+	if st.plan != p || st.Rows() != 1 {
+		t.Fatalf("staging binding: %+v", st)
+	}
+	r.ReleaseStaging(st)
+	p2 := r.Plan(0, 2)
+	if p2 != p {
+		t.Fatal("released plan must be recycled")
+	}
+	if p2.Rows() != 0 || p2.Bytes != 0 || p2.Table != 0 {
+		t.Fatalf("recycled plan not reset: %+v", p2)
+	}
+	h := r.Handle()
+	r.ReleaseHandle(h)
+	if r.Handle() != h {
+		t.Fatal("released handle must be recycled")
+	}
+}
+
+func TestAsyncGathererCloseStillCompletes(t *testing.T) {
+	// After Close the persistent drainers are gone, but consumers drain
+	// submitted windows themselves in Await — nothing hangs or is lost.
+	f := newWindowFixture(t, 8, 4)
+	f.g.Close()
+	plan := f.svc.PlanGather(0, [][]int32{{0, 1}, {0, 1}})
+	h := f.g.Submit(plan, 4, f.fetch)
+	st := h.Await()
+	if v, ok := st.Lookup(1); !ok || v[0] != 100 {
+		t.Fatalf("post-close window staged %v ok=%v", v, ok)
+	}
+	f.g.Release(st)
+}

@@ -37,6 +37,7 @@ func Targets() []Target {
 		{"EALClassify", EALClassify},
 		{"HotlineTrainStep", HotlineTrainStep},
 		{"HotlineTrainStepPipelined", HotlineTrainStepPipelined},
+		{"HotlineTrainStepDepth4", HotlineTrainStepDepth4},
 		{"ShardedPrefetchWindow", ShardedPrefetchWindow},
 		{"PipelineIteration", PipelineIteration},
 		{"ZipfSample", ZipfSample},
@@ -110,6 +111,30 @@ func HotlineTrainStepPipelined(b *testing.B) {
 	}
 }
 
+// HotlineTrainStepDepth4 is the train step through the depth-4 lookahead
+// pipeline (three mini-batches staged ahead every step; steady state:
+// 0 allocs/op at Parallelism(1)).
+func HotlineTrainStepDepth4(b *testing.B) {
+	cfg := benchTrainCfg()
+	tr := train.NewHotline(model.New(cfg, 1), 0.1)
+	tr.Depth = 4
+	gen := data.NewGenerator(cfg)
+	const window = 8
+	batches := make([]*data.Batch, window)
+	for i := range batches {
+		batches[i] = gen.NextBatch(64)
+	}
+	look := make([]*data.Batch, tr.Depth-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range look {
+			look[j] = batches[(i+1+j)%window]
+		}
+		tr.StepLookahead(batches[i%window], look)
+	}
+}
+
 // ShardedPrefetchWindow measures one asynchronous gather window end to end
 // (plan → double-buffered queues → staging → consume → ring release) on a
 // 4-node service.
@@ -168,25 +193,29 @@ type Result struct {
 
 // Report is the machine-readable BENCH_<date>.json payload.
 type Report struct {
-	Date        string   `json:"date"`
-	Label       string   `json:"label,omitempty"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Parallelism int      `json:"parallelism"`
-	Results     []Result `json:"results"`
+	Date        string `json:"date"`
+	Label       string `json:"label,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Parallelism int    `json:"parallelism"`
+	// PipelineDepth records the default prefetch pipeline depth the
+	// benchmarks ran under (the depth-named targets override it locally).
+	PipelineDepth int      `json:"pipeline_depth"`
+	Results       []Result `json:"results"`
 }
 
 // Run executes every target under testing.Benchmark and returns the report.
 func Run(label string, now time.Time) Report {
 	rep := Report{
-		Date:      now.Format("2006-01-02"),
-		Label:     label,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Date:          now.Format("2006-01-02"),
+		Label:         label,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		PipelineDepth: train.DefaultPipelineDepth(),
 	}
 	for _, t := range Targets() {
 		r := testing.Benchmark(t.Fn)

@@ -1,11 +1,13 @@
 package train
 
 import (
+	"fmt"
 	"testing"
 
 	"hotline/internal/data"
 	"hotline/internal/model"
 	"hotline/internal/par"
+	"hotline/internal/shard"
 )
 
 // allocCfg is the benchmark model shape: real Criteo Kaggle sparse stream
@@ -58,6 +60,49 @@ func TestHotlineStepPipelinedZeroAllocSteadyState(t *testing.T) {
 		b, next = next, b
 	}); n > 0 {
 		t.Fatalf("pipelined Step allocated %.1f times per step, want 0", n)
+	}
+}
+
+// TestShardedPipelinedZeroAllocDepths is the depth-k gate: with the
+// persistent per-queue drainer goroutines and the prefetch/window rings in
+// place, the SHARDED pipelined step — classification, both µ-batch passes,
+// async gather windows, dirty-row marking and delta repair, dense + sparse
+// update — performs ZERO steady-state allocations at Parallelism(1) for
+// every pipeline depth k in {2, 4, 8}.
+func TestShardedPipelinedZeroAllocDepths(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	cfg := allocCfg()
+	for _, k := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			svc := shard.New(shard.Config{
+				Nodes: 4, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+			}, nil)
+			tr := NewHotlineSharded(model.New(cfg, 1), 0.1, svc)
+			tr.Depth = k
+			gen := data.NewGenerator(cfg)
+			const window = 16
+			batches := make([]*data.Batch, window)
+			for i := range batches {
+				batches[i] = gen.NextBatch(64)
+			}
+			look := make([]*data.Batch, k-1)
+			i := 0
+			step := func() {
+				for j := range look {
+					look[j] = batches[(i+1+j)%window]
+				}
+				tr.StepLookahead(batches[i%window], look)
+				i++
+			}
+			// Warm past the learning phase, ring growth, arena slot caps
+			// and the dirty-list high-water marks.
+			for n := 0; n < 300; n++ {
+				step()
+			}
+			if n := testing.AllocsPerRun(30, step); n > 0 {
+				t.Fatalf("depth-%d sharded pipelined step allocated %.1f times per step, want 0", k, n)
+			}
+		})
 	}
 }
 

@@ -86,12 +86,14 @@ func TestOverlapDeterminism(t *testing.T) {
 }
 
 // TestPipelinedOverlapDeterminism extends the determinism contract to the
-// cross-iteration pipeline: training with StepPipelined — mini-batch i+1
-// classified and its non-popular fabric gathers issued while iteration i
-// finishes — is byte-identical to fully synchronous batch-by-batch sharded
-// training, for nodes {1,2,4,8} and both the round-robin and hot-aware
-// placements. The -race harness runs this too, so the two-deep window ring
-// hand-off is also proven race-free.
+// depth-k cross-iteration pipeline: training with StepLookahead — the next
+// k-1 mini-batches classified and their non-popular fabric gathers issued
+// while iteration i finishes, staged rows dirty-repaired after intervening
+// sparse updates — is byte-identical to fully synchronous batch-by-batch
+// sharded training, for every depth k in {1,2,4,8} x nodes {1,2,4,8} x
+// both the round-robin and hot-aware placements. The -race harness runs
+// this too, so the window-ring hand-off and the persistent drainers are
+// also proven race-free.
 func TestPipelinedOverlapDeterminism(t *testing.T) {
 	cfg := data.CriteoKaggle()
 	cfg.Samples = 1024
@@ -101,44 +103,115 @@ func TestPipelinedOverlapDeterminism(t *testing.T) {
 
 	for _, hotAware := range []bool{false, true} {
 		for _, nodes := range []int{1, 2, 4, 8} {
-			run := func(pipelined bool) (*model.Model, shard.OverlapStats) {
+			newTrainer := func(overlap bool) (*HotlineTrainer, *shard.Service) {
 				svc := shard.New(shard.Config{
 					Nodes: nodes, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
 					Part: buildPartitioner(t, cfg, nodes, iters, batch, hotAware),
 				}, nil)
 				tr := NewHotlineSharded(model.New(cfg, seed), 0.1, svc)
-				tr.OverlapGather = pipelined
+				tr.OverlapGather = overlap
 				tr.LearnSamples = 512
+				return tr, svc
+			}
+			batches := func() []*data.Batch {
 				gen := data.NewGenerator(cfg)
-				if !pipelined {
-					for i := 0; i < iters; i++ {
-						tr.Step(gen.NextBatch(batch))
-					}
-				} else {
-					b := gen.NextBatch(batch)
-					for i := 1; i <= iters; i++ {
-						var next *data.Batch
-						if i < iters {
-							next = gen.NextBatch(batch)
-						}
-						tr.StepPipelined(b, next)
-						b = next
-					}
+				bs := make([]*data.Batch, iters)
+				for i := range bs {
+					bs[i] = gen.NextBatch(batch)
 				}
-				return tr.M, svc.Gatherer().Stats()
+				return bs
+			}()
+
+			// Synchronous batch-by-batch reference.
+			ref, _ := newTrainer(false)
+			for i := 0; i < iters; i++ {
+				ref.Step(batches[i])
 			}
-			sync, _ := run(false)
-			pipe, pipeStats := run(true)
-			if !model.DenseStateEqual(sync, pipe) {
-				t.Fatalf("nodes=%d hotAware=%v: pipelined dense state diverged", nodes, hotAware)
-			}
-			if !model.SparseStateEqual(sync, pipe) {
-				t.Fatalf("nodes=%d hotAware=%v: pipelined sparse state diverged", nodes, hotAware)
-			}
-			if nodes > 1 && pipeStats.Windows == 0 {
-				t.Fatalf("nodes=%d hotAware=%v: pipelined run issued no prefetch windows", nodes, hotAware)
+
+			for _, k := range []int{1, 2, 4, 8} {
+				tr, svc := newTrainer(true)
+				tr.Depth = k
+				for i := 0; i < iters; i++ {
+					end := i + k
+					if end > iters {
+						end = iters
+					}
+					tr.StepLookahead(batches[i], batches[i+1:end])
+				}
+				st := svc.Gatherer().Stats()
+				if !model.DenseStateEqual(ref.M, tr.M) {
+					t.Fatalf("k=%d nodes=%d hotAware=%v: pipelined dense state diverged", k, nodes, hotAware)
+				}
+				if !model.SparseStateEqual(ref.M, tr.M) {
+					t.Fatalf("k=%d nodes=%d hotAware=%v: pipelined sparse state diverged", k, nodes, hotAware)
+				}
+				if nodes > 1 && k > 1 && st.Windows == 0 {
+					t.Fatalf("k=%d nodes=%d hotAware=%v: pipelined run issued no prefetch windows", k, nodes, hotAware)
+				}
+				if k == 1 && st.Windows != 0 {
+					t.Fatalf("k=%d nodes=%d hotAware=%v: depth-1 pipeline must gather synchronously, issued %d windows",
+						k, nodes, hotAware, st.Windows)
+				}
+				if st.StaleRows != 0 {
+					t.Fatalf("k=%d nodes=%d hotAware=%v: repair mode consumed %d stale rows", k, nodes, hotAware, st.StaleRows)
+				}
 			}
 		}
+	}
+}
+
+// TestDeepPipelineRepairAndStaleness pins down the queue-depth-vs-staleness
+// tradeoff the depth-k pipeline exists to expose: at depth 8 the lookahead
+// windows outlive several sparse updates, so (a) the repair-mode run ships
+// dirty-row repairs (and stays bit-identical — covered by
+// TestPipelinedOverlapDeterminism), and (b) the opt-in stale mode consumes
+// stale rows and measurably diverges from exact training.
+func TestDeepPipelineRepairAndStaleness(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	cfg.Samples = 1024
+	cfg.BotMLP = []int{13, 32, 16}
+	cfg.TopMLP = []int{32, 1}
+	const seed, iters, batch, k = 42, 10, 128, 8
+
+	run := func(stale bool) (*model.Model, shard.OverlapStats) {
+		svc := shard.New(shard.Config{
+			Nodes: 4, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+		}, nil)
+		svc.SetStaleReads(stale)
+		tr := NewHotlineSharded(model.New(cfg, seed), 0.1, svc)
+		tr.Depth = k
+		tr.LearnSamples = 512
+		gen := data.NewGenerator(cfg)
+		batches := make([]*data.Batch, iters)
+		for i := range batches {
+			batches[i] = gen.NextBatch(batch)
+		}
+		for i := 0; i < iters; i++ {
+			end := i + k
+			if end > iters {
+				end = iters
+			}
+			tr.StepLookahead(batches[i], batches[i+1:end])
+		}
+		return tr.M, svc.Gatherer().Stats()
+	}
+
+	repairM, repairStats := run(false)
+	staleM, staleStats := run(true)
+	if repairStats.RepairRows == 0 || repairStats.RepairBytes == 0 {
+		t.Fatalf("depth-%d pipeline must repair dirtied rows: %+v", k, repairStats)
+	}
+	if repairStats.StaleRows != 0 {
+		t.Fatalf("repair mode consumed stale rows: %+v", repairStats)
+	}
+	if staleStats.StaleRows == 0 {
+		t.Fatalf("stale mode must count its stale consumptions: %+v", staleStats)
+	}
+	if staleStats.RepairRows != 0 {
+		t.Fatalf("stale mode must not repair: %+v", staleStats)
+	}
+	if model.DenseStateEqual(repairM, staleM) && model.SparseStateEqual(repairM, staleM) {
+		t.Fatal("stale reads at depth 8 must diverge from exact training (that cost is what the mode measures)")
 	}
 }
 

@@ -2,6 +2,7 @@ package train
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hotline/internal/accel"
 	"hotline/internal/data"
@@ -33,6 +34,53 @@ type PipelinedTrainer interface {
 	// cross-iteration gather prefetch); pass nil for the final batch.
 	// Training state is bit-identical to calling Step(b) for every batch.
 	StepPipelined(b, next *data.Batch) float64
+}
+
+// LookaheadTrainer is a PipelinedTrainer whose pipeline is k windows deep:
+// the executor stages up to Lookahead() = k-1 future mini-batches
+// (classification + fabric prefetch) while the current iteration finishes.
+// Run feeds lookahead trainers that many batches ahead. Training state is
+// bit-identical to batch-by-batch stepping for every depth — staged rows
+// that later sparse updates rewrite are delta-repaired before use.
+type LookaheadTrainer interface {
+	PipelinedTrainer
+	// Lookahead returns how many batches ahead the executor stages
+	// (pipeline depth minus one; 0 disables cross-iteration staging).
+	Lookahead() int
+	// StepLookahead trains on b; lookahead holds the following batches in
+	// stream order (it may be shorter than Lookahead() near the end of the
+	// stream, and extra entries beyond it are ignored).
+	StepLookahead(b *data.Batch, lookahead []*data.Batch) float64
+}
+
+// defaultPipelineDepth is the pipeline depth executors start with; zero
+// reads as the depth-2 default (the classic cross-iteration pipeline, one
+// mini-batch of lookahead). Atomic like par's worker knob: workloads and
+// sweep goroutines read it concurrently with callers moving it.
+var defaultPipelineDepth atomic.Int32
+
+// SetDefaultPipelineDepth sets the pipeline depth newly built Hotline
+// executors use (k >= 1; depth 1 degenerates to synchronous staged
+// gathers — the pipeline's only window belongs to the consuming forward,
+// so nothing prefetches — and depth k stages k-1 mini-batches ahead) and
+// returns the previous default. The public hotline.PipelineDepth knob
+// wraps this.
+func SetDefaultPipelineDepth(k int) int {
+	if k < 1 {
+		k = 2
+	}
+	if prev := defaultPipelineDepth.Swap(int32(k)); prev > 0 {
+		return int(prev)
+	}
+	return 2
+}
+
+// DefaultPipelineDepth returns the current default pipeline depth.
+func DefaultPipelineDepth() int {
+	if d := defaultPipelineDepth.Load(); d > 0 {
+		return int(d)
+	}
+	return 2
 }
 
 // denseOptimizer is the dense update rule an executor caches across steps
@@ -119,16 +167,17 @@ func (t *Baseline) Step(b *data.Batch) float64 {
 	return loss
 }
 
-// stagedBatch is one pipelined lookahead: the next mini-batch, its copied
-// classification, the materialised non-popular µ-batch and whether its
-// fabric gathers are already in flight.
+// stagedBatch is one slot of the executor's lookahead ring: a future
+// mini-batch with its copied classification, the materialised non-popular
+// µ-batch and whether its fabric gathers are already in flight. Slots (and
+// their buffers) are reused across steps.
 type stagedBatch struct {
-	valid      bool
-	prefetched bool
 	batch      *data.Batch
+	prefetched bool
 	popIdx     []int
 	nonIdx     []int
-	nonSub     *data.Batch
+	sub        *data.Batch // materialised non-popular µ-batch (nil when degenerate)
+	subBuf     *data.Batch // slot-owned subset buffer, lazily created
 }
 
 // HotlineTrainer is the µ-batch executor: the accelerator classifies each
@@ -136,25 +185,36 @@ type stagedBatch struct {
 // non-popular µ-batch follows, and one combined update is applied — at
 // parity with the baseline's gradients.
 //
-// The executor is pipelined across iterations (StepPipelined): given the
-// next mini-batch it runs the accelerator's learning + classification for
-// it at the END of the current step — after the sparse update, exactly when
-// the paper's accelerator classifies mini-batch i+1 while the GPUs train on
-// i — and, on a sharded service with an async engine, issues the next
-// non-popular µ-batch's fabric gathers so they stream through the dense
-// optimizer step and the next iteration's popular pass. Training state is
-// bit-identical to the unpipelined executor: the EAL sees batches in the
-// same order, classification happens against the same EAL state, and the
-// prefetch is planned at the same point of the cache-state sequence (right
-// after the update, before the next popular pass).
+// The executor is pipelined across iterations with a configurable depth k
+// (Depth, default 2): at the END of each step — after the sparse update,
+// exactly when the paper's accelerator classifies ahead while the GPUs
+// train — it runs the accelerator's learning + classification for up to
+// k-1 future mini-batches and, on a sharded service with an async engine,
+// issues their non-popular µ-batches' fabric gathers, so up to k gather
+// windows stream concurrently with compute. Training state is bit-identical
+// to the unpipelined executor for every depth: the EAL sees batches in the
+// same order (each lookahead batch's learn/classify pair runs in stream
+// order), and staged rows that a later sparse update rewrites are
+// delta-repaired from their owner shard before the consuming forward
+// (shard.WindowQueue) — unless the service opts into stale reads, which
+// trades exactness for the repair traffic and is measured, not assumed.
 //
-// Step scratch (µ-batch buffers, classification copies, loss gradients) is
-// reused across steps; the steady-state loop performs no allocations at
-// Parallelism(1).
+// Step scratch (µ-batch buffers, classification copies, loss gradients,
+// the lookahead ring) is reused across steps; the steady-state loop
+// performs no allocations at Parallelism(1) for any depth.
 type HotlineTrainer struct {
 	M   *model.Model
 	LR  float32
 	Acc *accel.Accelerator
+
+	// Depth is the pipeline depth k >= 1: how many gather windows may be
+	// in flight at once — the one the current iteration consumes plus up
+	// to k-1 staged for future mini-batches. Depth 1 therefore degenerates
+	// to synchronous staged gathers (the single window is issued at
+	// consume time, so nothing overlaps); depth 2 is the classic
+	// cross-iteration pipeline. Changing it mid-training aborts any staged
+	// lookahead (set it before training for clean measurements).
+	Depth int
 
 	// LearnSamples is how many initial inputs feed the EAL before the
 	// learning phase is considered warm (the paper samples ~5%% of the
@@ -174,10 +234,10 @@ type HotlineTrainer struct {
 	// OverlapGather, on a sharded service with an async engine, prefetches
 	// the non-popular µ-batch's remote embedding rows so the fabric gather
 	// streams while compute runs — within the iteration when stepping
-	// batch-by-batch, across iterations under StepPipelined. Training state
-	// is bit-identical with the flag on or off (TestOverlapDeterminism);
-	// only the measured exposed-gather time changes. NewHotlineSharded
-	// enables it.
+	// batch-by-batch, across iterations under StepPipelined/StepLookahead.
+	// Training state is bit-identical with the flag on or off
+	// (TestOverlapDeterminism); only the measured exposed-gather time
+	// changes. NewHotlineSharded enables it.
 	OverlapGather bool
 
 	// stats
@@ -188,20 +248,26 @@ type HotlineTrainer struct {
 	adagrad  []*embedding.AdagradState
 
 	// step scratch
-	popIdx, nonIdx   []int // classification copy for unpipelined steps
 	popSub           data.Batch
-	nonSubs          [2]*data.Batch // alternating non-popular buffers
-	nonFlip          int
 	popGrad, nonGrad tensor.Matrix
 
-	staged stagedBatch
+	// lookahead ring: ring[(head+j) % Depth] is the j-th staged batch;
+	// staged counts occupied slots (at most Depth-1 — the remaining slot
+	// serves the batch currently training).
+	ring   []stagedBatch
+	head   int
+	staged int
+	look1  [1]*data.Batch // StepPipelined's lookahead scratch
 }
 
 // NewHotline wraps a model in the Hotline executor with a default
-// accelerator configuration.
+// accelerator configuration and the package default pipeline depth.
 func NewHotline(m *model.Model, lr float32) *HotlineTrainer {
 	cfg := accel.DefaultConfig()
-	return &HotlineTrainer{M: m, LR: lr, Acc: accel.New(cfg), LearnSamples: 1536}
+	return &HotlineTrainer{
+		M: m, LR: lr, Acc: accel.New(cfg), LearnSamples: 1536,
+		Depth: DefaultPipelineDepth(),
+	}
 }
 
 // NewHotlineAdagrad is NewHotline with dense and sparse Adagrad.
@@ -251,37 +317,70 @@ func (t *HotlineTrainer) learn(b *data.Batch) {
 }
 
 // Step implements Trainer: segregate, run both µ-batches, update once.
-func (t *HotlineTrainer) Step(b *data.Batch) float64 { return t.StepPipelined(b, nil) }
+func (t *HotlineTrainer) Step(b *data.Batch) float64 { return t.StepLookahead(b, nil) }
 
-// StepPipelined implements PipelinedTrainer: a full training step on b,
-// then the lookahead for next (accelerator learning + classification +
-// cross-iteration gather prefetch). See the type comment for the
-// determinism argument.
+// StepPipelined implements PipelinedTrainer: StepLookahead with a
+// one-batch lookahead (the classic two-deep pipeline when Depth >= 2).
 func (t *HotlineTrainer) StepPipelined(b, next *data.Batch) float64 {
+	if next == nil {
+		return t.StepLookahead(b, nil)
+	}
+	t.look1[0] = next
+	return t.StepLookahead(b, t.look1[:])
+}
+
+// Lookahead implements LookaheadTrainer: the executor stages Depth-1
+// batches ahead.
+func (t *HotlineTrainer) Lookahead() int { return t.depth() - 1 }
+
+// depth normalises the public Depth knob.
+func (t *HotlineTrainer) depth() int {
+	if t.Depth < 1 {
+		return 1
+	}
+	return t.Depth
+}
+
+// StepLookahead implements LookaheadTrainer: a full training step on b,
+// then the lookahead — accelerator learning + classification + fabric
+// prefetch for every not-yet-staged batch of `lookahead`, up to Depth-1
+// ahead. See the type comment for the determinism argument.
+func (t *HotlineTrainer) StepLookahead(b *data.Batch, lookahead []*data.Batch) float64 {
+	if len(t.ring) != t.depth() {
+		// First step, or the Depth knob moved: restart the pipeline.
+		t.abortStaged()
+		t.ring = make([]stagedBatch, t.depth())
+		t.head = 0
+	}
+
 	var pop, non []int
 	var nonSub *data.Batch
 	prefetched := false
-	if t.staged.valid && t.staged.batch == b {
+	var slot *stagedBatch
+	if t.staged > 0 && t.ring[t.head].batch == b {
 		// The lookahead already learned, classified and (when sharded)
-		// prefetched this batch at the end of the previous step.
-		pop, non = t.staged.popIdx, t.staged.nonIdx
-		nonSub = t.staged.nonSub
-		prefetched = t.staged.prefetched
+		// prefetched this batch at the end of an earlier step.
+		slot = &t.ring[t.head]
+		t.head = (t.head + 1) % len(t.ring)
+		t.staged--
+		pop, non = slot.popIdx, slot.nonIdx
+		nonSub = slot.sub
+		prefetched = slot.prefetched
+		slot.batch = nil
+		slot.sub = nil
+		slot.prefetched = false
 	} else {
-		if t.staged.valid {
-			// The lookahead speculated on a different batch: its windows
-			// must never be consumed against weights that moved since.
-			if t.staged.prefetched && t.shadow != nil {
-				t.shadow.AbortPrefetchSparse()
-			}
-		}
+		// Speculation miss (or cold start): staged windows must never be
+		// consumed against weights that moved since, so the whole
+		// lookahead is aborted before b is classified fresh.
+		t.abortStaged()
 		t.learn(b)
 		cl := t.Acc.Classify(b)
-		t.popIdx = append(t.popIdx[:0], cl.PopularIdx...)
-		t.nonIdx = append(t.nonIdx[:0], cl.NonPopularIdx...)
-		pop, non = t.popIdx, t.nonIdx
+		slot = &t.ring[t.head] // every slot is free after the abort
+		slot.popIdx = append(slot.popIdx[:0], cl.PopularIdx...)
+		slot.nonIdx = append(slot.nonIdx[:0], cl.NonPopularIdx...)
+		pop, non = slot.popIdx, slot.nonIdx
 	}
-	t.staged.valid = false
 	t.PopularInputs += int64(len(pop))
 	t.TotalInputs += int64(b.Size())
 
@@ -310,15 +409,17 @@ func (t *HotlineTrainer) StepPipelined(b, next *data.Batch) float64 {
 		}
 		t.shadow.ZeroAll()
 		if nonSub == nil {
-			nonSub = t.nextNonSub(b, non)
+			nonSub = b.SubsetInto(t.subBufFor(slot), non)
 		}
-		if !prefetched && t.overlapReady() {
+		if !prefetched && t.overlapReady() && t.depth() > 1 {
 			// Issue the non-popular µ-batch's fabric gathers before the
 			// popular µ-batch is dispatched: the async engine streams the
 			// remote rows into staging while the popular pass computes, and
 			// the shadow's Forward blocks only on whatever stayed exposed.
 			// Planning before the popular pass also fixes the cache-state
-			// order, so the service's counters are deterministic.
+			// order, so the service's counters are deterministic. At depth
+			// 1 the pipeline's only window belongs to the consuming
+			// forward, so the gather stays synchronous by construction.
 			t.shadow.PrefetchSparse(nonSub)
 		}
 		totalLoss = t.runSplit(b, pop, nonSub, invN)
@@ -328,15 +429,102 @@ func (t *HotlineTrainer) StepPipelined(b, next *data.Batch) float64 {
 	}
 	syncLR(t.denseOpt, t.LR)
 	t.denseOpt.Step()
+	// The sparse update marks rows staged by open lookahead windows dirty
+	// (shard.WindowQueue.MarkDirty) so their consuming forwards repair them.
 	if t.adagrad != nil {
 		t.M.ApplySparseAdagrad(t.adagrad, t.LR)
 	} else {
 		t.M.ApplySparse(t.LR)
 	}
-	if next != nil {
-		t.stage(next)
-	}
+	t.stageLookahead(lookahead)
 	return totalLoss / float64(n)
+}
+
+// abortStaged discards the whole staged lookahead: every open prefetch
+// window is joined and dropped (its accounting already happened — wasted
+// speculation), and the ring slots are freed. The committed accelerator
+// learning is NOT undone, matching the real system: the EAL saw those
+// inputs whether or not the speculation paid off.
+func (t *HotlineTrainer) abortStaged() {
+	if t.staged == 0 {
+		return
+	}
+	aborted := false
+	for j := 0; j < t.staged; j++ {
+		s := &t.ring[(t.head+j)%len(t.ring)]
+		if s.prefetched {
+			aborted = true
+		}
+		s.batch = nil
+		s.sub = nil
+		s.prefetched = false
+	}
+	t.staged = 0
+	if aborted {
+		t.M.AbortPrefetchSparse()
+	}
+}
+
+// stageLookahead stages future batches (in stream order) until the
+// pipeline is Depth-1 deep, skipping the prefix that is already staged. A
+// caller whose lookahead diverges from what was staged gets no new staging
+// — the mismatch is resolved (aborted) when its head batch trains.
+func (t *HotlineTrainer) stageLookahead(lookahead []*data.Batch) {
+	limit := len(t.ring) - 1
+	for j, nb := range lookahead {
+		if nb == nil || j >= limit {
+			return
+		}
+		if j < t.staged {
+			if t.ring[(t.head+j)%len(t.ring)].batch != nb {
+				return
+			}
+			continue
+		}
+		t.stage(nb)
+	}
+}
+
+// stage runs the lookahead for one future mini-batch: accelerator learning
+// and classification (the same EAL-state sequence as stepping it directly
+// — lookahead batches are staged in stream order, each learn/classify pair
+// adjacent), then — when overlapping on a sharded service and the split is
+// real — the non-popular µ-batch's fabric prefetch. The window is planned
+// after the current step's sparse update; rows a LATER update rewrites
+// while the window waits are delta-repaired at consume time, so the staged
+// values always equal what a synchronous gather would read.
+func (t *HotlineTrainer) stage(nb *data.Batch) {
+	slot := &t.ring[(t.head+t.staged)%len(t.ring)]
+	t.learn(nb)
+	cl := t.Acc.Classify(nb)
+	slot.batch = nb
+	slot.popIdx = append(slot.popIdx[:0], cl.PopularIdx...)
+	slot.nonIdx = append(slot.nonIdx[:0], cl.NonPopularIdx...)
+	slot.sub = nil
+	slot.prefetched = false
+	t.staged++
+	if len(slot.popIdx) == 0 || len(slot.nonIdx) == 0 {
+		return
+	}
+	slot.sub = nb.SubsetInto(t.subBufFor(slot), slot.nonIdx)
+	if t.overlapReady() {
+		if t.shadow == nil {
+			t.shadow = model.NewShadow(t.M)
+		}
+		t.shadow.PrefetchSparse(slot.sub)
+		slot.prefetched = true
+	}
+}
+
+// subBufFor returns a slot's lazily-created non-popular subset buffer. Each
+// ring slot owns one buffer: a slot's previous subset is consumed (passes
+// complete) before the slot is restaged, so the Depth buffers cover the
+// whole pipeline without copies.
+func (t *HotlineTrainer) subBufFor(slot *stagedBatch) *data.Batch {
+	if slot.subBuf == nil {
+		slot.subBuf = &data.Batch{}
+	}
+	return slot.subBuf
 }
 
 // runSplit runs the popular and non-popular µ-batch passes (concurrently
@@ -362,46 +550,6 @@ func (t *HotlineTrainer) runSplit(b *data.Batch, pop []int, nonSub *data.Batch, 
 // overlapReady reports whether cross-µ-batch gather prefetching is active.
 func (t *HotlineTrainer) overlapReady() bool {
 	return t.OverlapGather && t.Shard != nil && t.Shard.Gatherer() != nil
-}
-
-// nextNonSub materialises the non-popular µ-batch into the next buffer of
-// the alternating pair. Two buffers are needed by the pipeline: while
-// iteration i consumes one, the lookahead subsets iteration i+1's µ-batch
-// (whose index lists back the in-flight prefetch window) into the other.
-func (t *HotlineTrainer) nextNonSub(b *data.Batch, non []int) *data.Batch {
-	t.nonFlip ^= 1
-	if t.nonSubs[t.nonFlip] == nil {
-		t.nonSubs[t.nonFlip] = &data.Batch{}
-	}
-	return b.SubsetInto(t.nonSubs[t.nonFlip], non)
-}
-
-// stage runs the lookahead for the next mini-batch: accelerator learning
-// and classification (the same EAL-state sequence as stepping it directly),
-// then — when overlapping on a sharded service and the split is real — the
-// non-popular µ-batch's fabric prefetch, planned right after this step's
-// sparse update so the staged rows are exact copies of the weights the next
-// forward will read.
-func (t *HotlineTrainer) stage(next *data.Batch) {
-	t.learn(next)
-	cl := t.Acc.Classify(next)
-	t.staged.batch = next
-	t.staged.popIdx = append(t.staged.popIdx[:0], cl.PopularIdx...)
-	t.staged.nonIdx = append(t.staged.nonIdx[:0], cl.NonPopularIdx...)
-	t.staged.nonSub = nil
-	t.staged.prefetched = false
-	t.staged.valid = true
-	if len(t.staged.popIdx) == 0 || len(t.staged.nonIdx) == 0 {
-		return
-	}
-	t.staged.nonSub = t.nextNonSub(next, t.staged.nonIdx)
-	if t.overlapReady() {
-		if t.shadow == nil {
-			t.shadow = model.NewShadow(t.M)
-		}
-		t.shadow.PrefetchSparse(t.staged.nonSub)
-		t.staged.prefetched = true
-	}
 }
 
 // passOn subsets idx out of b into the executor's popular-side buffer and
@@ -438,10 +586,11 @@ type RunConfig struct {
 
 // Run trains for cfg.Iters mini-batches from gen, evaluating on a held-out
 // batch every EvalEvery iterations, and returns the metric curve. Trainers
-// implementing PipelinedTrainer are fed one batch ahead, so the executor's
-// lookahead (classification + cross-iteration prefetch) overlaps the
-// caller's evaluation and batch generation; the batch stream and the
-// training math are identical either way.
+// implementing PipelinedTrainer are fed one batch ahead — and
+// LookaheadTrainers as many batches ahead as their pipeline depth stages —
+// so the executor's lookahead (classification + cross-iteration prefetch)
+// overlaps the caller's evaluation and batch generation; the batch stream
+// and the training math are identical for every depth.
 func Run(t Trainer, gen *data.Generator, cfg RunConfig) []CurvePoint {
 	if cfg.Iters <= 0 {
 		// Nothing to train; in particular, do not consume a batch from the
@@ -461,17 +610,41 @@ func Run(t Trainer, gen *data.Generator, cfg RunConfig) []CurvePoint {
 	evalBatch := evalGen.NextBatch(cfg.EvalSize)
 
 	pt, pipelined := t.(PipelinedTrainer)
+	ahead := 0
+	var lt LookaheadTrainer
+	if pipelined {
+		ahead = 1
+		if x, ok := t.(LookaheadTrainer); ok {
+			lt = x
+			ahead = x.Lookahead()
+		}
+	}
+	fill := ahead
+	if fill < 1 {
+		fill = 1 // even unpipelined stepping advances through `future`
+	}
 	var curve []CurvePoint
 	var lastLoss float64
 	b := gen.NextBatch(cfg.BatchSize)
+	drawn := 1
+	// future holds the already-drawn upcoming batches, oldest first; the
+	// stream order is exactly the unpipelined one, only drawn earlier.
+	var future []*data.Batch
 	for i := 1; i <= cfg.Iters; i++ {
-		var next *data.Batch
-		if i < cfg.Iters {
-			next = gen.NextBatch(cfg.BatchSize)
+		for drawn < cfg.Iters && len(future) < fill {
+			future = append(future, gen.NextBatch(cfg.BatchSize))
+			drawn++
 		}
-		if pipelined {
+		switch {
+		case lt != nil && ahead != 1:
+			lastLoss = lt.StepLookahead(b, future)
+		case pipelined:
+			var next *data.Batch
+			if len(future) > 0 {
+				next = future[0]
+			}
 			lastLoss = pt.StepPipelined(b, next)
-		} else {
+		default:
 			lastLoss = t.Step(b)
 		}
 		if i%cfg.EvalEvery == 0 || i == cfg.Iters {
@@ -482,7 +655,13 @@ func Run(t Trainer, gen *data.Generator, cfg RunConfig) []CurvePoint {
 				Metrics:   metrics.Evaluate(probs, evalBatch.Labels),
 			})
 		}
-		b = next
+		if len(future) > 0 {
+			b = future[0]
+			copy(future, future[1:])
+			future = future[:len(future)-1]
+		} else {
+			b = nil
+		}
 	}
 	return curve
 }
