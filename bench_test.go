@@ -94,6 +94,11 @@ func BenchmarkHotlineTrainStepDepth4(b *testing.B) { microbench.HotlineTrainStep
 // end on a 4-node service (plan → queues → staging → consume → release).
 func BenchmarkShardedPrefetchWindow(b *testing.B) { microbench.ShardedPrefetchWindow(b) }
 
+// BenchmarkServePredict measures one online prediction through the
+// read-only serving path on a warmed 4-node sharded server (steady state:
+// 0 allocs/op at Parallelism(1)).
+func BenchmarkServePredict(b *testing.B) { microbench.ServePredict(b) }
+
 // BenchmarkPipelineIteration measures the full analytic timing model for
 // every pipeline on the 4-GPU Kaggle workload.
 func BenchmarkPipelineIteration(b *testing.B) { microbench.PipelineIteration(b) }

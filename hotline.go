@@ -26,6 +26,7 @@ import (
 	"hotline/internal/par"
 	"hotline/internal/pipeline"
 	"hotline/internal/report"
+	"hotline/internal/serve"
 	"hotline/internal/shard"
 	"hotline/internal/train"
 )
@@ -298,6 +299,64 @@ type OverlapStats = shard.OverlapStats
 // AsyncGatherer is the engine that streams planned fabric fetches into
 // staging buffers off the consumer's critical path.
 type AsyncGatherer = shard.AsyncGatherer
+
+// --- online serving and the load harness -----------------------------------
+
+// Server answers prediction requests from weight-sharing model replicas
+// behind a read/write lock: concurrent Predicts, exclusive Train steps.
+// The read path never consumes prefetch windows or touches backward state,
+// so a mixed train+serve run leaves training bit-identical to train-only;
+// serve traffic is booked into the shard service's serve-side counters
+// (ShardService.ServeSnapshot) while still warming the shared device
+// caches.
+type Server = serve.Server
+
+// NewServer wraps a model in n predict replicas (model shadows; n <= 0
+// means 1). Wrap training steps in Server.Train to serialise them against
+// in-flight predicts.
+var NewServer = serve.NewServer
+
+// ServeRequest is one inference request: a batch to score plus the drift
+// day it was drawn from.
+type ServeRequest = serve.Request
+
+// ServeCorpus is a deterministic request stream across drift days.
+type ServeCorpus = serve.Corpus
+
+// BuildServeCorpus draws a corpus from the Zipf/drifting generator:
+// perDay request batches of batchSize samples for each of days days.
+var BuildServeCorpus = serve.BuildCorpus
+
+// LoadConfig drives one open-loop load run (target QPS, request cap,
+// player bound).
+type LoadConfig = serve.LoadConfig
+
+// LoadReport is one load run's throughput and latency measurements.
+type LoadReport = serve.LoadReport
+
+// LatencySummary holds exact nearest-rank latency percentiles
+// (p50/p90/p99/p999) over a full sample set.
+type LatencySummary = serve.LatencySummary
+
+// RunLoad replays a corpus against a server at a target QPS with bounded
+// parallel request players; latency is measured from each request's
+// scheduled arrival, so saturation shows up as queueing in the tail.
+var RunLoad = serve.RunLoad
+
+// SummarizeLatency computes the exact percentile summary of a latency
+// sample set (reordering it in place).
+var SummarizeLatency = serve.Summarize
+
+// SweepPoint is one rate's report within a saturation sweep.
+type SweepPoint = serve.SweepPoint
+
+// SaturationSweep replays the corpus at each target rate, producing the
+// QPS-vs-latency curve.
+var SaturationSweep = serve.SaturationSweep
+
+// LoadKnee returns the index of the highest-rate sweep point whose p99
+// stays within budget (-1 when none does).
+var LoadKnee = serve.Knee
 
 // --- accelerator ----------------------------------------------------------
 

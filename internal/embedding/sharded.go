@@ -201,6 +201,36 @@ func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 	return out
 }
 
+// ServeForward is the online-inference read path: the pooled lookup with
+// serve-side routing. Unlike Forward it is strictly read-only with respect
+// to training machinery — it never matches or consumes a prefetch window
+// (open lookahead windows belong to the training stream and must survive a
+// concurrent predict), never arms Backward, and books its traffic into the
+// service's serve counters (ServeSnapshot) so training traffic fractions
+// stay clean. The shared device caches ARE warmed: live request traffic
+// keeps the popular rows resident for both paths, which is the serving
+// story's whole point. Rows are read directly from the owner shards — the
+// accounting pass prices the fabric gather; no staging copy is needed for
+// a read that applies no delta repair.
+//
+// The returned matrix is this instance's forward scratch. Serve replicas
+// must be shadows (ShadowBag / model.NewShadow): calling ServeForward on
+// an instance with an in-flight Forward→Backward pair would overwrite the
+// activations that backward still reads.
+func (s *ShardedBag) ServeForward(indices [][]int32) *tensor.Matrix {
+	s.svc.RecordServeGather(s.TableIdx, indices)
+	out := s.fwdOut.Resize(len(indices), s.Dim)
+	perItem := bagLookups(indices, s.Dim)
+	if par.Serial(len(indices), perItem) {
+		s.fwdRange(out, indices, nil, 0, len(indices))
+	} else {
+		par.ForWork(len(indices), perItem, func(lo, hi int) {
+			s.fwdRange(out, indices, nil, lo, hi)
+		})
+	}
+	return out
+}
+
 // Backward implements Bag.
 func (s *ShardedBag) Backward(gradOut *tensor.Matrix) SparseGrad {
 	if s.lastIndices == nil {

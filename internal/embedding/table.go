@@ -82,6 +82,26 @@ func (t *Table) Forward(indices [][]int32) *tensor.Matrix {
 	return out
 }
 
+// ServeForward is the online-inference read path: the same sum-pooled
+// lookup as Forward, but it never arms Backward (lastIndices is untouched,
+// so an in-flight train Forward→Backward pair on another instance of the
+// same weights is unaffected). The single-node table has no routing or
+// accounting to skip — the split exists so serving code holds one method
+// across both bag implementations. The returned matrix is the instance's
+// forward scratch; serve replicas own shadows, never the training instance.
+func (t *Table) ServeForward(indices [][]int32) *tensor.Matrix {
+	out := t.fwdOut.Resize(len(indices), t.Dim)
+	perItem := bagLookups(indices, t.Dim)
+	if par.Serial(len(indices), perItem) {
+		t.fwdRange(out, indices, 0, len(indices))
+	} else {
+		par.ForWork(len(indices), perItem, func(lo, hi int) {
+			t.fwdRange(out, indices, lo, hi)
+		})
+	}
+	return out
+}
+
 // SparseGrad holds deduplicated per-row gradients in ascending row order, so
 // updates are deterministic regardless of batch ordering.
 type SparseGrad struct {

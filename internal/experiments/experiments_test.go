@@ -66,6 +66,7 @@ func TestRegistryComplete(t *testing.T) {
 		"mn-scale", "mn-cache", "mn-skew", "mn-policy",
 		"mn-place", "mn-overlap", "mn-adagrad",
 		"mn-depth", "mn-syn", "mn-batch",
+		"mn-serve", "mn-qps",
 	}
 	for _, id := range extras {
 		if !have[id] {

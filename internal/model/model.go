@@ -168,10 +168,40 @@ func (m *Model) AbsorbShadow(s *Model) {
 	s.pendingSparse = s.pendingSparse[:0]
 }
 
+// serveForwarder is implemented by bags with a dedicated read path
+// (ShardedBag routes serve traffic into separate counters and bypasses the
+// prefetch-window machinery; Table simply skips arming Backward).
+type serveForwarder interface {
+	ServeForward(indices [][]int32) *tensor.Matrix
+}
+
+// bagForward dispatches one table lookup down the training or the serving
+// path. Every in-tree bag implements serveForwarder; the Forward fallback
+// keeps external Bag implementations working on the serve path too.
+func bagForward(b embedding.Bag, indices [][]int32, serve bool) *tensor.Matrix {
+	if serve {
+		if sf, ok := b.(serveForwarder); ok {
+			return sf.ServeForward(indices)
+		}
+	}
+	return b.Forward(indices)
+}
+
 // Forward computes the logits (B x 1) for a batch. The returned matrix is
 // scratch owned by the top MLP, valid until the next Forward call.
-func (m *Model) Forward(b *data.Batch) *tensor.Matrix {
-	m.lastBatch = b
+func (m *Model) Forward(b *data.Batch) *tensor.Matrix { return m.forward(b, false) }
+
+// forward is the shared forward pass. With serve set it takes the read-only
+// inference path: embedding lookups go through ServeForward (serve-side
+// traffic accounting, no prefetch-window interaction) and the batch is not
+// cached for Backward — a serve pass between a train Forward and its
+// Backward on DIFFERENT instances of the same weights perturbs nothing.
+// Dense-layer activations are still instance scratch either way, so serve
+// traffic runs on shadows (NewShadow), never on the training instance.
+func (m *Model) forward(b *data.Batch, serve bool) *tensor.Matrix {
+	if !serve {
+		m.lastBatch = b
+	}
 	m.fws.Reset()
 	z0 := m.Bot.Forward(b.Dense)
 	if m.inputsBuf == nil {
@@ -181,10 +211,10 @@ func (m *Model) Forward(b *data.Batch) *tensor.Matrix {
 	inputs[0] = z0
 	for t := 0; t < m.Cfg.NumTables; t++ {
 		if m.IsTBSM() && t == 0 {
-			inputs[t+1] = m.forwardSequence(b)
+			inputs[t+1] = m.forwardSequence(b, serve)
 			continue
 		}
-		inputs[t+1] = m.Tables[t].Forward(b.Sparse[t])
+		inputs[t+1] = bagForward(m.Tables[t], b.Sparse[t], serve)
 	}
 	feat := m.Inter.Forward(inputs)
 	return m.Top.Forward(feat)
@@ -195,7 +225,7 @@ func (m *Model) Forward(b *data.Batch) *tensor.Matrix {
 // copied into the per-forward workspace (the sequence table reuses one
 // lookup buffer across timesteps) and the per-step index lists are rebuilt
 // into reusable slabs.
-func (m *Model) forwardSequence(b *data.Batch) *tensor.Matrix {
+func (m *Model) forwardSequence(b *data.Batch, serve bool) *tensor.Matrix {
 	steps := m.Cfg.TimeSteps
 	n := b.Size()
 	if m.lastStepIdx == nil {
@@ -218,7 +248,7 @@ func (m *Model) forwardSequence(b *data.Batch) *tensor.Matrix {
 			idx[i] = slab[i : i+1 : i+1]
 		}
 		m.lastStepIdx[s] = idx
-		out := m.Tables[0].Forward(idx)
+		out := bagForward(m.Tables[0], idx, serve)
 		seqOut := m.fws.Matrix(out.Rows, out.Cols)
 		copy(seqOut.Data, out.Data)
 		m.lastSeqSteps[s] = seqOut
@@ -408,6 +438,28 @@ func (m *Model) Predict(b *data.Batch) []float32 {
 		out[i] = nn.SigmoidScalar(logits.Data[i])
 	}
 	return out
+}
+
+// ServePredict returns click probabilities via the read-only serving path:
+// embedding lookups are booked as serve traffic and never touch prefetch
+// windows or backward state. Run it on a shadow (NewShadow) when a training
+// instance shares the weights.
+func (m *Model) ServePredict(b *data.Batch) []float32 {
+	return m.ServePredictInto(nil, b)
+}
+
+// ServePredictInto is ServePredict writing into dst (grown as needed), so a
+// steady-state request loop allocates nothing.
+func (m *Model) ServePredictInto(dst []float32, b *data.Batch) []float32 {
+	logits := m.forward(b, true)
+	if cap(dst) < logits.Rows {
+		dst = make([]float32, logits.Rows)
+	}
+	dst = dst[:logits.Rows]
+	for i := range dst {
+		dst[i] = nn.SigmoidScalar(logits.Data[i])
+	}
+	return dst
 }
 
 // ParameterCounts returns (dense, sparse) scalar parameter counts

@@ -130,6 +130,39 @@ func (p *panicTrap) repanic() {
 	}
 }
 
+// Go runs fn(w) for w in [0, n) on n concurrently running goroutines and
+// waits for all of them. Unlike ForWork, the concurrency is the caller's
+// choice and ignores the global worker knob: Go's workers are request
+// players and other blocking loops — they spend their life in sleeps and
+// lock waits, not arithmetic — so serialising them on a 1-CPU box would
+// change semantics, not just speed. n == 1 runs inline. Panics propagate to
+// the caller after every worker has been joined.
+func Go(n int, fn func(worker int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	var trap panicTrap
+	for w := 1; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer trap.capture()
+			fn(w)
+		}(w)
+	}
+	func() {
+		defer trap.capture()
+		fn(0)
+	}()
+	wg.Wait()
+	trap.repanic()
+}
+
 // Do runs the given thunks concurrently (bounded only by their count) and
 // waits for all of them. With Workers() == 1 the thunks run sequentially in
 // order. The train layer uses this for the popular / non-popular µ-batch

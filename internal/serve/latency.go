@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"slices"
+	"time"
+)
+
+// LatencySummary condenses a latency sample set. Percentiles are exact
+// nearest-rank values over the full sorted sample set — no histogram
+// binning or interpolation — so a synthetic stream of known durations has
+// fully predictable percentiles (TestLatencyPercentilesExact).
+type LatencySummary struct {
+	N                   int
+	Min, Mean, Max      time.Duration
+	P50, P90, P99, P999 time.Duration
+}
+
+// Summarize computes the summary of samples, reordering them in place (the
+// sort IS the percentile computation). An empty set summarises to zeros.
+func Summarize(samples []time.Duration) LatencySummary {
+	s := LatencySummary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	slices.Sort(samples)
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	s.Min, s.Max = samples[0], samples[s.N-1]
+	s.Mean = sum / time.Duration(s.N)
+	s.P50 = permille(samples, 500)
+	s.P90 = permille(samples, 900)
+	s.P99 = permille(samples, 990)
+	s.P999 = permille(samples, 999)
+	return s
+}
+
+// permille returns the nearest-rank pm/1000 quantile of an ascending sample
+// set: the smallest sample with at least pm permille of the set at or below
+// it (rank ceil(pm·N/1000), 1-based). Integer arithmetic — a float ceil
+// would misrank p999 on round sample counts (99.9/100·1000 floats to
+// 999.0000000000001).
+func permille(sorted []time.Duration, pm int) time.Duration {
+	rank := (pm*len(sorted) + 999) / 1000
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hotline/internal/par"
+)
+
+// LoadConfig drives one load run.
+type LoadConfig struct {
+	// QPS is the target request arrival rate. The schedule is open-loop:
+	// request i is due at start + i/QPS whether or not earlier requests
+	// have finished, and its latency is measured from that due time. Once
+	// the server saturates, queueing delay therefore lands in the tail
+	// percentiles instead of silently stretching the schedule (the
+	// coordinated-omission trap a closed-loop "send, wait, send" player
+	// falls into).
+	QPS float64
+	// Requests caps how many requests are played, wrapping the corpus when
+	// it is shorter; <= 0 plays the corpus exactly once.
+	Requests int
+	// Players bounds the parallel request players (par.Go); <= 0 defaults
+	// to par.Workers(). Players cap the server's concurrency, not its
+	// schedule — a late player finds its next request already overdue and
+	// fires immediately.
+	Players int
+}
+
+// LoadReport is one load run's measurements.
+type LoadReport struct {
+	QPS        float64 // target rate
+	Requests   int
+	Samples    int64
+	Players    int
+	Wall       time.Duration
+	Throughput float64 // achieved requests per second
+	Latency    LatencySummary
+}
+
+// RunLoad replays the corpus against the server at the configured rate and
+// reports achieved throughput plus exact latency percentiles. Players pull
+// request slots from a shared cursor, sleep until the slot's due time, then
+// score it; each slot owns one entry of the latency array, so capture is
+// race-free without locks and the player loop allocates nothing in steady
+// state (one reused probability buffer per player).
+func RunLoad(s *Server, c *Corpus, cfg LoadConfig) LoadReport {
+	if c.Len() == 0 {
+		panic("serve: RunLoad on an empty corpus")
+	}
+	if cfg.QPS <= 0 {
+		panic(fmt.Sprintf("serve: RunLoad wants QPS > 0 (got %g)", cfg.QPS))
+	}
+	n := cfg.Requests
+	if n <= 0 {
+		n = c.Len()
+	}
+	players := cfg.Players
+	if players <= 0 {
+		players = par.Workers()
+	}
+	if players > n {
+		players = n
+	}
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	lat := make([]time.Duration, n)
+	var cursor, samples atomic.Int64
+	start := time.Now()
+	par.Go(players, func(int) {
+		var probs []float32
+		for {
+			i := int(cursor.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			req := c.Requests[i%c.Len()]
+			due := start.Add(time.Duration(i) * interval)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			probs = s.PredictInto(probs, req.Batch)
+			lat[i] = time.Since(due)
+			samples.Add(int64(req.Batch.Size()))
+		}
+	})
+	wall := time.Since(start)
+	rep := LoadReport{
+		QPS: cfg.QPS, Requests: n, Samples: samples.Load(),
+		Players: players, Wall: wall, Latency: Summarize(lat),
+	}
+	if wall > 0 {
+		rep.Throughput = float64(n) / wall.Seconds()
+	}
+	return rep
+}

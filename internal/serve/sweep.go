@@ -1,0 +1,36 @@
+package serve
+
+import "time"
+
+// SweepPoint is one sweep rate's load report.
+type SweepPoint struct {
+	QPS    float64
+	Report LoadReport
+}
+
+// SaturationSweep replays the corpus at each target rate in qps — a closed
+// loop over open-loop runs — producing the QPS-vs-latency curve whose knee
+// is the server's usable capacity. cfg.QPS is overridden per point; the
+// request cap and player bound apply to every run.
+func SaturationSweep(s *Server, c *Corpus, qps []float64, cfg LoadConfig) []SweepPoint {
+	points := make([]SweepPoint, len(qps))
+	for i, q := range qps {
+		run := cfg
+		run.QPS = q
+		points[i] = SweepPoint{QPS: q, Report: RunLoad(s, c, run)}
+	}
+	return points
+}
+
+// Knee returns the index of the highest-rate point whose p99 latency stays
+// within budget, or -1 when even the first point blows it. Points are
+// assumed rate-ascending (SaturationSweep preserves caller order).
+func Knee(points []SweepPoint, budget time.Duration) int {
+	knee := -1
+	for i := range points {
+		if points[i].Report.Latency.P99 <= budget {
+			knee = i
+		}
+	}
+	return knee
+}

@@ -25,10 +25,11 @@ func (p Policy) String() string {
 const cacheRRPVMax = 3 // 2-bit RRPV
 
 // cacheSlot is one cached row's metadata. Slots form both the SRRIP ring
-// and the LRU recency list (prev/next are slot indices).
+// and the LRU recency list (prev/next are slot indices). Occupancy is
+// tracked by the cache's used counter — slots [0,used) are live — so the
+// slot itself carries no validity bit.
 type cacheSlot struct {
 	key        uint64
-	valid      bool
 	rrpv       uint8
 	prev, next int
 }
@@ -132,7 +133,7 @@ func (c *DeviceCache) Insert(key uint64) bool {
 		c.Evicts++
 		evicted = true
 	}
-	c.slots[i] = cacheSlot{key: key, valid: true, rrpv: cacheRRPVMax - 1, prev: -1, next: -1}
+	c.slots[i] = cacheSlot{key: key, rrpv: cacheRRPVMax - 1, prev: -1, next: -1}
 	c.index[key] = i
 	c.pushFront(i)
 	c.Inserts++
@@ -156,9 +157,11 @@ func (c *DeviceCache) victim() int {
 	}
 }
 
-// Reset drops all contents and counters.
+// Reset drops all contents and counters. The index map and slot array are
+// retained (clear, not reallocate), so reset-heavy measurement loops stay
+// allocation-free — TestDeviceCacheResetZeroAlloc gates this.
 func (c *DeviceCache) Reset() {
-	c.index = make(map[uint64]int, c.cap)
+	clear(c.index)
 	for i := range c.slots {
 		c.slots[i] = cacheSlot{}
 	}

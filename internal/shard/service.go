@@ -176,7 +176,10 @@ func (s Stats) AllToAllTime(sys cost.System) sim.Duration {
 	if s.Nodes <= 1 {
 		return 0
 	}
-	perNode := s.A2ABytes() / int64(s.Nodes)
+	// Ceiling division: a per-window Sub delta smaller than the node count
+	// must still price at least one byte per participant, not truncate to
+	// zero fabric time (tiny windows otherwise read as free).
+	perNode := (s.A2ABytes() + int64(s.Nodes) - 1) / int64(s.Nodes)
 	link := sys.IB
 	if sys.Nodes <= 1 && s.Nodes <= sys.GPUsPerNode {
 		link = sys.NVLink
@@ -214,6 +217,11 @@ type Service struct {
 	mu     sync.Mutex
 	caches []*DeviceCache
 	stats  Stats
+	// serveStats accounts the read-only inference path separately from the
+	// training counters: Serve gathers move real fabric bytes and warm the
+	// shared device caches, but never scatter gradients, so folding them
+	// into the training snapshot would skew every training-side fraction.
+	serveStats Stats
 	// dedupScratch is the per-call (requesting node, row) dedup set for
 	// gather and scatter walks, reused under the mutex so the steady-state
 	// accounting path allocates nothing.
@@ -290,7 +298,16 @@ func key(table int, row int32) uint64 {
 // are gathered once per distinct (node, row) with popular rows admitted
 // into the cache. Deterministic: indices are walked in order.
 func (s *Service) RecordGather(table int, indices [][]int32) {
-	s.planGather(table, indices, false)
+	s.planGather(table, indices, false, false)
+}
+
+// RecordServeGather is RecordGather for the read-only inference path: the
+// same shard routing, device-cache probing and popularity-gated admission —
+// live serve traffic warms the shared caches exactly like training traffic
+// — but the counters land in the serve snapshot (ServeSnapshot), training
+// fractions stay untouched, and there is never a matching scatter.
+func (s *Service) RecordServeGather(table int, indices [][]int32) {
+	s.planGather(table, indices, false, true)
 }
 
 // PlanGather performs RecordGather's full accounting pass and additionally
@@ -300,11 +317,13 @@ func (s *Service) RecordGather(table int, indices [][]int32) {
 // access was a cache hit). The async gather engine executes the plan; cache
 // state and counters advance exactly as a plain RecordGather would.
 func (s *Service) PlanGather(table int, indices [][]int32) *GatherPlan {
-	return s.planGather(table, indices, true)
+	return s.planGather(table, indices, true, false)
 }
 
-// planGather is the shared accounting walk behind RecordGather/PlanGather.
-func (s *Service) planGather(table int, indices [][]int32, collect bool) *GatherPlan {
+// planGather is the shared accounting walk behind RecordGather /
+// RecordServeGather / PlanGather. serve selects the serve-side counter set;
+// cache state is shared between the two paths by design.
+func (s *Service) planGather(table int, indices [][]int32, collect, serve bool) *GatherPlan {
 	if s.cfg.Nodes == 1 {
 		// Single node: every access is local; count and return.
 		var n int64
@@ -312,13 +331,15 @@ func (s *Service) planGather(table int, indices [][]int32, collect bool) *Gather
 			n += int64(len(indices[b]))
 		}
 		s.mu.Lock()
-		s.stats.Lookups += n
-		s.stats.Local += n
+		st := s.statsFor(serve)
+		st.Lookups += n
+		st.Local += n
 		s.mu.Unlock()
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st := s.statsFor(serve)
 	var plan *GatherPlan
 	// gathered dedups fabric fetches within this call (one iteration's bag);
 	// the scratch set is reused across calls under the mutex.
@@ -327,24 +348,24 @@ func (s *Service) planGather(table int, indices [][]int32, collect bool) *Gather
 		node := s.NodeOf(b)
 		cache := s.caches[node]
 		for _, ix := range indices[b] {
-			s.stats.Lookups++
+			st.Lookups++
 			if s.Owner(table, ix) == node {
-				s.stats.Local++
+				st.Local++
 				continue
 			}
 			k := key(table, ix)
 			if cache.Lookup(k) {
-				s.stats.CacheHits++
+				st.CacheHits++
 				continue
 			}
-			s.stats.CacheMisses++
+			st.CacheMisses++
 			// The dedup key is (requesting node, row); the table is fixed
 			// within one call.
 			nk := uint64(node)<<32 | uint64(uint32(ix))
 			if _, ok := gathered[nk]; !ok {
 				gathered[nk] = struct{}{}
-				s.stats.GatherRows++
-				s.stats.GatherBytes += s.cfg.RowBytes
+				st.GatherRows++
+				st.GatherBytes += s.cfg.RowBytes
 				if collect {
 					if plan == nil {
 						plan = s.acquirePlan(table)
@@ -354,16 +375,26 @@ func (s *Service) planGather(table int, indices [][]int32, collect bool) *Gather
 			}
 			// Admission replicates popular rows into the probing cache; the
 			// explicit pure-remote mode (zero capacity) admits nothing and
-			// must account no fill traffic.
+			// must account no fill traffic. Like Preload, fill bytes move
+			// only on actual admission — a cache hit above already skipped
+			// this path, so every Insert here admits a new key.
 			if cache.Capacity() > 0 && (s.hot == nil || s.hot.IsHot(table, ix)) {
 				if cache.Insert(k) {
-					s.stats.Evictions++
+					st.Evictions++
 				}
-				s.stats.FillBytes += s.cfg.RowBytes
+				st.FillBytes += s.cfg.RowBytes
 			}
 		}
 	}
 	return plan
+}
+
+// statsFor returns the training or serve counter set. Caller holds s.mu.
+func (s *Service) statsFor(serve bool) *Stats {
+	if serve {
+		return &s.serveStats
+	}
+	return &s.stats
 }
 
 // acquireDedup returns the cleared per-call dedup scratch set. Must be
@@ -417,7 +448,9 @@ func (s *Service) RecordScatter(table int, indices [][]int32) {
 // Preload replicates the given rows of one table into every non-owner
 // node's device cache (the learning-phase bulk replication), accounting the
 // fill traffic. Rows are admitted in the given order, so a bounded cache
-// deterministically keeps the most recently preloaded suffix.
+// deterministically keeps the most recently preloaded suffix. Fill traffic
+// counts actual admissions only: re-preloading an already-resident row just
+// refreshes its replacement state and moves no bytes across the fabric.
 func (s *Service) Preload(table int, rows []int32) {
 	if s.cfg.Nodes == 1 {
 		return
@@ -431,10 +464,13 @@ func (s *Service) Preload(table int, rows []int32) {
 			if n == owner || cache.Capacity() == 0 {
 				continue
 			}
+			resident := cache.Contains(k)
 			if cache.Insert(k) {
 				s.stats.Evictions++
 			}
-			s.stats.FillBytes += s.cfg.RowBytes
+			if !resident {
+				s.stats.FillBytes += s.cfg.RowBytes
+			}
 		}
 	}
 }
@@ -448,12 +484,31 @@ func (s *Service) Snapshot() Stats {
 	return st
 }
 
+// ServeSnapshot returns the read-only inference path's counters (with
+// Nodes filled in): every Serve/Predict gather routed through
+// RecordServeGather, separate from the training snapshot.
+func (s *Service) ServeSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.serveStats
+	st.Nodes = s.cfg.Nodes
+	return st
+}
+
 // ResetStats zeroes the traffic counters but keeps cache contents (steady
 // state), so warm-up windows can be excluded from measurements.
 func (s *Service) ResetStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats = Stats{}
+}
+
+// ResetServeStats zeroes the serve-path counters, keeping cache contents
+// and the training counters (per-day serve windows under drift).
+func (s *Service) ResetServeStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serveStats = Stats{}
 }
 
 // CacheOccupancy returns the mean device-cache occupancy across nodes.

@@ -19,6 +19,7 @@ import (
 	"hotline/internal/embedding"
 	"hotline/internal/model"
 	"hotline/internal/pipeline"
+	"hotline/internal/serve"
 	"hotline/internal/shard"
 	"hotline/internal/tensor"
 	"hotline/internal/train"
@@ -39,6 +40,7 @@ func Targets() []Target {
 		{"HotlineTrainStepPipelined", HotlineTrainStepPipelined},
 		{"HotlineTrainStepDepth4", HotlineTrainStepDepth4},
 		{"ShardedPrefetchWindow", ShardedPrefetchWindow},
+		{"ServePredict", ServePredict},
 		{"PipelineIteration", PipelineIteration},
 		{"ZipfSample", ZipfSample},
 	}
@@ -157,6 +159,61 @@ func ShardedPrefetchWindow(b *testing.B) {
 	}
 }
 
+// benchServeServer builds the warmed 4-node serving stack the serve
+// benchmarks and the BENCH load section share.
+func benchServeServer(replicas int) *serve.Server {
+	cfg := benchTrainCfg()
+	m := model.New(cfg, 1)
+	m.ShardEmbeddings(shard.New(shard.Config{
+		Nodes: 4, CacheBytes: 1 << 20, RowBytes: int64(cfg.EmbedDim) * 4,
+	}, nil))
+	return serve.NewServer(m, replicas)
+}
+
+// ServePredict measures one online prediction (batch 32) through the
+// read-only serving path on a warmed 4-node sharded server (steady state:
+// 0 allocs/op at Parallelism(1)).
+func ServePredict(b *testing.B) {
+	srv := benchServeServer(1)
+	cfg := benchTrainCfg()
+	batch := data.NewGenerator(cfg).NextBatch(32)
+	probs := srv.Predict(batch) // warm caches and scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probs = srv.PredictInto(probs, batch)
+	}
+}
+
+// ServeLoadResult is the BENCH json's load-harness section: one open-loop
+// run of the request player against the warmed serving stack, recording
+// achieved throughput and exact tail percentiles. Latency targets live in
+// the checked-in bench/ snapshots alongside the ns/op trajectory.
+type ServeLoadResult struct {
+	QPS        float64 `json:"qps"`
+	Requests   int     `json:"requests"`
+	Players    int     `json:"players"`
+	Throughput float64 `json:"throughput_rps"`
+	P50NS      int64   `json:"p50_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	P999NS     int64   `json:"p999_ns"`
+}
+
+// ServeLoad replays a drifting request corpus at a modest fixed rate and
+// condenses the report (Run attaches it to the BENCH json).
+func ServeLoad() ServeLoadResult {
+	srv := benchServeServer(2)
+	corpus := serve.BuildCorpus(benchTrainCfg(), 2, 32, 32)
+	rep := serve.RunLoad(srv, corpus, serve.LoadConfig{QPS: 500, Requests: 256, Players: 2})
+	return ServeLoadResult{
+		QPS: rep.QPS, Requests: rep.Requests, Players: rep.Players,
+		Throughput: rep.Throughput,
+		P50NS:      rep.Latency.P50.Nanoseconds(),
+		P99NS:      rep.Latency.P99.Nanoseconds(),
+		P999NS:     rep.Latency.P999.Nanoseconds(),
+	}
+}
+
 // PipelineIteration measures the full analytic timing model for every
 // pipeline on the 4-GPU Kaggle workload.
 func PipelineIteration(b *testing.B) {
@@ -204,6 +261,8 @@ type Report struct {
 	// benchmarks ran under (the depth-named targets override it locally).
 	PipelineDepth int      `json:"pipeline_depth"`
 	Results       []Result `json:"results"`
+	// ServeLoad is the load-harness run (absent in pre-serving snapshots).
+	ServeLoad *ServeLoadResult `json:"serve_load,omitempty"`
 }
 
 // Run executes every target under testing.Benchmark and returns the report.
@@ -227,6 +286,8 @@ func Run(label string, now time.Time) Report {
 			AllocsPerOp: r.AllocsPerOp(),
 		})
 	}
+	load := ServeLoad()
+	rep.ServeLoad = &load
 	return rep
 }
 
