@@ -20,6 +20,9 @@
 //	hotline-bench -exp mn-depth           # prefetch depth sweep (exposure vs repair)
 //	hotline-bench -exp mn-scale -depth 4  # scenarios at pipeline depth 4
 //	hotline-bench -smoke                  # fast CI smoke sweep
+//	hotline-bench -fabric unix            # train over real hotline-node processes
+//	hotline-bench -fabric tcp -fabric-nodes 4
+//	                                      # ... 4 workers over loopback TCP
 //	hotline-bench -bench                  # micro-benchmarks -> BENCH_<date>.json
 //	hotline-bench -bench -bench-out -     # ... to stdout
 //	hotline-bench -bench -bench-baseline bench/BENCH_2026-07-30_seed.json
@@ -69,6 +72,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress table rendering (summary/JSON only)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: shortest functional training")
 	depth := flag.Int("depth", 0, "prefetch pipeline depth k for executors and the -bench report (0 = keep default, currently 2; see mn-depth for the sweep)")
+	fabric := flag.String("fabric", "", `multi-process coordinator mode: train over real hotline-node worker processes on this socket family ("unix" or "tcp") and report measured vs analytic all-to-all time`)
+	fabricNodes := flag.Int("fabric-nodes", 2, "shard node count for -fabric")
+	fabricIters := flag.Int("fabric-iters", 6, "training iterations for -fabric")
 	bench := flag.Bool("bench", false, "run the micro-benchmarks and emit BENCH_<date>.json")
 	benchOut := flag.String("bench-out", "", "micro-benchmark output path (default BENCH_<date>.json; '-' = stdout)")
 	benchLabel := flag.String("bench-label", "", "label recorded in the benchmark report")
@@ -81,6 +87,10 @@ func main() {
 	}
 	if *bench {
 		runMicrobench(*benchOut, *benchLabel, *parallel, *benchBaseline, *benchMaxRegress)
+		return
+	}
+	if *fabric != "" {
+		runFabric(*fabric, *fabricNodes, *depth, *fabricIters)
 		return
 	}
 

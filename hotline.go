@@ -300,6 +300,66 @@ type OverlapStats = shard.OverlapStats
 // staging buffers off the consumer's critical path.
 type AsyncGatherer = shard.AsyncGatherer
 
+// --- transport fabric -------------------------------------------------------
+
+// Transport moves the shard service's cross-node traffic: per-owner gather
+// fetch lists into staging buffers, and pre-reduced scatter updates back to
+// the owning node. The in-proc default is a zero-overhead direct path;
+// SocketTransport speaks the length-prefixed binary framing to real
+// NodeServer peers. Plug one in with ShardService.SetTransport before
+// tables are registered.
+type Transport = shard.Transport
+
+// InprocTransport is the explicit form of the default shared-address-space
+// fast path (bit-for-bit and allocation-for-allocation identical to not
+// setting a transport at all).
+var InprocTransport = shard.NewInproc
+
+// FabricConfig describes a socket fabric to dial: network family
+// ("unix"/"tcp"), one listen address per shard node, per-op timeout.
+type FabricConfig = shard.FabricConfig
+
+// SocketTransport is the framed-protocol Transport over unix or TCP
+// sockets, one connection per peer node.
+type SocketTransport = shard.SocketTransport
+
+// DialFabric connects a SocketTransport to already-listening node servers
+// (e.g. hotline-node worker processes).
+var DialFabric = shard.DialFabric
+
+// NodeServer is one shard node of the multi-process fabric: it owns its
+// rows authoritatively and answers framed fetch/push requests
+// (cmd/hotline-node wraps it in a process).
+type NodeServer = shard.NodeServer
+
+// ServeNode starts a NodeServer listening on the given address (unix
+// socket path, or host:port — port 0 picks a free port).
+var ServeNode = shard.ServeNode
+
+// LocalFabric bundles in-process node servers with a connected transport:
+// real sockets and framing without separate OS processes (tests, examples,
+// and hotline-bench's fallback when hotline-node is not on PATH).
+type LocalFabric = shard.LocalFabric
+
+// StartLocalFabric spins up nodes in-process NodeServers on the network
+// family ("unix" or "tcp") and dials them.
+func StartLocalFabric(nodes int, network string) (*LocalFabric, error) {
+	return shard.StartLocalFabric(nodes, network, 0, nil)
+}
+
+// FabricMeasurement is one functional training run over a real fabric:
+// measured gather/scatter wall clock plus bit-parity evidence against the
+// in-proc reference.
+type FabricMeasurement = pipeline.FabricMeasurement
+
+// MeasureFabric trains the pipelined executor over a socket fabric and the
+// in-proc reference and returns the measured wall times and parity.
+var MeasureFabric = pipeline.MeasureFabric
+
+// MeasureFabricDepth is MeasureFabric with explicit pipeline depth,
+// iteration and batch knobs.
+var MeasureFabricDepth = pipeline.MeasureFabricDepth
+
 // --- online serving and the load harness -----------------------------------
 
 // Server answers prediction requests from weight-sharing model replicas

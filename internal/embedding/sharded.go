@@ -53,6 +53,7 @@ type ShardedBag struct {
 	fwdOut      tensor.Matrix
 	bw          backwardArena
 	fetchFn     shard.FetchFunc // bound once; a per-call method value would allocate
+	rowAt       shard.RowAt     // bound once, like fetchFn; source for scatter pushes
 }
 
 // ShardBag partitions a table's rows across the service's nodes under its
@@ -78,8 +79,13 @@ func ShardBag(t *Table, svc *shard.Service, tableIdx int) *ShardedBag {
 	for r := 0; r < t.Rows; r++ {
 		copy(s.shards[s.owner[r]].Row(int(s.local[r])), t.W.Row(r))
 	}
-	s.windows = svc.NewWindowQueue()
+	s.windows = svc.NewWindowQueue(tableIdx)
 	s.fetchFn = s.fetchRow
+	s.rowAt = s.rowViewAt
+	// Declare the table to the fabric: on a multi-process transport this is
+	// the initial shard sync (every row is pushed to its owner node), so
+	// worker stores serve exactly the bits the mirror above holds.
+	svc.RegisterTable(tableIdx, t.Dim, t.Rows, s.rowAt)
 	return s
 }
 
@@ -130,6 +136,9 @@ func (s *ShardedBag) PendingWindows() int { return s.windows.Len() }
 func (s *ShardedBag) fetchRow(row int32, dst []float32) {
 	copy(dst, s.RowView(int(row)))
 }
+
+// rowViewAt is RowView with the fabric's signature (bound once into rowAt).
+func (s *ShardedBag) rowViewAt(row int32) []float32 { return s.RowView(int(row)) }
 
 // fwdRange computes output rows [lo, hi) of the pooled lookup, reading
 // fabric-fetched rows from the staging buffer.
@@ -218,15 +227,29 @@ func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 // an instance with an in-flight Forward→Backward pair would overwrite the
 // activations that backward still reads.
 func (s *ShardedBag) ServeForward(indices [][]int32) *tensor.Matrix {
-	s.svc.RecordServeGather(s.TableIdx, indices)
+	var staged *shard.Staging
+	if s.svc.Multiproc() {
+		// On a real fabric the read path must actually cross it: stage the
+		// remote rows synchronously from their owner processes (timed into
+		// the serve-side wall meter) and read the pooled values from the
+		// staging buffer.
+		if plan := s.svc.PlanServeGather(s.TableIdx, indices); plan != nil {
+			staged = s.svc.ServeGatherSync(plan, s.Dim, s.fetchFn)
+		}
+	} else {
+		s.svc.RecordServeGather(s.TableIdx, indices)
+	}
 	out := s.fwdOut.Resize(len(indices), s.Dim)
 	perItem := bagLookups(indices, s.Dim)
 	if par.Serial(len(indices), perItem) {
-		s.fwdRange(out, indices, nil, 0, len(indices))
+		s.fwdRange(out, indices, staged, 0, len(indices))
 	} else {
 		par.ForWork(len(indices), perItem, func(lo, hi int) {
-			s.fwdRange(out, indices, nil, lo, hi)
+			s.fwdRange(out, indices, staged, lo, hi)
 		})
+	}
+	if staged != nil {
+		s.svc.Gatherer().Release(staged)
 	}
 	return out
 }
@@ -276,6 +299,9 @@ func (s *ShardedBag) ApplySparseSGD(sg SparseGrad, lr float32) {
 			s.sgdRange(sg, lr, lo, hi)
 		})
 	}
+	// Mirror the new row values to their owner processes (the pre-reduced
+	// scatter). No-op on the in-proc transport.
+	s.svc.PushUpdates(s.TableIdx, sg.Rows, s.rowAt)
 	s.bw.reset()
 }
 
@@ -289,6 +315,9 @@ func (s *ShardedBag) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr floa
 	for i, ix := range sg.Rows {
 		adagradRow(s.RowView(int(ix)), st.Accum.Row(int(ix)), sg.Grad.Row(i), lr, st.Eps)
 	}
+	// Only the row values travel: the Adagrad accumulator is coordinator
+	// state, so the scatter stays one message per distinct row.
+	s.svc.PushUpdates(s.TableIdx, sg.Rows, s.rowAt)
 	s.bw.reset()
 }
 
@@ -317,6 +346,7 @@ func (s *ShardedBag) ShadowBag() Bag {
 		windows: s.windows,
 	}
 	sh.fetchFn = sh.fetchRow
+	sh.rowAt = sh.rowViewAt
 	return sh
 }
 

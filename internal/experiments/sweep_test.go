@@ -26,7 +26,7 @@ func sweepIDs(t *testing.T) []string {
 // about them is still checked. mn-serve is NOT in this set: it reports
 // only traffic counters, which must stay deterministic.
 var wallClockExperiments = map[string]bool{
-	"mn-overlap": true, "mn-depth": true, "mn-qps": true,
+	"mn-overlap": true, "mn-depth": true, "mn-qps": true, "mn-fabric": true,
 }
 
 // TestRunAllExperiments: every id yields a non-empty table, and the

@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"testing"
+
+	"hotline/internal/data"
+)
+
+// TestMeasureFabricDepthParity runs the fabric measurement end to end over
+// unix sockets: the socket run must train bit-identically to the in-proc
+// reference (exact loss, zero parameter divergence) and report non-zero
+// measured gather and scatter wall clock.
+func TestMeasureFabricDepthParity(t *testing.T) {
+	m, err := MeasureFabricDepth(data.CriteoKaggle(), 2, 2, "unix", 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fabric != "unix" {
+		t.Fatalf("fabric = %q want unix", m.Fabric)
+	}
+	if m.MaxStateDiff != 0 {
+		t.Fatalf("socket fabric diverged from in-proc: max diff %g", m.MaxStateDiff)
+	}
+	if m.GatherWallPerIter <= 0 || m.ScatterWallPerIter <= 0 {
+		t.Fatalf("expected measured wall times, got gather %v scatter %v",
+			m.GatherWallPerIter, m.ScatterWallPerIter)
+	}
+	if m.A2ABytesPerIter <= 0 {
+		t.Fatalf("no accounted all-to-all volume: %d", m.A2ABytesPerIter)
+	}
+
+	// The in-proc shortcut skips the socket runs entirely and reports a
+	// zero scatter wall (a shared address space moves no scatter bytes).
+	ref, err := MeasureFabricDepth(data.CriteoKaggle(), 2, 2, "inproc", 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Fabric != "inproc" {
+		t.Fatalf("fabric = %q want inproc", ref.Fabric)
+	}
+	if ref.ScatterWallPerIter != 0 {
+		t.Fatalf("in-proc scatter wall = %v want 0", ref.ScatterWallPerIter)
+	}
+	if ref.FinalLoss != m.FinalLoss {
+		t.Fatalf("reference loss %v != fabric loss %v", ref.FinalLoss, m.FinalLoss)
+	}
+}

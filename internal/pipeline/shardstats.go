@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hotline/internal/cost"
 	"hotline/internal/data"
@@ -66,6 +67,24 @@ type ShardMeasurement struct {
 	// set; the Hotline timing model then prices the exposed share instead
 	// of its analytic overlap schedule.
 	ExposedFrac float64
+	// Fabric names the transport a real-fabric measurement ran over
+	// ("unix", "tcp"); empty means the fabric numbers below are unset and
+	// the timing models rely on the analytic AllToAllTime alone.
+	Fabric string
+	// GatherWallPerIter / ScatterWallPerIter are the measured per-iteration
+	// wall-clock totals the fabric transport spent on gather fetches and
+	// scatter pushes (MeasureFabricDepth) — the empirical counterparts to
+	// the analytic all-to-all model.
+	GatherWallPerIter  time.Duration
+	ScatterWallPerIter time.Duration
+}
+
+// SetFabric records a fabric measurement's wall-clock numbers on the
+// workload's shard statistics.
+func (m *ShardMeasurement) SetFabric(fm FabricMeasurement) {
+	m.Fabric = fm.Fabric
+	m.GatherWallPerIter = fm.GatherWallPerIter
+	m.ScatterWallPerIter = fm.ScatterWallPerIter
 }
 
 // SetExposedFrac records a measured exposed-gather fraction (clamped to

@@ -203,8 +203,14 @@ func ExposedFrac(overlap, sync OverlapStats) float64 {
 	return f
 }
 
-// fetchJob is one owner node's contribution to a gather window.
+// fetchJob is one owner node's contribution to a gather window. svc routes
+// the fetch through the service's transport (timing it into the gather wall
+// meter); a nil svc (engine built standalone via NewAsyncGatherer) fetches
+// straight through the FetchFunc like the in-proc transport would.
 type fetchJob struct {
+	svc   *Service
+	table int
+	owner int
 	rows  []int32
 	fetch FetchFunc
 	h     *Handle
@@ -301,6 +307,7 @@ func (q *gatherQueue) drainLoop() {
 		jobs := q.swapLocked()
 		if jobs == nil { // closed and dry
 			q.started = false
+			q.cond.Broadcast() // wake close() waiting for retirement
 			q.mu.Unlock()
 			return
 		}
@@ -323,22 +330,35 @@ func (q *gatherQueue) drainOn() {
 	q.finish(jobs)
 }
 
-// close wakes and retires the persistent drainer once the queue runs dry.
+// close wakes the persistent drainer and blocks until it has drained the
+// queue and retired. Waiting matters for shutdown ordering: the service
+// closes its transport right after the engine, and an in-flight window's
+// fetches must reach the fabric before it goes away (the CleanShutdown
+// conformance contract).
 func (q *gatherQueue) close() {
 	q.mu.Lock()
 	q.closed = true
 	q.cond.Broadcast()
+	for q.started {
+		q.cond.Wait()
+	}
 	q.mu.Unlock()
 }
 
-// runJobs executes fetches and accounts worker busy time.
+// runJobs executes fetches and accounts worker busy time. Transport errors
+// are recorded on the owning service (Service.FabricErr); the job still
+// retires so Await never deadlocks on a dead peer.
 func runJobs(jobs []fetchJob, c *engineCounters) {
 	start := time.Now()
 	for _, j := range jobs {
 		st := j.h.staging
-		for _, row := range j.rows {
-			i := st.slot[row]
-			j.fetch(row, st.buf[i*st.dim:(i+1)*st.dim])
+		if j.svc != nil {
+			j.svc.transportFetch(j.table, j.owner, j.rows, st, j.fetch)
+		} else {
+			for _, row := range j.rows {
+				i := st.slot[row]
+				j.fetch(row, st.buf[i*st.dim:(i+1)*st.dim])
+			}
 		}
 		j.h.jobDone()
 	}
@@ -364,6 +384,10 @@ type AsyncGatherer struct {
 	queues []*gatherQueue
 	c      *engineCounters
 	ring   *PrefetchRing
+	// svc, when the engine is attached to a service (EnableAsyncGather),
+	// routes fetches through the service's transport; nil engines fetch
+	// straight through the FetchFunc. Read-only after attach.
+	svc *Service
 }
 
 // NewAsyncGatherer builds an engine for a topology of `nodes` owner nodes.
@@ -446,7 +470,7 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 		if len(rows) == 0 {
 			continue
 		}
-		g.queues[owner].enqueue(fetchJob{rows: rows, fetch: fetch, h: h})
+		g.queues[owner].enqueue(fetchJob{svc: g.svc, table: plan.Table, owner: owner, rows: rows, fetch: fetch, h: h})
 	}
 	runtime.Gosched()
 	return h
@@ -459,7 +483,14 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *Staging {
 	start := time.Now()
 	st := g.ring.Staging(plan, dim)
-	for _, rows := range plan.perOwner {
+	for owner, rows := range plan.perOwner {
+		if len(rows) == 0 {
+			continue
+		}
+		if g.svc != nil {
+			g.svc.transportFetch(plan.Table, owner, rows, st, fetch)
+			continue
+		}
 		for _, row := range rows {
 			i := st.slot[row]
 			fetch(row, st.buf[i*st.dim:(i+1)*st.dim])

@@ -1,0 +1,344 @@
+// Package conformance is the cross-transport invariant suite of the shard
+// fabric: one table of contracts — training bit-parity against the
+// single-node reference, exact traffic-counter equality with the in-proc
+// fast path, depth-k window/repair determinism, serve/train counter
+// separation, and clean shutdown with in-flight windows — executed
+// identically against every registered Transport implementation, plus
+// fault-injection variants (faults.go) asserting typed errors and no
+// deadlock when a socket fabric misbehaves.
+//
+// A new Transport earns its place by passing Run; a socket-family transport
+// additionally passes RunFaults. The suite is a library so external
+// transport implementations can run it from their own tests.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"hotline/internal/data"
+	"hotline/internal/model"
+	"hotline/internal/shard"
+	"hotline/internal/train"
+)
+
+// Suite describes one transport family under test.
+type Suite struct {
+	// Name labels the subtests ("inproc", "unix", "tcp").
+	Name string
+	// NewTransport returns a fresh transport (backed by a fresh fabric) for
+	// one run at the given node count. Implementations register teardown on
+	// tb. A nil func (or nil return) selects the service's default in-proc
+	// fast path.
+	NewTransport func(tb testing.TB, nodes int) shard.Transport
+}
+
+// probeCfg is the functional probe every invariant trains: the real Criteo
+// access stream shape, down-sampled, with shrunken MLPs — the fabric
+// traffic is untouched, the arithmetic is cheap.
+func probeCfg() data.Config {
+	cfg := data.CriteoKaggle()
+	// The stream must outlast the probe (probeIters × probeBatch) — a
+	// cycled generator replays already-learned samples, every input
+	// classifies popular, and the popular/non-popular split degenerates.
+	cfg.Samples = 2048
+	cfg.BotMLP = []int{cfg.BotMLP[0], 32, cfg.EmbedDim}
+	cfg.TopMLP = []int{32, 1}
+	return cfg
+}
+
+const (
+	probeSeed  = 42
+	probeIters = 4
+	// probeBatch must be large enough that post-learning batches mix
+	// popular and non-popular inputs (an input is popular iff ALL its
+	// indices are EAL-tracked, so small batches classify all-or-nothing
+	// and the prefetch pipeline would never engage).
+	probeBatch = 256
+	// probeLearn ends the EAL learning phase after the first batch so the
+	// prefetch pipeline actually engages within the probe's short stream.
+	// Both sides of every parity comparison share it (segregation order is
+	// part of the executor's identity).
+	probeLearn = probeBatch
+)
+
+// probeBatches replays the probe's deterministic stream.
+func probeBatches(cfg data.Config) []*data.Batch {
+	gen := data.NewGenerator(cfg)
+	bs := make([]*data.Batch, probeIters)
+	for i := range bs {
+		bs[i] = gen.NextBatch(probeBatch)
+	}
+	return bs
+}
+
+// runResult is one sharded training run's evidence.
+type runResult struct {
+	losses []float64
+	m      *model.Model
+	stats  shard.Stats
+	over   shard.OverlapStats
+}
+
+// trainOver runs the pipelined Hotline executor over a sharded service with
+// the given transport, node count, depth and partitioner, on the probe's
+// fixed stream.
+func trainOver(tb testing.TB, s Suite, cfg data.Config, nodes, depth int, part shard.Partitioner) runResult {
+	tb.Helper()
+	svc := shard.New(shard.Config{
+		Nodes: nodes, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+		Part: part,
+	}, nil)
+	if s.NewTransport != nil {
+		if tr := s.NewTransport(tb, nodes); tr != nil {
+			svc.SetTransport(tr)
+		}
+	}
+	defer func() {
+		if err := svc.Close(); err != nil {
+			tb.Fatalf("service close: %v", err)
+		}
+	}()
+	t := train.NewHotlineSharded(model.New(cfg, probeSeed), 0.1, svc)
+	t.OverlapGather = true
+	t.Depth = depth
+	t.LearnSamples = probeLearn
+	batches := probeBatches(cfg)
+	svc.ResetStats()
+	res := runResult{m: t.M}
+	for i := range batches {
+		end := i + depth
+		if end > len(batches) {
+			end = len(batches)
+		}
+		res.losses = append(res.losses, t.StepLookahead(batches[i], batches[i+1:end]))
+	}
+	res.stats = svc.Snapshot()
+	if g := svc.Gatherer(); g != nil {
+		res.over = g.Stats()
+	}
+	if err := svc.FabricErr(); err != nil {
+		tb.Fatalf("fabric error after run (nodes=%d depth=%d): %v", nodes, depth, err)
+	}
+	return res
+}
+
+// hotAwarePart builds the hot-aware placement from the probe's own stream
+// (every observed row pinned to its dominant requester).
+func hotAwarePart(cfg data.Config, nodes int) shard.Partitioner {
+	rc := shard.NewRequestCounter(nodes)
+	for _, b := range probeBatches(cfg) {
+		for t := range b.Sparse {
+			rc.Observe(t, b.Sparse[t])
+		}
+	}
+	return rc.HotAware(nil)
+}
+
+// Run executes the invariant table against the suite's transport family.
+func Run(t *testing.T, s Suite) {
+	cfg := probeCfg()
+
+	// The single-node reference: the unsharded executor on the identical
+	// stream. Every (nodes, depth, placement) cell must reproduce its
+	// parameters bit-for-bit and its losses exactly.
+	ref := train.NewHotline(model.New(cfg, probeSeed), 0.1)
+	ref.LearnSamples = probeLearn
+	var refLosses []float64
+	for _, b := range probeBatches(cfg) {
+		refLosses = append(refLosses, ref.Step(b))
+	}
+
+	t.Run("TrainingParity", func(t *testing.T) {
+		for _, nodes := range []int{2, 4, 8} {
+			for _, depth := range []int{1, 2, 4} {
+				for _, placement := range []string{"rr", "hot"} {
+					nodes, depth, placement := nodes, depth, placement
+					name := formatCell(nodes, depth, placement)
+					t.Run(name, func(t *testing.T) {
+						var part shard.Partitioner
+						if placement == "hot" {
+							part = hotAwarePart(cfg, nodes)
+						}
+						res := trainOver(t, s, cfg, nodes, depth, part)
+						for i, l := range res.losses {
+							if l != refLosses[i] {
+								t.Fatalf("iter %d loss %v, single-node reference %v", i, l, refLosses[i])
+							}
+						}
+						if d := model.MaxStateDiff(ref.M, res.m); d != 0 {
+							t.Fatalf("parameters diverged from single-node reference: max diff %g", d)
+						}
+						if res.stats.GatherBytes == 0 || res.stats.ScatterBytes == 0 {
+							t.Fatalf("no fabric traffic accounted: %+v", res.stats)
+						}
+						if depth > 1 && res.over.Windows == 0 {
+							t.Fatalf("depth %d ran no prefetch windows: %+v", depth, res.over)
+						}
+					})
+				}
+			}
+		}
+	})
+
+	t.Run("CounterEqualityWithInproc", func(t *testing.T) {
+		// The transport must not change WHAT is accounted, only how the
+		// bytes move: every traffic counter must equal the in-proc path's,
+		// wall clocks aside.
+		inproc := Suite{Name: "inproc"}
+		for _, nodes := range []int{2, 4} {
+			want := trainOver(t, inproc, cfg, nodes, 2, nil).stats.WithoutWall()
+			got := trainOver(t, s, cfg, nodes, 2, nil).stats.WithoutWall()
+			if got != want {
+				t.Fatalf("nodes=%d: counters diverged from in-proc:\n got %+v\nwant %+v", nodes, got, want)
+			}
+		}
+	})
+
+	t.Run("DepthDeterminism", func(t *testing.T) {
+		// The depth-k window ring with dirty-row repair must be
+		// bit-deterministic in k over the transport.
+		base := trainOver(t, s, cfg, 2, 1, nil)
+		for _, depth := range []int{2, 4} {
+			res := trainOver(t, s, cfg, 2, depth, nil)
+			if d := model.MaxStateDiff(base.m, res.m); d != 0 {
+				t.Fatalf("depth %d diverged from depth 1: max diff %g", depth, d)
+			}
+			if res.over.Windows == 0 {
+				t.Fatalf("depth %d: no windows issued", depth)
+			}
+		}
+	})
+
+	t.Run("ServeTrainSeparation", func(t *testing.T) { runServeSeparation(t, s) })
+	t.Run("CleanShutdown", func(t *testing.T) { runCleanShutdown(t, s) })
+}
+
+func formatCell(nodes, depth int, placement string) string {
+	return fmt.Sprintf("n%d_d%d_%s", nodes, depth, placement)
+}
+
+// fabricFixture is a bare service + registered table over the suite's
+// transport, for the invariants that drive the shard layer directly.
+type fabricFixture struct {
+	svc   *shard.Service
+	g     *shard.AsyncGatherer
+	store [][]float32
+	fetch shard.FetchFunc
+	dim   int
+}
+
+func newFabricFixture(tb testing.TB, s Suite, nodes, rows, dim int) *fabricFixture {
+	tb.Helper()
+	f := &fabricFixture{dim: dim}
+	// Pure remote (no device caches): every remote row crosses the fabric,
+	// and the cache layer cannot leak state between the serve and train
+	// probes below.
+	f.svc = shard.New(shard.Config{Nodes: nodes, CacheBytes: 0, RowBytes: int64(dim) * 4}, nil)
+	if s.NewTransport != nil {
+		if tr := s.NewTransport(tb, nodes); tr != nil {
+			f.svc.SetTransport(tr)
+		}
+	}
+	f.g = f.svc.EnableAsyncGather()
+	f.store = make([][]float32, rows)
+	for r := range f.store {
+		f.store[r] = make([]float32, dim)
+		for k := range f.store[r] {
+			f.store[r][k] = float32(r*100 + k)
+		}
+	}
+	f.fetch = func(row int32, dst []float32) { copy(dst, f.store[row]) }
+	f.svc.RegisterTable(0, dim, rows, func(row int32) []float32 { return f.store[row] })
+	if err := f.svc.FabricErr(); err != nil {
+		tb.Fatalf("initial shard sync: %v", err)
+	}
+	return f
+}
+
+func runServeSeparation(t *testing.T, s Suite) {
+	f := newFabricFixture(t, s, 4, 64, 8)
+	defer f.svc.Close()
+
+	trainIdx := [][]int32{{1, 5}, {2, 6}, {3, 7}, {4, 8}}
+	if plan := f.svc.PlanGather(0, trainIdx); plan != nil {
+		st := f.g.GatherSync(plan, f.dim, f.fetch)
+		f.g.Release(st)
+	}
+	train := f.svc.Snapshot()
+	if train.Lookups == 0 {
+		t.Fatal("train probe recorded nothing")
+	}
+
+	serveIdx := [][]int32{{9, 13}, {10, 14}, {11, 15}, {12, 16}}
+	if plan := f.svc.PlanServeGather(0, serveIdx); plan != nil {
+		st := f.svc.ServeGatherSync(plan, f.dim, f.fetch)
+		for _, row := range []int32{9, 13} {
+			if v, ok := st.Lookup(row); ok {
+				if want := float32(row * 100); v[0] != want {
+					t.Fatalf("served row %d = %v want %v", row, v[0], want)
+				}
+			}
+		}
+		f.g.Release(st)
+	}
+	serve := f.svc.ServeSnapshot()
+	if serve.Lookups == 0 {
+		t.Fatal("serve probe recorded nothing")
+	}
+	if f.svc.Multiproc() && serve.GatherWall == 0 {
+		t.Fatal("multiproc serve read crossed no measured fabric")
+	}
+	if got := f.svc.Snapshot(); got != train {
+		t.Fatalf("serve traffic leaked into training counters:\n got %+v\nwas %+v", got, train)
+	}
+	if err := f.svc.FabricErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runCleanShutdown(t *testing.T, s Suite) {
+	f := newFabricFixture(t, s, 4, 32, 8)
+	idx := [][]int32{{1, 2}, {5, 6}}
+	q := f.svc.NewWindowQueue(0)
+	plan := f.svc.PlanGather(0, idx)
+	if plan == nil {
+		t.Fatal("probe plan needed no fabric fetches")
+	}
+	h := f.g.Submit(plan, f.dim, f.fetch)
+	q.Push(idx, h)
+
+	// Close with the window still open — twice, concurrently would also be
+	// legal (covered by the shard package's own lifecycle test); the
+	// contract here is that the in-flight window survives.
+	if err := f.svc.Close(); err != nil {
+		t.Fatalf("close with open window: %v", err)
+	}
+	w := q.Match(idx)
+	if w == nil {
+		t.Fatal("open window lost across Close")
+	}
+	st := q.Consume(w, f.fetch)
+	if st == nil {
+		t.Fatal("no staging after Close")
+	}
+	// Rows 1 and 2 are requested by batch position 0 (node 0) and owned by
+	// nodes 1 and 2 under round-robin — both must have crossed the fabric.
+	for _, row := range []int32{1, 2} {
+		v, ok := st.Lookup(row)
+		if !ok {
+			t.Fatalf("remote row %d not staged", row)
+		}
+		if want := float32(row * 100); v[0] != want {
+			t.Fatalf("row %d = %v want %v", row, v[0], want)
+		}
+	}
+	f.g.Release(st)
+	q.Recycle(w)
+	if err := f.svc.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := f.svc.FabricErr(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"hotline/internal/shard"
+)
+
+// suiteTimeout derives the fabric timeout from the test deadline (deflake
+// contract: a hung socket fails the test loudly, never times the run out).
+func suiteTimeout(tb testing.TB) time.Duration {
+	if t, ok := tb.(*testing.T); ok {
+		if d, ok := t.Deadline(); ok {
+			if rem := time.Until(d) / 2; rem < shard.DefaultFabricTimeout {
+				return rem
+			}
+		}
+	}
+	return shard.DefaultFabricTimeout
+}
+
+func socketSuite(network string) Suite {
+	return Suite{
+		Name: network,
+		NewTransport: func(tb testing.TB, nodes int) shard.Transport {
+			f, err := shard.StartLocalFabric(nodes, network, suiteTimeout(tb), nil)
+			if err != nil {
+				tb.Fatalf("start %s fabric: %v", network, err)
+			}
+			tb.Cleanup(func() { f.Close() })
+			return f.Transport
+		},
+	}
+}
+
+func TestConformanceInproc(t *testing.T) {
+	Run(t, Suite{
+		Name: "inproc",
+		NewTransport: func(tb testing.TB, nodes int) shard.Transport {
+			return shard.NewInproc()
+		},
+	})
+}
+
+func TestConformanceUnix(t *testing.T) {
+	Run(t, socketSuite("unix"))
+}
+
+func TestConformanceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unix sockets only in -short (CI deflake contract)")
+	}
+	Run(t, socketSuite("tcp"))
+}
+
+func TestConformanceFaultsUnix(t *testing.T) {
+	RunFaults(t, "unix")
+}
+
+func TestConformanceFaultsTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unix sockets only in -short (CI deflake contract)")
+	}
+	RunFaults(t, "tcp")
+}

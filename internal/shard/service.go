@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hotline/internal/cost"
 	"hotline/internal/sim"
@@ -98,6 +99,15 @@ type Stats struct {
 	FillBytes int64
 	// Evictions counts device-cache displacements across all nodes.
 	Evictions int64
+
+	// GatherWall / ScatterWall are measured wall-clock totals the transport
+	// spent moving this window's fabric traffic: staged gather fetches
+	// (including dirty-row repairs) and pre-reduced scatter pushes. On the
+	// in-proc fast path GatherWall is the staging memcpy time and
+	// ScatterWall is zero (a shared address space moves no scatter bytes);
+	// on a socket fabric both are real per-window wire times — the measured
+	// counterpart of the modeled AllToAllTime.
+	GatherWall, ScatterWall time.Duration
 }
 
 // HitRate returns device-cache hits over all remote lookups.
@@ -162,7 +172,18 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.ScatterBytes -= prev.ScatterBytes
 	d.FillBytes -= prev.FillBytes
 	d.Evictions -= prev.Evictions
+	d.GatherWall -= prev.GatherWall
+	d.ScatterWall -= prev.ScatterWall
 	return d
+}
+
+// WithoutWall returns the snapshot with its wall-clock meters cleared: the
+// pure traffic counters, which must be exactly equal across transports for
+// the same workload (the conformance suite's counter invariant), while the
+// wall times are measurements and legitimately differ.
+func (s Stats) WithoutWall() Stats {
+	s.GatherWall, s.ScatterWall = 0, 0
+	return s
 }
 
 // AllToAllTime prices the snapshot's gather+scatter volume with the cost
@@ -207,6 +228,29 @@ type Service struct {
 	// read-only after attach.
 	gather *AsyncGatherer
 
+	// tr is the fabric transport rows travel over (SetTransport; defaults
+	// to the in-proc fast path). Read-only after SetTransport, which must
+	// run before tables register and training starts.
+	tr        Transport
+	multiproc bool
+
+	// gatherWallNS / scatterWallNS / serveWallNS meter the wall time spent
+	// inside transport calls (atomic: gather drainers, the training path
+	// and the serve path all move traffic concurrently). Snapshots read
+	// them into Stats.GatherWall / Stats.ScatterWall.
+	gatherWallNS, scatterWallNS, serveWallNS atomic.Int64
+
+	// errMu guards fabricErr, the first transport failure observed.
+	errMu     sync.Mutex
+	fabricErr error
+
+	// pushMu serialises PushUpdates' per-owner grouping scratch.
+	pushMu     sync.Mutex
+	pushGroups [][]int32
+
+	closeOnce sync.Once
+	closeErr  error
+
 	// stale selects the opt-in stale-read mode of the depth-k pipeline:
 	// windows consume their staged rows as fetched at issue time, skipping
 	// the dirty-row repair (WindowQueue.Consume) and merely counting the
@@ -216,6 +260,8 @@ type Service struct {
 
 	mu     sync.Mutex
 	caches []*DeviceCache
+	// tables records every registered sharded table (RegisterTable).
+	tables []tableReg
 	stats  Stats
 	// serveStats accounts the read-only inference path separately from the
 	// training counters: Serve gathers move real fabric bytes and warm the
@@ -237,7 +283,7 @@ func New(cfg Config, hot HotClassifier) *Service {
 	if part == nil {
 		part = NewRoundRobin(cfg.Nodes)
 	}
-	s := &Service{cfg: cfg, hot: hot, part: part, caches: make([]*DeviceCache, cfg.Nodes)}
+	s := &Service{cfg: cfg, hot: hot, part: part, caches: make([]*DeviceCache, cfg.Nodes), tr: NewInproc()}
 	for n := range s.caches {
 		s.caches[n] = NewDeviceCache(cfg.CacheRows(), cfg.Policy)
 	}
@@ -266,6 +312,7 @@ func (s *Service) Owner(table int, row int32) int { return s.part.Owner(table, r
 func (s *Service) EnableAsyncGather() *AsyncGatherer {
 	if s.gather == nil {
 		s.gather = NewAsyncGatherer(s.cfg.Nodes)
+		s.gather.svc = s
 	}
 	return s.gather
 }
@@ -318,6 +365,14 @@ func (s *Service) RecordServeGather(table int, indices [][]int32) {
 // state and counters advance exactly as a plain RecordGather would.
 func (s *Service) PlanGather(table int, indices [][]int32) *GatherPlan {
 	return s.planGather(table, indices, true, false)
+}
+
+// PlanServeGather is PlanGather for the read-only inference path: the same
+// accounting as RecordServeGather (serve counters, shared cache state) plus
+// the fabric fetch plan a multi-process transport executes to actually move
+// the remote rows (ServeGatherSync).
+func (s *Service) PlanServeGather(table int, indices [][]int32) *GatherPlan {
+	return s.planGather(table, indices, true, true)
 }
 
 // planGather is the shared accounting walk behind RecordGather /
@@ -475,12 +530,15 @@ func (s *Service) Preload(table int, rows []int32) {
 	}
 }
 
-// Snapshot returns the current counters (with Nodes filled in).
+// Snapshot returns the current counters (with Nodes and the measured
+// transport wall times filled in).
 func (s *Service) Snapshot() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
+	s.mu.Unlock()
 	st.Nodes = s.cfg.Nodes
+	st.GatherWall = time.Duration(s.gatherWallNS.Load())
+	st.ScatterWall = time.Duration(s.scatterWallNS.Load())
 	return st
 }
 
@@ -489,9 +547,10 @@ func (s *Service) Snapshot() Stats {
 // RecordServeGather, separate from the training snapshot.
 func (s *Service) ServeSnapshot() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.serveStats
+	s.mu.Unlock()
 	st.Nodes = s.cfg.Nodes
+	st.GatherWall = time.Duration(s.serveWallNS.Load())
 	return st
 }
 
@@ -499,16 +558,19 @@ func (s *Service) ServeSnapshot() Stats {
 // state), so warm-up windows can be excluded from measurements.
 func (s *Service) ResetStats() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats = Stats{}
+	s.mu.Unlock()
+	s.gatherWallNS.Store(0)
+	s.scatterWallNS.Store(0)
 }
 
 // ResetServeStats zeroes the serve-path counters, keeping cache contents
 // and the training counters (per-day serve windows under drift).
 func (s *Service) ResetServeStats() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.serveStats = Stats{}
+	s.mu.Unlock()
+	s.serveWallNS.Store(0)
 }
 
 // CacheOccupancy returns the mean device-cache occupancy across nodes.

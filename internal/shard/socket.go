@@ -1,0 +1,319 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FabricConfig describes how the coordinator reaches its shard node
+// processes.
+type FabricConfig struct {
+	// Network is "unix" or "tcp".
+	Network string
+	// Addrs[owner] is the listen address of owner's node process.
+	Addrs []string
+	// Timeout bounds every dial and every request/response exchange
+	// (connection deadlines are re-armed per operation). Defaults to
+	// DefaultFabricTimeout.
+	Timeout time.Duration
+	// WrapConn, when set, wraps each freshly dialed peer connection — the
+	// fault-injection seam the conformance suite uses to drop, corrupt,
+	// truncate or delay frames. Production fabrics leave it nil.
+	WrapConn func(owner int, c net.Conn) net.Conn
+}
+
+// DefaultFabricTimeout bounds fabric operations when FabricConfig.Timeout
+// is zero.
+const DefaultFabricTimeout = 10 * time.Second
+
+// socketPeer is the coordinator's connection to one node process. A peer is
+// strictly request/response and mutex-serialized: the gather drainers, the
+// training thread's scatter pushes and the serve path may all address the
+// same owner concurrently, and interleaving frames on one conn would corrupt
+// the stream. A failed exchange marks the peer dead (sticky): later
+// operations fail fast with ErrPeerDead instead of hanging on a broken conn.
+type socketPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	err  error   // sticky; nil while healthy
+	out  []byte  // encode scratch
+	in   []byte  // reply read scratch
+	rep  wireMsg // decoded reply, slices reused
+}
+
+// SocketTransport is the multi-process fabric: per-owner gather fetch lists
+// and pre-reduced scatter pushes travel as wire-protocol frames over one
+// socket per node process. Safe for concurrent use; operations against
+// distinct owners proceed in parallel.
+type SocketTransport struct {
+	cfg    FabricConfig
+	peers  []*socketPeer
+	closed sync.Once
+	dead   bool
+	mu     sync.Mutex
+}
+
+// DialFabric connects to every node process in cfg.Addrs and verifies each
+// with a hello exchange, so a mis-wired fabric fails at dial time, not mid-
+// training. The caller owns the returned transport and must Close it.
+func DialFabric(cfg FabricConfig) (*SocketTransport, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultFabricTimeout
+	}
+	t := &SocketTransport{cfg: cfg, peers: make([]*socketPeer, len(cfg.Addrs))}
+	for o, addr := range cfg.Addrs {
+		c, err := net.DialTimeout(cfg.Network, addr, cfg.Timeout)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("shard: dial node %d (%s %s): %w", o, cfg.Network, addr, err)
+		}
+		if cfg.WrapConn != nil {
+			c = cfg.WrapConn(o, c)
+		}
+		p := &socketPeer{conn: c}
+		t.peers[o] = p
+		if err := t.exchange(o, p, &wireMsg{op: opHello, node: o}, opAck); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("shard: hello to node %d: %w", o, err)
+		}
+	}
+	return t, nil
+}
+
+// Name reports the socket family ("unix" or "tcp").
+func (t *SocketTransport) Name() string { return t.cfg.Network }
+
+// Multiproc reports true: rows cross a process boundary.
+func (t *SocketTransport) Multiproc() bool { return true }
+
+// Close closes every peer connection. Idempotent; in-flight exchanges fail
+// with their conn's error and mark the peer dead.
+func (t *SocketTransport) Close() error {
+	t.closed.Do(func() {
+		t.mu.Lock()
+		t.dead = true
+		t.mu.Unlock()
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.conn.Close()
+		}
+	})
+	return nil
+}
+
+// exchange runs one request/response round-trip against a peer under its
+// mutex: encode req, write the frame under a fresh deadline, read exactly
+// one reply frame, decode it, and demand the wanted opcode (opError replies
+// surface as their mapped typed error). Any I/O or protocol failure marks
+// the peer dead.
+func (t *SocketTransport) exchange(owner int, p *socketPeer, req *wireMsg, want byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return t.exchangeLocked(owner, p, req, want)
+}
+
+// exchangeLocked is exchange with p.mu already held — for callers that must
+// also read the decoded reply (p.rep) before another operation on the same
+// peer can overwrite it.
+func (t *SocketTransport) exchangeLocked(owner int, p *socketPeer, req *wireMsg, want byte) error {
+	if p.err != nil {
+		return p.err
+	}
+	t.mu.Lock()
+	dead := t.dead
+	t.mu.Unlock()
+	if dead {
+		return ErrClosed
+	}
+	fail := func(stage string, err error) error {
+		// Both %w verbs matter: callers classify on ErrPeerDead AND on the
+		// underlying codec error (ErrFrameTooLarge & co) via errors.Is.
+		p.err = fmt.Errorf("%w: node %d %s: %w", ErrPeerDead, owner, stage, err)
+		p.conn.Close()
+		return p.err
+	}
+	p.out = appendMsg(append(p.out[:0], 0, 0, 0, 0), req)
+	p.conn.SetDeadline(time.Now().Add(t.cfg.Timeout))
+	if err := writeFrame(p.conn, p.out); err != nil {
+		return fail("write", err)
+	}
+	payload, err := readFrame(p.conn, p.in)
+	if err != nil {
+		return fail("read", err)
+	}
+	p.in = payload[:cap(payload)]
+	if err := decodeMsg(payload, &p.rep); err != nil {
+		return fail("decode", err)
+	}
+	if p.rep.op == opError {
+		// A typed application error (e.g. unknown row) leaves the conn
+		// healthy — framing is intact, the node answered.
+		return wireErr(p.rep.code, p.rep.text)
+	}
+	if p.rep.op != want {
+		return fail("reply", fmt.Errorf("opcode %d, want %d", p.rep.op, want))
+	}
+	return nil
+}
+
+// maxRowsPerFrame returns how many dim-wide rows fit one frame with slack
+// for the opcode and varint headers.
+func maxRowsPerFrame(dim int) int {
+	n := (MaxFrame - 64) / (5 + 4*dim) // ≤5 varint bytes per row id + payload
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Fetch implements Transport: the listed rows stream back from their owner
+// process into the staging buffer. Requests are chunked so neither the
+// fetch frame nor its reply exceeds MaxFrame. The local FetchFunc is
+// ignored — the whole point is that the bytes come off the socket.
+func (t *SocketTransport) Fetch(table, owner int, rows []int32, st *Staging, local FetchFunc) error {
+	p := t.peers[owner]
+	chunk := maxRowsPerFrame(st.dim)
+	for len(rows) > 0 {
+		n := min(len(rows), chunk)
+		if err := t.fetchChunk(table, owner, p, rows[:n], st); err != nil {
+			return err
+		}
+		rows = rows[n:]
+	}
+	return nil
+}
+
+func (t *SocketTransport) fetchChunk(table, owner int, p *socketPeer, rows []int32, st *Staging) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	req := wireMsg{op: opFetch, table: table, rows: rows}
+	if err := t.exchangeLocked(owner, p, &req, opRows); err != nil {
+		return err
+	}
+	// Still under p.mu: the decoded reply is stable until the next exchange
+	// on this peer, and the lock is what keeps that exchange out.
+	rep := &p.rep
+	if len(rep.rows) != len(rows) || (len(rows) > 0 && rep.dim != st.dim) {
+		p.err = fmt.Errorf("%w: node %d returned %d rows dim %d, want %d rows dim %d",
+			ErrPeerDead, owner, len(rep.rows), rep.dim, len(rows), st.dim)
+		p.conn.Close()
+		return p.err
+	}
+	for i, r := range rep.rows {
+		if v, ok := st.Lookup(r); ok {
+			copy(v, rep.vals[i*rep.dim:(i+1)*rep.dim])
+		}
+	}
+	return nil
+}
+
+// Push implements Transport: the rows' current payloads travel to their
+// owner process, chunked under MaxFrame, each chunk acknowledged before the
+// next is sent — a returned nil means the owner's store has the new bits.
+func (t *SocketTransport) Push(table, owner int, rows []int32, src RowAt) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	p := t.peers[owner]
+	dim := len(src(rows[0]))
+	chunk := maxRowsPerFrame(dim)
+	for len(rows) > 0 {
+		n := min(len(rows), chunk)
+		if err := t.pushChunk(table, owner, p, rows[:n], dim, src); err != nil {
+			return err
+		}
+		rows = rows[n:]
+	}
+	return nil
+}
+
+func (t *SocketTransport) pushChunk(table, owner int, p *socketPeer, rows []int32, dim int, src RowAt) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Stage the values contiguously in the peer's scratch so appendMsg can
+	// slice them row-major; the encode copies them into the frame before
+	// the reply decode could touch the scratch again.
+	vals := p.rep.vals[:0]
+	for _, r := range rows {
+		vals = append(vals, src(r)...)
+	}
+	p.rep.vals = vals
+	req := wireMsg{op: opPush, table: table, dim: dim, rows: rows, vals: vals}
+	return t.exchangeLocked(owner, p, &req, opAck)
+}
+
+// LocalFabric is a self-contained socket fabric for tests, experiments and
+// single-machine runs: every NodeServer runs in-process behind a real unix
+// or port-0 TCP socket, so frames still cross the kernel and the wall-clock
+// numbers are honest socket numbers, without spawning OS processes.
+type LocalFabric struct {
+	Transport *SocketTransport
+	Servers   []*NodeServer
+	dir       string
+}
+
+// StartLocalFabric listens one NodeServer per node and dials the fabric.
+// network is "unix" (sockets under a fresh temp dir) or "tcp" (loopback,
+// port 0). wrap is FabricConfig.WrapConn (nil for a healthy fabric).
+func StartLocalFabric(nodes int, network string, timeout time.Duration, wrap func(int, net.Conn) net.Conn) (*LocalFabric, error) {
+	f := &LocalFabric{Servers: make([]*NodeServer, 0, nodes)}
+	addrs := make([]string, 0, nodes)
+	for n := 0; n < nodes; n++ {
+		var addr string
+		switch network {
+		case "unix":
+			if f.dir == "" {
+				// Keep the path short: unix socket paths cap near 100 bytes.
+				d, err := os.MkdirTemp("", "hlfab")
+				if err != nil {
+					return nil, err
+				}
+				f.dir = d
+			}
+			addr = filepath.Join(f.dir, fmt.Sprintf("n%d.sock", n))
+		case "tcp":
+			addr = "127.0.0.1:0"
+		default:
+			return nil, fmt.Errorf("shard: unknown fabric network %q", network)
+		}
+		srv, err := ServeNode(n, network, addr)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Servers = append(f.Servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	tr, err := DialFabric(FabricConfig{Network: network, Addrs: addrs, Timeout: timeout, WrapConn: wrap})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.Transport = tr
+	return f, nil
+}
+
+// Close tears the fabric down: transport first, then the servers, then the
+// socket dir. Idempotent.
+func (f *LocalFabric) Close() error {
+	var first error
+	if f.Transport != nil {
+		first = f.Transport.Close()
+	}
+	for _, s := range f.Servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if f.dir != "" {
+		os.RemoveAll(f.dir)
+		f.dir = ""
+	}
+	return first
+}

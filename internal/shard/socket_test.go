@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fabricTimeout derives the fabric's per-op timeout from the test's own
+// deadline so a hung socket fails the test loudly instead of timing the
+// whole run out (the deflake contract: no fixed sleeps, no fixed ports).
+func fabricTimeout(t *testing.T) time.Duration {
+	if d, ok := t.Deadline(); ok {
+		if rem := time.Until(d) / 2; rem < DefaultFabricTimeout {
+			return rem
+		}
+	}
+	return DefaultFabricTimeout
+}
+
+// stagingFor builds a bare staging buffer keyed by the given rows.
+func stagingFor(rows []int32, dim int) *Staging {
+	slot := make(map[int32]int, len(rows))
+	for i, r := range rows {
+		slot[r] = i
+	}
+	return &Staging{dim: dim, buf: make([]float32, len(rows)*dim), slot: slot}
+}
+
+// rowPattern yields a deterministic, row-distinct payload.
+func rowPattern(dim int) RowAt {
+	buf := make([]float32, dim)
+	return func(row int32) []float32 {
+		for k := range buf {
+			buf[k] = float32(row)*1000 + float32(k)
+		}
+		return buf
+	}
+}
+
+func checkFetched(t *testing.T, st *Staging, rows []int32, dim int) {
+	t.Helper()
+	for _, r := range rows {
+		v, ok := st.Lookup(r)
+		if !ok {
+			t.Fatalf("row %d missing from staging", r)
+		}
+		for k := 0; k < dim; k++ {
+			if want := float32(r)*1000 + float32(k); v[k] != want {
+				t.Fatalf("row %d[%d] = %v want %v", r, k, v[k], want)
+			}
+		}
+	}
+}
+
+func testFabricRoundTrip(t *testing.T, network string) {
+	const dim = 8
+	f, err := StartLocalFabric(2, network, fabricTimeout(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := f.Transport
+
+	rows := []int32{0, 2, 4, 6}
+	if err := tr.Push(1, 0, rows, rowPattern(dim)); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	st := stagingFor(rows, dim)
+	if err := tr.Fetch(1, 0, rows, st, nil); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	checkFetched(t, st, rows, dim)
+
+	// A row the node never received is a typed application error that
+	// leaves the connection healthy.
+	if err := tr.Fetch(1, 0, []int32{99}, stagingFor([]int32{99}, dim), nil); !errors.Is(err, ErrUnknownRow) {
+		t.Fatalf("unknown row: got %v want ErrUnknownRow", err)
+	}
+	st2 := stagingFor(rows, dim)
+	if err := tr.Fetch(1, 0, rows, st2, nil); err != nil {
+		t.Fatalf("fetch after unknown-row error: %v", err)
+	}
+	checkFetched(t, st2, rows, dim)
+
+	if s := f.Servers[0].Stats(); s.RowsStored != int64(len(rows)) || s.RowsHeld != len(rows) {
+		t.Fatalf("node 0 stats = %+v", s)
+	}
+}
+
+func TestSocketFabricUnix(t *testing.T) { testFabricRoundTrip(t, "unix") }
+
+func TestSocketFabricTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unix sockets only in -short (CI deflake contract)")
+	}
+	testFabricRoundTrip(t, "tcp")
+}
+
+// TestSocketFabricChunking pushes and fetches a row list whose frames would
+// exceed MaxFrame unchunked, so both directions must split.
+func TestSocketFabricChunking(t *testing.T) {
+	const dim = 512
+	const n = 1500 // ≈3 frames at (MaxFrame-64)/(5+4*512)
+	if maxRowsPerFrame(dim) >= n {
+		t.Fatalf("test geometry no longer chunks: %d rows/frame", maxRowsPerFrame(dim))
+	}
+	f, err := StartLocalFabric(1, "unix", fabricTimeout(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	if err := f.Transport.Push(0, 0, rows, rowPattern(dim)); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	st := stagingFor(rows, dim)
+	if err := f.Transport.Fetch(0, 0, rows, st, nil); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	checkFetched(t, st, rows, dim)
+	if s := f.Servers[0].Stats(); s.FetchFrames < 2 || s.PushFrames < 2 {
+		t.Fatalf("expected chunked frames, got %+v", s)
+	}
+}
+
+// TestSocketPeerDeathIsSticky kills a node process mid-run: the first
+// operation fails with ErrPeerDead, and every later one fails fast with the
+// same error instead of hanging on the broken conn.
+func TestSocketPeerDeathIsSticky(t *testing.T) {
+	const dim = 4
+	f, err := StartLocalFabric(2, "unix", fabricTimeout(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows := []int32{1, 3}
+	if err := f.Transport.Push(0, 1, rows, rowPattern(dim)); err != nil {
+		t.Fatal(err)
+	}
+	f.Servers[1].Close()
+	for i := 0; i < 2; i++ {
+		err := f.Transport.Fetch(0, 1, rows, stagingFor(rows, dim), nil)
+		if !errors.Is(err, ErrPeerDead) {
+			t.Fatalf("fetch %d from dead peer: got %v want ErrPeerDead", i, err)
+		}
+	}
+	// The other peer is unaffected.
+	if err := f.Transport.Push(0, 0, rows, rowPattern(dim)); err != nil {
+		t.Fatalf("healthy peer after neighbour died: %v", err)
+	}
+}
+
+func TestSocketTransportClosedOps(t *testing.T) {
+	f, err := StartLocalFabric(1, "unix", fabricTimeout(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Transport.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Transport.Close(); err != nil {
+		t.Fatal("second transport Close:", err)
+	}
+	err = f.Transport.Fetch(0, 0, []int32{0}, stagingFor([]int32{0}, 4), nil)
+	if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("op on closed transport: %v", err)
+	}
+}
+
+func TestNodeServerCloseIdempotent(t *testing.T) {
+	srv, err := ServeNode(0, "unix", t.TempDir()+"/n.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Close()
+		}()
+	}
+	wg.Wait()
+	srv.Close()
+}
+
+// TestServiceCloseIdempotent is the lifecycle regression test: double-Close
+// (including concurrent double-Close) is race-clean, and a prefetch window
+// still in flight at Close time can still be awaited and consumed — the
+// drainers retire, but consumers help drain.
+func TestServiceCloseIdempotent(t *testing.T) {
+	f := newWindowFixture(t, 16, 4)
+	q := f.svc.NewWindowQueue(0)
+	idx := [][]int32{{1, 3}, {1, 3}}
+	f.issue(q, idx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f.svc.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := f.svc.Close(); err != nil {
+		t.Fatal("Close after concurrent Close:", err)
+	}
+
+	// The open window survives Close: Match + Consume still deliver the
+	// staged bits.
+	w := q.Match(idx)
+	if w == nil {
+		t.Fatal("window lost across Close")
+	}
+	st := q.Consume(w, f.fetch)
+	if st == nil {
+		t.Fatal("no staging after Close")
+	}
+	if v, ok := st.Lookup(3); !ok || v[0] != 300 {
+		t.Fatalf("staged row 3 = %v, %v", v, ok)
+	}
+	f.g.Release(st)
+	q.Recycle(w)
+}
+
+// TestServiceCloseWithSocketFabric closes a service whose transport is a
+// live socket fabric: the transport must come down with it, idempotently.
+func TestServiceCloseWithSocketFabric(t *testing.T) {
+	f, err := StartLocalFabric(2, "unix", fabricTimeout(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	svc := New(Config{Nodes: 2, CacheBytes: 0, RowBytes: 16}, hotSet(0))
+	svc.SetTransport(f.Transport)
+	if !svc.Multiproc() {
+		t.Fatal("socket fabric not marked multiproc")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
+	err = f.Transport.Push(0, 0, []int32{0}, rowPattern(4))
+	if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("push on closed fabric: %v", err)
+	}
+}

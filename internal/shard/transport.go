@@ -1,0 +1,271 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Fabric errors. Transport implementations wrap these so callers can test
+// failure classes with errors.Is regardless of which peer or frame failed.
+var (
+	// ErrClosed reports an operation on a closed transport or service.
+	ErrClosed = errors.New("shard: transport closed")
+	// ErrPeerDead reports a peer connection that failed mid-operation (dial
+	// refused, I/O error, timeout, or mid-frame EOF). Once a peer is dead
+	// every later operation against it fails fast with the same error.
+	ErrPeerDead = errors.New("shard: peer dead")
+	// ErrUnknownRow reports a fetch of a row the owner node never received.
+	ErrUnknownRow = errors.New("shard: unknown row")
+)
+
+// RowAt returns the authoritative payload of one row from the coordinator's
+// mirror (e.g. ShardedBag.RowView). It is the source for scatter pushes and
+// the initial shard sync; the returned slice is read, never retained.
+type RowAt func(row int32) []float32
+
+// Transport moves embedding rows between the coordinator and the shard
+// nodes: per-owner gather fetch lists stream owner-resident rows into
+// staging buffers, pre-reduced scatter pushes deliver updated rows back to
+// their owners, and the serve-side read path reuses the gather direction.
+// The Service times every call (Stats.GatherWall / Stats.ScatterWall), so a
+// transport's implementation cost is what the fabric measurement reports.
+//
+// Two implementations ship: the in-proc fast path (NewInproc), which serves
+// fetches straight from the coordinator's row mirror — bit-for-bit and
+// allocation-for-allocation identical to the direct calls the service made
+// before the abstraction — and the socket fabric (DialFabric), where each
+// owner is a real OS process reached over a length-prefixed binary framing
+// on unix or TCP sockets.
+//
+// Implementations must be safe for concurrent use: gather drainer
+// goroutines, the training path and the serve path all issue operations
+// concurrently.
+type Transport interface {
+	// Name identifies the transport in reports ("inproc", "unix", "tcp").
+	Name() string
+	// Multiproc reports whether rows cross a process boundary. The service
+	// skips scatter pushes and the initial shard sync on single-address-
+	// space transports (the mirror IS the owner storage).
+	Multiproc() bool
+	// Fetch copies the listed owner-resident rows of one table into their
+	// staging slots (st.Lookup(row) locates each destination). local reads
+	// the coordinator's mirror; the in-proc fast path serves fetches from
+	// it directly, socket transports ignore it and ask the owner process.
+	Fetch(table, owner int, rows []int32, st *Staging, local FetchFunc) error
+	// Push delivers authoritative row payloads of one table to their owner
+	// (the pre-reduced scatter, and the initial shard sync). src yields
+	// each row's current bits.
+	Push(table, owner int, rows []int32, src RowAt) error
+	// Close releases the transport. Idempotent.
+	Close() error
+}
+
+// inproc is the single-address-space fast path: fetches read the
+// coordinator's row mirror via the caller-supplied FetchFunc — exactly the
+// direct call the service performed before the Transport seam — and pushes
+// are no-ops (the mirror is the owner storage). Stateless and always open.
+type inproc struct{}
+
+// NewInproc returns the in-proc fast-path transport (the default of every
+// Service).
+func NewInproc() Transport { return inproc{} }
+
+func (inproc) Name() string    { return "inproc" }
+func (inproc) Multiproc() bool { return false }
+
+func (inproc) Fetch(table, owner int, rows []int32, st *Staging, local FetchFunc) error {
+	for _, r := range rows {
+		if v, ok := st.Lookup(r); ok {
+			local(r, v)
+		}
+	}
+	return nil
+}
+
+func (inproc) Push(int, int, []int32, RowAt) error { return nil }
+func (inproc) Close() error                        { return nil }
+
+// tableReg is one registered sharded table (geometry + row source), kept so
+// a multi-process fabric can re-derive ownership for pushes and diagnostics.
+type tableReg struct {
+	table, dim, rows int
+	src              RowAt
+}
+
+// SetTransport installs the fabric transport rows travel over; the default
+// is the in-proc fast path. Call it on a fresh service — before any table
+// is registered (ShardBag / Model.ShardEmbeddings) and before training — so
+// the initial shard sync reaches the right fabric. A multi-process
+// transport auto-attaches the async gather engine: every fabric fetch is
+// staged, which is what gives the socket path its measured wall times.
+func (s *Service) SetTransport(tr Transport) {
+	if tr == nil {
+		tr = NewInproc()
+	}
+	s.mu.Lock()
+	registered := len(s.tables)
+	s.mu.Unlock()
+	if registered > 0 {
+		panic("shard: SetTransport after tables were registered; install the transport on a fresh service")
+	}
+	s.tr = tr
+	s.multiproc = tr.Multiproc()
+	if s.multiproc {
+		s.EnableAsyncGather()
+	}
+}
+
+// Transport returns the installed fabric transport (never nil).
+func (s *Service) Transport() Transport { return s.tr }
+
+// Multiproc reports whether rows cross a process boundary (socket fabric).
+func (s *Service) Multiproc() bool { return s.multiproc }
+
+// RegisterTable declares one sharded table's geometry and row source to the
+// fabric. On the in-proc transport this only records the registration; on a
+// multi-process fabric it bulk-pushes every row to its owner node process
+// (the initial shard sync), so worker stores serve fetches from exactly the
+// bits the coordinator's mirror holds. ShardBag calls this; shadows share
+// the primary's registration.
+func (s *Service) RegisterTable(table, dim, rows int, src RowAt) {
+	s.mu.Lock()
+	s.tables = append(s.tables, tableReg{table: table, dim: dim, rows: rows, src: src})
+	s.mu.Unlock()
+	if !s.multiproc {
+		return
+	}
+	// Setup path: allocation is fine, and the sync is deliberately NOT
+	// counted as scatter wall time (it replicates initial state, it is not
+	// training traffic).
+	byOwner := make([][]int32, s.cfg.Nodes)
+	for r := 0; r < rows; r++ {
+		o := s.Owner(table, int32(r))
+		byOwner[o] = append(byOwner[o], int32(r))
+	}
+	for o, rs := range byOwner {
+		if len(rs) == 0 {
+			continue
+		}
+		if err := s.tr.Push(table, o, rs, src); err != nil {
+			s.noteFabricErr(fmt.Errorf("initial sync of table %d to node %d: %w", table, o, err))
+		}
+	}
+}
+
+// PushUpdates mirrors a sparse update's new row values to their owner
+// processes — the pre-reduced scatter: each updated row travels once, to
+// the node that owns it, after local pre-reduction already merged every
+// contribution. A no-op on single-address-space transports (the update
+// already landed in the owner storage). The push is synchronous and
+// per-owner, so a later fetch of an updated row always observes the new
+// bits; its wall time accumulates into Stats.ScatterWall.
+func (s *Service) PushUpdates(table int, rows []int32, src RowAt) {
+	if !s.multiproc || len(rows) == 0 {
+		return
+	}
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	if cap(s.pushGroups) < s.cfg.Nodes {
+		s.pushGroups = make([][]int32, s.cfg.Nodes)
+	}
+	groups := s.pushGroups[:s.cfg.Nodes]
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	for _, r := range rows {
+		o := s.Owner(table, r)
+		groups[o] = append(groups[o], r)
+	}
+	s.pushGroups = groups
+	for o, rs := range groups {
+		if len(rs) == 0 {
+			continue
+		}
+		start := time.Now()
+		err := s.tr.Push(table, o, rs, src)
+		s.scatterWallNS.Add(time.Since(start).Nanoseconds())
+		if err != nil {
+			s.noteFabricErr(fmt.Errorf("scatter push of table %d to node %d: %w", table, o, err))
+		}
+	}
+}
+
+// fetchVia routes one per-owner fetch list through the transport, timing it
+// into the given wall-clock meter and recording any fabric error.
+func (s *Service) fetchVia(wall *atomic.Int64, table, owner int, rows []int32, st *Staging, local FetchFunc) error {
+	start := time.Now()
+	err := s.tr.Fetch(table, owner, rows, st, local)
+	wall.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		s.noteFabricErr(fmt.Errorf("gather fetch of table %d from node %d: %w", table, owner, err))
+	}
+	return err
+}
+
+// transportFetch is fetchVia on the training-side gather meter.
+func (s *Service) transportFetch(table, owner int, rows []int32, st *Staging, local FetchFunc) error {
+	return s.fetchVia(&s.gatherWallNS, table, owner, rows, st, local)
+}
+
+// ServeGatherSync stages a serve plan's fabric rows synchronously through
+// the transport (the read path of a multi-process fabric); the wall time
+// books into the serve-side counters (ServeSnapshot().GatherWall). Release
+// the returned staging to the gatherer once its rows are consumed.
+func (s *Service) ServeGatherSync(plan *GatherPlan, dim int, local FetchFunc) *Staging {
+	st := s.gather.ring.Staging(plan, dim)
+	for owner, rows := range plan.perOwner {
+		if len(rows) == 0 {
+			continue
+		}
+		s.fetchVia(&s.serveWallNS, plan.Table, owner, rows, st, local)
+	}
+	return st
+}
+
+// noteFabricErr records the first fabric error (later ones are dropped —
+// the first failure is the actionable one; a dead peer cascades).
+func (s *Service) noteFabricErr(err error) {
+	s.errMu.Lock()
+	if s.fabricErr == nil {
+		s.fabricErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// FabricErr returns the first transport failure the service observed (nil
+// when the fabric is healthy). Fetch failures leave staged rows unfilled,
+// so a non-nil fabric error voids any parity claim for the run; check it
+// after training and after Close.
+func (s *Service) FabricErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.fabricErr
+}
+
+// ResetFabricErr clears the recorded fabric error (fault-injection tests).
+func (s *Service) ResetFabricErr() {
+	s.errMu.Lock()
+	s.fabricErr = nil
+	s.errMu.Unlock()
+}
+
+// Close releases the fabric: the async engine's persistent drainer
+// goroutines are retired (parked drainers wake and exit; windows already
+// submitted still complete because consumers help drain in Await) and the
+// transport is closed. Idempotent and safe under concurrent callers —
+// every call after the first returns the first call's result — and safe
+// with prefetch windows still open: consuming them after Close works, only
+// new asynchronous drains stop.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		if s.gather != nil {
+			s.gather.Close()
+		}
+		if s.tr != nil {
+			s.closeErr = s.tr.Close()
+		}
+	})
+	return s.closeErr
+}

@@ -59,15 +59,20 @@ func (w *Window) join() {
 // Windows recycle through a free list, so the steady-state depth-k path
 // allocates nothing once the pipeline reaches its peak depth.
 type WindowQueue struct {
-	svc *Service
+	svc   *Service
+	table int // accounting key of the table this queue repairs through the fabric
 
 	mu   sync.Mutex
 	open []*Window // FIFO, oldest window first
 	free []*Window
 }
 
-// NewWindowQueue returns an empty window registry routing through s.
-func (s *Service) NewWindowQueue() *WindowQueue { return &WindowQueue{svc: s} }
+// NewWindowQueue returns an empty window registry for one table, routing
+// through s (delta repairs re-fetch dirty rows from their owner over the
+// service's transport).
+func (s *Service) NewWindowQueue(table int) *WindowQueue {
+	return &WindowQueue{svc: s, table: table}
+}
 
 // Len returns the number of open (issued, unconsumed) windows.
 func (q *WindowQueue) Len() int {
@@ -186,10 +191,14 @@ func (q *WindowQueue) Consume(w *Window, fetch FetchFunc) *Staging {
 		q.svc.Gatherer().noteStale(len(w.dirty))
 		return st
 	}
-	for _, r := range w.dirty {
-		if v, ok := st.Lookup(r); ok {
-			fetch(r, v)
+	for i, r := range w.dirty {
+		if !st.Has(r) {
+			continue
 		}
+		// Per-row fabric re-fetch from the row's owner; the one-element
+		// sub-slice of the dirty list keeps the steady-state path
+		// allocation-free.
+		q.svc.transportFetch(q.table, q.svc.Owner(q.table, r), w.dirty[i:i+1], st, fetch)
 	}
 	q.svc.Gatherer().noteRepair(len(w.dirty), int64(len(w.dirty))*q.svc.Config().RowBytes)
 	return st

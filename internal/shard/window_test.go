@@ -41,7 +41,7 @@ func (f *windowFixture) issue(q *WindowQueue, idx [][]int32) {
 
 func TestWindowQueueMatchIsFIFOAndExact(t *testing.T) {
 	f := newWindowFixture(t, 8, 4)
-	q := f.svc.NewWindowQueue()
+	q := f.svc.NewWindowQueue(0)
 	idxA := [][]int32{{0, 1}, {0, 1}}
 	idxB := [][]int32{{2, 3}, {2, 3}}
 	f.issue(q, idxA)
@@ -80,7 +80,7 @@ func TestWindowQueueMatchIsFIFOAndExact(t *testing.T) {
 
 func TestWindowQueueDirtyRowRepair(t *testing.T) {
 	f := newWindowFixture(t, 8, 4)
-	q := f.svc.NewWindowQueue()
+	q := f.svc.NewWindowQueue(0)
 	idx := [][]int32{{0, 1}, {0, 1}} // rows 0 and 1 both cross the fabric
 	f.issue(q, idx)
 
@@ -111,7 +111,7 @@ func TestWindowQueueDirtyRowRepair(t *testing.T) {
 func TestWindowQueueStaleMode(t *testing.T) {
 	f := newWindowFixture(t, 8, 4)
 	f.svc.SetStaleReads(true)
-	q := f.svc.NewWindowQueue()
+	q := f.svc.NewWindowQueue(0)
 	idx := [][]int32{{0, 1}, {0, 1}}
 	f.issue(q, idx)
 
@@ -133,7 +133,7 @@ func TestWindowQueueStaleMode(t *testing.T) {
 
 func TestWindowQueueAbortDiscardsAll(t *testing.T) {
 	f := newWindowFixture(t, 8, 4)
-	q := f.svc.NewWindowQueue()
+	q := f.svc.NewWindowQueue(0)
 	idxA := [][]int32{{0, 1}, {0, 1}}
 	idxB := [][]int32{{2, 3}, {2, 3}}
 	f.issue(q, idxA)
@@ -151,7 +151,7 @@ func TestWindowQueueEmptyPlanWindow(t *testing.T) {
 	// All-local accesses plan nothing; the empty window keeps the FIFO
 	// aligned and consumes to a nil staging.
 	f := newWindowFixture(t, 8, 4)
-	q := f.svc.NewWindowQueue()
+	q := f.svc.NewWindowQueue(0)
 	idx := [][]int32{{0}, {1}} // node 0 owns row 0, node 1 owns row 1
 	f.issue(q, idx)
 	w := q.Match(idx)
@@ -168,7 +168,7 @@ func TestWindowQueueBoundsOpenWindows(t *testing.T) {
 	// A caller that prefetches but never pointer-matches its forwards must
 	// not leak windows: the FIFO evicts its oldest entry past the cap.
 	f := newWindowFixture(t, 8, 4)
-	q := f.svc.NewWindowQueue()
+	q := f.svc.NewWindowQueue(0)
 	for i := 0; i < 3*maxOpenWindows; i++ {
 		f.issue(q, [][]int32{{0, 1}, {0, 1}}) // fresh slice header each call
 	}
