@@ -1,0 +1,49 @@
+// Command hotline-vet machine-checks the repo's static contracts: the
+// multichecker over the internal/analysis suite (hotalloc, detorder,
+// markdirty, statslock, wraperr). It type-checks every module package
+// from source, runs all analyzers, prints each diagnostic go-vet style
+// and exits 1 if any survive their //hotline:allow suppressions — the CI
+// gate next to gofmt/vet/race.
+//
+// Usage:
+//
+//	go run ./cmd/hotline-vet ./...
+//
+// The package pattern argument is accepted for familiarity but the suite
+// always analyses the whole module: contracts are repo-wide (a hot-path
+// annotation in tensor is only as strong as its callers in train).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotline/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root to analyse")
+	list := flag.Bool("help-analyzers", false, "print the analyzer contracts and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := analysis.Vet(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotline-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hotline-vet: %d contract violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -61,12 +61,14 @@ type classifyMemo struct {
 }
 
 // lookup probes the memo; compute is consulted (and memoised) on a miss.
+//
+//hotline:hotpath
 func (m *classifyMemo) lookup(key uint64, compute func() bool) bool {
 	if m.keys == nil {
 		n := 1 << memoBits
-		m.keys = make([]uint64, n)
-		m.epochs = make([]uint32, n)
-		m.vals = make([]bool, n)
+		m.keys = make([]uint64, n)   //hotline:allow hotalloc lazy one-time memo init
+		m.epochs = make([]uint32, n) //hotline:allow hotalloc lazy one-time memo init
+		m.vals = make([]bool, n)     //hotline:allow hotalloc lazy one-time memo init
 	}
 	h := (key * 0x9E3779B97F4A7C15) >> (64 - memoBits)
 	if m.keys[h] == key && m.epochs[h] == m.epoch {
@@ -78,6 +80,8 @@ func (m *classifyMemo) lookup(key uint64, compute func() bool) bool {
 }
 
 // nextEpoch invalidates the memo (start of a new Classify call).
+//
+//hotline:hotpath
 func (m *classifyMemo) nextEpoch() {
 	m.epoch++
 	if m.epoch == 0 && m.keys != nil {
@@ -98,6 +102,8 @@ func New(cfg Config) *Accelerator {
 
 // LearnBatch feeds every access of a sampled mini-batch into the EAL
 // (learning phase, §IV-1).
+//
+//hotline:hotpath
 func (a *Accelerator) LearnBatch(b *data.Batch) {
 	a.SampledBatches++
 	for t := range b.Sparse {
@@ -112,6 +118,8 @@ func (a *Accelerator) LearnBatch(b *data.Batch) {
 // MaybeLearn samples the batch at the configured rate using a deterministic
 // batch counter (every k-th batch where k = 1/SampleRate), mirroring the
 // periodic re-calibration the paper describes.
+//
+//hotline:hotpath
 func (a *Accelerator) MaybeLearn(b *data.Batch) bool {
 	a.TotalBatches++
 	if a.Cfg.SampleRate <= 0 {
@@ -154,6 +162,8 @@ func (c Classification) PopularFraction() float64 {
 // The returned index slices are scratch owned by the accelerator, valid
 // until the next Classify call; callers that keep a classification across
 // batches must copy them (the executor's lookahead stash does).
+//
+//hotline:hotpath
 func (a *Accelerator) Classify(b *data.Batch) Classification {
 	cl := Classification{PopularIdx: a.popScratch[:0], NonPopularIdx: a.nonScratch[:0]}
 	a.memo.nextEpoch()
@@ -164,7 +174,7 @@ func (a *Accelerator) Classify(b *data.Batch) Classification {
 			for _, ix := range b.Sparse[t][i] {
 				cl.TotalLookups++
 				key := uint64(t)<<32 | uint64(uint32(ix))
-				tracked := a.memo.lookup(key, func() bool { return a.EAL.Contains(t, ix) })
+				tracked := a.memo.lookup(key, func() bool { return a.EAL.Contains(t, ix) }) //hotline:allow hotalloc non-escaping predicate; memo.lookup invokes it inline or not at all
 				if !tracked {
 					popular = false
 					cl.ColdLookups++
@@ -172,9 +182,9 @@ func (a *Accelerator) Classify(b *data.Batch) Classification {
 			}
 		}
 		if popular {
-			cl.PopularIdx = append(cl.PopularIdx, i)
+			cl.PopularIdx = append(cl.PopularIdx, i) //hotline:allow hotalloc classification scratch; converges to the batch size
 		} else {
-			cl.NonPopularIdx = append(cl.NonPopularIdx, i)
+			cl.NonPopularIdx = append(cl.NonPopularIdx, i) //hotline:allow hotalloc classification scratch; converges to the batch size
 		}
 	}
 	a.popScratch, a.nonScratch = cl.PopularIdx, cl.NonPopularIdx

@@ -111,6 +111,8 @@ func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 func (e *EAL) Capacity() int { return e.Cfg.Banks * e.sets * e.Cfg.Ways }
 
 // locate returns the bank, set and tag for a (table, row) key.
+//
+//hotline:hotpath
 func (e *EAL) locate(table int, row int32) (bank, set int, tag uint32) {
 	var h uint32
 	if e.Cfg.NoRandomizer {
@@ -134,6 +136,7 @@ func (e *EAL) locate(table int, row int32) (bank, set int, tag uint32) {
 	return
 }
 
+//hotline:hotpath
 func (e *EAL) setSlice(bank, set int) []ealEntry {
 	base := (bank*e.sets + set) * e.Cfg.Ways
 	return e.entries[base : base+e.Cfg.Ways]
@@ -147,6 +150,8 @@ func (e *EAL) Bank(table int, row int32) int {
 
 // Contains is the acceleration-phase classification probe: a read-only
 // check that does not disturb replacement state.
+//
+//hotline:hotpath
 func (e *EAL) Contains(table int, row int32) bool {
 	bank, set, tag := e.locate(table, row)
 	for _, ent := range e.setSlice(bank, set) {
@@ -163,6 +168,8 @@ func (e *EAL) Contains(table int, row int32) bool {
 // Touch is the learning-phase access: on hit the entry's RRPV promotes to 0
 // (near re-reference); on miss the key is inserted at rrpvMax-1, evicting a
 // distant (rrpv==max) victim per SRRIP. Returns whether it was a hit.
+//
+//hotline:hotpath
 func (e *EAL) Touch(table int, row int32) bool {
 	bank, set, tag := e.locate(table, row)
 	ways := e.setSlice(bank, set)
@@ -181,6 +188,8 @@ func (e *EAL) Touch(table int, row int32) bool {
 // insert places tag per the configured policy. SRRIP: find an invalid way
 // or an rrpv==max victim, aging the set until one appears. FIFO: evict in
 // round-robin insertion order.
+//
+//hotline:hotpath
 func (e *EAL) insert(setIdx int, ways []ealEntry, tag uint32) {
 	for i := range ways {
 		if !ways[i].valid {

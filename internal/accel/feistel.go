@@ -26,6 +26,8 @@ func NewFeistel(seed uint32) *Feistel {
 }
 
 // round is the Feistel F-function on a 16-bit half.
+//
+//hotline:hotpath
 func (f *Feistel) round(half, key uint16) uint16 {
 	x := uint32(half)*0x9E37 + uint32(key)
 	x ^= x >> 7
@@ -35,6 +37,8 @@ func (f *Feistel) round(half, key uint16) uint16 {
 }
 
 // Permute applies the 4-round network to v (a bijection on uint32).
+//
+//hotline:hotpath
 func (f *Feistel) Permute(v uint32) uint32 {
 	l, r := uint16(v>>16), uint16(v)
 	for i := 0; i < 4; i++ {
@@ -55,6 +59,8 @@ func (f *Feistel) Inverse(v uint32) uint32 {
 // HashKey maps an (embedding table, embedding index) tuple to a scattered
 // 32-bit key. Table id occupies the top 6 bits pre-permutation so tables
 // with identical index distributions land in different regions.
+//
+//hotline:hotpath
 func (f *Feistel) HashKey(table int, row int32) uint32 {
 	v := uint32(table)<<26 ^ uint32(row)&0x03FF_FFFF
 	return f.Permute(v)

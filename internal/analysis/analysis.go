@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static contract check. The struct mirrors
+// golang.org/x/tools/go/analysis.Analyzer (the subset this repo needs) so
+// the checkers port to an x/tools multichecker without edits.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hotline:allow directives.
+	Name string
+	// Doc is the one-paragraph contract description shown by -help.
+	Doc string
+	// Run reports the package's violations through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one contract violation at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees (comments retained). For the
+	// vet gate these are the non-test sources; test files carry no
+	// hot-path or determinism contracts.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Report records one violation. Suppression by //hotline:allow and
+// deterministic ordering are applied by the driver afterwards.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of an expression (nil if untypeable).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// directivePrefix introduces every contract annotation.
+const directivePrefix = "//hotline:"
+
+// knownDirectives is the accepted verb set; anything else under the
+// //hotline: prefix is reported as a malformed directive by the driver.
+var knownDirectives = map[string]bool{
+	"hotpath":       true,
+	"mutates-rows":  true,
+	"stats-writer":  true,
+	"deterministic": true,
+	"typed-errors":  true,
+	"allow":         true,
+}
+
+// hasDirective reports whether the comment group carries the named
+// //hotline: directive (go directive style: no space after //).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if directiveName(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveName extracts the verb of a //hotline: comment ("" if the
+// comment is not a directive).
+func directiveName(text string) string {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return ""
+	}
+	rest := text[len(directivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// FuncDirective reports whether the function declaration is annotated
+// with the named directive.
+func FuncDirective(fn *ast.FuncDecl, name string) bool {
+	return hasDirective(fn.Doc, name)
+}
+
+// PkgDirective reports whether any file's package doc carries the named
+// directive (the convention places it in the package's doc.go).
+func PkgDirective(files []*ast.File, name string) bool {
+	for _, f := range files {
+		if hasDirective(f.Doc, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// FileDirective reports whether a single file is annotated: the directive
+// sits in the file's doc comment or in any comment group above the first
+// declaration (for files that scope a package-wide contract down, e.g.
+// //hotline:typed-errors on the transport/codec files only).
+func FileDirective(f *ast.File, name string) bool {
+	if hasDirective(f.Doc, name) {
+		return true
+	}
+	var firstDecl token.Pos = token.NoPos
+	if len(f.Decls) > 0 {
+		firstDecl = f.Decls[0].Pos()
+	}
+	for _, cg := range f.Comments {
+		if firstDecl.IsValid() && cg.Pos() > firstDecl {
+			break
+		}
+		if hasDirective(cg, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// an allowance is one parsed //hotline:allow comment.
+type allowance struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int // line the comment sits on; covers this line and the next
+	used     bool
+}
+
+// allowIndex collects every //hotline:allow in a file set and answers
+// whether a diagnostic is suppressed. A comment suppresses diagnostics of
+// its named analyzer on its own line (trailing comment) or the line
+// directly below (leading comment).
+type allowIndex struct {
+	byFileLine map[string][]*allowance
+	malformed  []Diagnostic
+}
+
+func newAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ix := &allowIndex{byFileLine: make(map[string][]*allowance)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := directiveName(c.Text)
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if !knownDirectives[name] {
+					ix.malformed = append(ix.malformed, Diagnostic{
+						Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("unknown directive %q (known: hotpath, mutates-rows, stats-writer, deterministic, typed-errors, allow)", directivePrefix+name),
+					})
+					continue
+				}
+				if name != "allow" {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, directivePrefix+"allow"))
+				if len(fields) < 2 {
+					ix.malformed = append(ix.malformed, Diagnostic{
+						Pos: pos, Analyzer: "directive",
+						Message: "malformed //hotline:allow: want \"//hotline:allow <analyzer> <reason>\" (the reason is the justification the review reads)",
+					})
+					continue
+				}
+				a := &allowance{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					file:     pos.Filename,
+					line:     pos.Line,
+				}
+				ix.byFileLine[a.file] = append(ix.byFileLine[a.file], a)
+			}
+		}
+	}
+	return ix
+}
+
+// suppressed reports (and marks) whether an allowance covers the diagnostic.
+// A same-line (trailing) allowance wins over one on the line above, so
+// adjacent lines that each carry their own trailing allow are accounted
+// separately — the leading-comment form only covers lines without one.
+func (ix *allowIndex) suppressed(d Diagnostic) bool {
+	var above *allowance
+	for _, a := range ix.byFileLine[d.Pos.Filename] {
+		if a.analyzer != d.Analyzer {
+			continue
+		}
+		if d.Pos.Line == a.line {
+			a.used = true
+			return true
+		}
+		if d.Pos.Line == a.line+1 && above == nil {
+			above = a
+		}
+	}
+	if above != nil {
+		above.used = true
+		return true
+	}
+	return false
+}
+
+// unused returns a diagnostic for every allowance that suppressed nothing
+// — stale justifications rot, so the vet gate flags them for removal.
+func (ix *allowIndex) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, as := range ix.byFileLine {
+		for _, a := range as {
+			if !a.used {
+				out = append(out, Diagnostic{
+					Pos:      token.Position{Filename: a.file, Line: a.line, Column: 1},
+					Analyzer: "directive",
+					Message:  fmt.Sprintf("unused //hotline:allow %s (%s): no diagnostic here — remove it", a.analyzer, a.reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer —
+// the deterministic output contract of cmd/hotline-vet.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// RunAnalyzers applies the analyzers to one loaded package, returning the
+// surviving (non-suppressed) diagnostics plus any malformed or unused
+// directives, in deterministic order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	ix := newAllowIndex(pkg.Fset, pkg.Files)
+	out := ix.malformed
+	for _, d := range raw {
+		if !ix.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, ix.unused()...)
+	sortDiagnostics(out)
+	return out, nil
+}

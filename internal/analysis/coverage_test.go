@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot resolves the module root from this package's directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestHotpathAllocGateCoverage asserts the two halves of the hot-path
+// contract cover the same set: every //hotline:hotpath function is
+// reachable from at least one testing.AllocsPerRun-gated test, so the
+// static check never certifies a kernel the runtime gates don't measure.
+func TestHotpathAllocGateCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	uncovered, err := HotpathCoverage(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range uncovered {
+		t.Errorf("%s: //hotline:hotpath function %s is not reachable from any testing.AllocsPerRun gate", fn.Pos, fn.Key)
+	}
+	if len(uncovered) > 0 {
+		t.Log("add an alloc-gated test that exercises the kernel, or drop the annotation")
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detorder enforces the bit-determinism contract on packages annotated
+// //hotline:deterministic (in the package doc, conventionally doc.go):
+// results must be identical for every worker count, pipeline depth and
+// transport, so nothing on those paths may depend on map iteration
+// order, wall-clock time or unseeded global randomness. Measurement
+// code that reads the clock without feeding math (the fabric wall
+// meters) suppresses with //hotline:allow detorder <reason>.
+var Detorder = &Analyzer{
+	Name: "detorder",
+	Doc: "forbid map-order iteration, time.Now and unseeded math/rand in " +
+		"//hotline:deterministic packages",
+	Run: runDetorder,
+}
+
+// randConstructors are the math/rand functions that build seeded
+// generators rather than consuming the unseeded global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetorder(pass *Pass) error {
+	if !PkgDirective(pass.Files, "deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if isMapType(pass.Info, x.X) && !isKeyCollectLoop(pass, x) {
+					pass.Report(x.Pos(), "range over a map iterates in nondeterministic order; collect and sort the keys")
+				}
+			case *ast.CallExpr:
+				checkDetCall(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollectLoop recognises the recommended remediation itself — a
+// range whose body only collects the keys for sorting:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The iteration order never escapes (append is order-insensitive up to
+// the sort that must follow), so flagging it would force an //hotline:
+// allow onto exactly the pattern the diagnostic asks for.
+func isKeyCollectLoop(pass *Pass, r *ast.RangeStmt) bool {
+	if r.Value != nil || len(r.Body.List) != 1 {
+		return false
+	}
+	key, ok := r.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	asg, ok := r.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltinCall(pass.Info, call, "append") || len(call.Args) != 2 {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeObject(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Report(call.Pos(), "time.%s on a deterministic path; results must not depend on wall clock (measurement-only reads need an //hotline:allow)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on a *rand.Rand are seeded by whoever built it; only
+		// package-level functions consume the shared unseeded source.
+		if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()] {
+			pass.Report(call.Pos(), "%s.%s draws from the unseeded global source; thread a seeded *rand.Rand (tensor.NewRNG's pattern)", fn.Pkg().Path(), fn.Name())
+		}
+	case "maps":
+		switch fn.Name() {
+		case "Keys", "Values", "All":
+			pass.Report(call.Pos(), "maps.%s yields elements in nondeterministic order; sort before iterating", fn.Name())
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package analysis is the static-contract layer: a suite of custom
+// analyzers that machine-check, at compile time, the invariants the rest
+// of the repo enforces with runtime tests — the 0 allocs/op hot paths, the
+// bit-determinism contract, the MarkDirty-before-mutate window-repair
+// protocol, the Stats counter discipline, and the typed-error convention
+// of the transport fabric.
+//
+// The suite deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer / Pass / Diagnostic, analysistest-style want fixtures)
+// so each checker can be ported to an x/tools multichecker verbatim; the
+// build environment pins no external modules, so the driver underneath is
+// a self-contained loader that type-checks the module's packages from
+// source and reads standard-library type information from the compiler's
+// export data (via `go list -export`).
+//
+// Contracts are declared in source with `//hotline:` directives:
+//
+//	//hotline:hotpath           function must not allocate      (hotalloc)
+//	//hotline:mutates-rows      function rewrites embedding rows (markdirty)
+//	//hotline:stats-writer      function may mutate shard counters (statslock)
+//	//hotline:deterministic     package-level: bit-determinism  (detorder)
+//	//hotline:typed-errors      package/file-level: %w-wrap      (wraperr)
+//	//hotline:allow <analyzer> <reason>   suppress one diagnostic, with
+//	                            justification, on the same or next line
+//
+// cmd/hotline-vet runs every analyzer over the module and exits non-zero
+// on any diagnostic; CI gates on it next to gofmt/vet/race.
+package analysis

@@ -1,0 +1,56 @@
+// Package detorder is the detorder analyzer's fixture: the package doc
+// directive below puts every function under the bit-determinism contract.
+//
+//hotline:deterministic
+package detorder
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func iterate(m map[int]int) int {
+	var s int
+	for k, v := range m { // want "range over a map iterates in nondeterministic order"
+		s += k + v
+	}
+	return s
+}
+
+// collect is the recommended remediation itself — a key-collect loop whose
+// iteration order never escapes — so it is exempt.
+func collect(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now on a deterministic path"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since on a deterministic path"
+}
+
+// meter shows the sanctioned measurement-only escape hatch (no want — a
+// surviving diagnostic fails the fixture).
+func meter() int64 {
+	return time.Now().UnixNano() //hotline:allow detorder wall meter only, never feeds math
+}
+
+func draw() float64 {
+	return rand.Float64() // want "draws from the unseeded global source"
+}
+
+func seeded(r *rand.Rand) float64 {
+	return r.Float64() // methods on a seeded *rand.Rand: allowed
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors: allowed
+}

@@ -1,0 +1,6 @@
+// Package directive holds the malformed-allow case for TestMalformedAllow:
+// the comment below names no reason, so the driver reports it.
+package directive
+
+//hotline:allow hotalloc
+func nothing() {}

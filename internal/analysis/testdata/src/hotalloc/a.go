@@ -1,0 +1,111 @@
+// Package hotalloc is the hotalloc analyzer's fixture: each want comment
+// pins one allocating construct the contract forbids in hot functions.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+
+	"hotline/internal/par"
+)
+
+var sink []float32
+
+var errSentinel = errors.New("sentinel") // package-level sentinel: allowed
+
+//hotline:hotpath
+func kernel(dst, src []float32) {
+	buf := make([]float32, 8) // want "make allocates on a hot path"
+	_ = buf
+	dst = append(dst, src...)       // want "append may grow its backing array"
+	_ = fmt.Sprintf("%d", len(src)) // want "fmt.Sprintf allocates on a hot path"
+	_ = errors.New("boom")          // want "errors.New allocates on a hot path"
+	sink = []float32{1, 2}          // want "slice literal allocates on a hot path"
+	go drain()                      // want "go statement allocates a goroutine"
+}
+
+func drain() {}
+
+//hotline:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//hotline:hotpath
+func box(v int) any {
+	return any(v) // want "conversion boxes int into any"
+}
+
+func take(vs ...any) {
+	_ = vs
+}
+
+//hotline:hotpath
+func callBox(x int64) {
+	take(x) // want "argument boxes int64 into any"
+}
+
+type binder struct{}
+
+func (binder) step() {}
+
+//hotline:hotpath
+func bind(b binder) func() {
+	return b.step // want "method value step binds a closure"
+}
+
+// parKernel's closure is exempt: the par.Serial branch means the loop body
+// runs inline in the serial case and the closure only materialises on the
+// forking path.
+//
+//hotline:hotpath
+func parKernel(w []float32) {
+	n := len(w)
+	if par.Serial(n, 1) {
+		for i := 0; i < n; i++ {
+			w[i] = 0
+		}
+	} else {
+		par.ForWork(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w[i] = 0
+			}
+		})
+	}
+}
+
+//hotline:hotpath
+func unguarded(w []float32) {
+	par.ForWork(len(w), 1, func(lo, hi int) { // want "closure escapes to the heap"
+		for i := lo; i < hi; i++ {
+			w[i] = 0
+		}
+	})
+}
+
+// amortized shows the sanctioned escape hatch: the trailing allow
+// suppresses the append diagnostic (no want here — a surviving
+// diagnostic fails the fixture).
+//
+//hotline:hotpath
+func amortized(buf []float32, v float32) []float32 {
+	return append(buf, v) //hotline:allow hotalloc growth amortises geometrically
+}
+
+// panicArg is cold below the panic: nothing under a panic argument is
+// steady-state, so the fmt call is not flagged.
+//
+//hotline:hotpath
+func panicArg(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+}
+
+func cold() {
+	//hotline:allow hotalloc this function is not hot // want "unused //hotline:allow hotalloc"
+	_ = len(sink)
+}
+
+//hotline:frobnicate // want "unknown directive"
+func typo() {}

@@ -1,0 +1,55 @@
+// Package markdirty is the markdirty analyzer's fixture, exercising the
+// window-repair protocol against the real shard.WindowQueue type.
+package markdirty
+
+import "hotline/internal/shard"
+
+//hotline:mutates-rows
+func good(q *shard.WindowQueue, rows []int32, w []float32) {
+	q.MarkDirty(rows)
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// guarded may run inert guards (len checks that only return) before the
+// mark; the protocol is still satisfied.
+//
+//hotline:mutates-rows
+func guarded(q *shard.WindowQueue, rows []int32, w []float32) {
+	if len(rows) == 0 {
+		return
+	}
+	q.MarkDirty(rows)
+	w[0] = 1
+}
+
+//hotline:mutates-rows
+func never(w []float32) { // want "never calls WindowQueue.MarkDirty"
+	_ = len(w)
+}
+
+//hotline:mutates-rows
+func unmarked(w []float32) {
+	for i := range w { // want "may mutate rows before calling MarkDirty"
+		w[i] = 0
+	}
+}
+
+//hotline:mutates-rows
+func late(q *shard.WindowQueue, rows []int32, w []float32) {
+	w[0] = 1 // want "may mutate rows before calling MarkDirty"
+	q.MarkDirty(rows)
+}
+
+//hotline:mutates-rows
+func conditional(q *shard.WindowQueue, rows []int32, w []float32) {
+	if len(rows) > 0 { // want "calls MarkDirty conditionally"
+		q.MarkDirty(rows)
+	}
+	w[0] = 1
+}
+
+func undeclared(q *shard.WindowQueue, rows []int32) { // want "not annotated //hotline:mutates-rows"
+	q.MarkDirty(rows)
+}

@@ -1,0 +1,24 @@
+//hotline:typed-errors
+
+// Package wraperr is the wraperr analyzer's fixture: the directive above
+// the package clause scopes the typed-error convention to this file.
+package wraperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errThing = errors.New("thing") // package-level sentinel: allowed
+
+func untyped(n int) error {
+	return fmt.Errorf("boom %d", n) // want "fmt.Errorf without %w builds an untyped error"
+}
+
+func wrapped(n int) error {
+	return fmt.Errorf("boom %d: %w", n, errThing)
+}
+
+func oneOff() error {
+	return errors.New("one-off") // want "errors.New inside a function creates an unmatchable one-off error"
+}

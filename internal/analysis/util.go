@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeObject resolves a call expression's static callee (nil for
+// builtins, function-typed values and dynamic interface dispatch).
+func calleeObject(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether the call statically targets pkgPath.name
+// (package-level function or method, matched on the defining package).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := calleeObject(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin
+// (append, make, new, panic, ...).
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// namedType unwraps aliases and pointers and returns the named type's
+// defining package path and name ("", "" for unnamed types).
+func namedType(t types.Type) (pkgPath, name string) {
+	if t == nil {
+		return "", ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name()
+}
+
+// isMapType reports whether the expression's static type is a map.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// pointerShaped reports whether values of t convert to an interface
+// without allocating: the runtime stores pointers, channels, maps, funcs
+// and unsafe pointers directly in the interface word.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// enclosingFuncs returns every function declaration in the file, mapping
+// each to its syntax for body walks.
+func fileFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the receiver's named type ("" for functions).
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isTestFile reports whether the file's position is a _test.go file —
+// augmented loads fold test syntax in, and most contracts exempt it.
+func isTestFile(p *Pass, f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}

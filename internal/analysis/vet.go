@@ -1,0 +1,29 @@
+package analysis
+
+// All returns the full static-contract suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Hotalloc, Detorder, Markdirty, Statslock, Wraperr}
+}
+
+// Vet loads every module package rooted at dir (non-test sources), runs
+// the whole suite, and returns the surviving diagnostics in deterministic
+// order — the engine behind cmd/hotline-vet and the self-check test.
+func Vet(dir string) ([]Diagnostic, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}

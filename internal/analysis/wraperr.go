@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// Wraperr enforces the transport/codec typed-error convention (the
+// ErrPeerDead protocol from the socket-fabric PR): every error a scoped
+// file constructs must be classifiable with errors.Is, so callers — the
+// conformance suite's fault-injection grid above all — can distinguish a
+// dead peer from a malformed frame from a config mistake. Scope is the
+// //hotline:typed-errors directive, package-wide in the package doc or
+// per-file above the package clause (the shard package scopes it to its
+// transport/codec files; the accounting simulation panics instead of
+// returning errors).
+var Wraperr = &Analyzer{
+	Name: "wraperr",
+	Doc: "require fmt.Errorf to %w-wrap a typed sentinel and forbid " +
+		"function-local errors.New in //hotline:typed-errors files",
+	Run: runWraperr,
+}
+
+func runWraperr(pass *Pass) error {
+	pkgWide := PkgDirective(pass.Files, "typed-errors")
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		if !pkgWide && !FileDirective(f, "typed-errors") {
+			continue
+		}
+		for _, fn := range fileFuncs(f) {
+			if fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkErrCall(pass, call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkErrCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeObject(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		tv := pass.Info.Types[call.Args[0]]
+		if tv.Value == nil || tv.Value.Kind() != constant.String {
+			return // dynamic format: out of static reach
+		}
+		if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+			pass.Report(call.Pos(), "fmt.Errorf without %%w builds an untyped error; wrap the matching sentinel (ErrPeerDead, ErrBadFrame, ...) so errors.Is can classify it")
+		}
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		pass.Report(call.Pos(), "errors.New inside a function creates an unmatchable one-off error; declare a package-level sentinel and %%w-wrap it")
+	}
+}

@@ -11,4 +11,6 @@
 // the sharded implementation interchange freely; both obey the determinism
 // contract (bit-identical results for every worker count and, for
 // ShardedBag, every node count).
+//
+//hotline:deterministic
 package embedding

@@ -93,6 +93,8 @@ func ShardBag(t *Table, svc *shard.Service, tableIdx int) *ShardedBag {
 func (s *ShardedBag) Service() *shard.Service { return s.svc }
 
 // RowView implements Bag: a live view of row r inside its owner shard.
+//
+//hotline:hotpath
 func (s *ShardedBag) RowView(r int) []float32 {
 	return s.shards[s.owner[r]].Row(int(s.local[r]))
 }
@@ -108,6 +110,8 @@ func (s *ShardedBag) RowView(r int) []float32 {
 // registered FIFO in the shared WindowQueue; the Forward over the same
 // index set consumes the oldest one. A no-op without an engine or on a
 // single node.
+//
+//hotline:hotpath
 func (s *ShardedBag) Prefetch(indices [][]int32) {
 	g := s.svc.Gatherer()
 	if g == nil || s.svc.Nodes() == 1 {
@@ -133,15 +137,21 @@ func (s *ShardedBag) AbortPrefetch() { s.windows.Abort() }
 func (s *ShardedBag) PendingWindows() int { return s.windows.Len() }
 
 // fetchRow copies one owner-resident row into its staging slot.
+//
+//hotline:hotpath
 func (s *ShardedBag) fetchRow(row int32, dst []float32) {
 	copy(dst, s.RowView(int(row)))
 }
 
 // rowViewAt is RowView with the fabric's signature (bound once into rowAt).
+//
+//hotline:hotpath
 func (s *ShardedBag) rowViewAt(row int32) []float32 { return s.RowView(int(row)) }
 
 // fwdRange computes output rows [lo, hi) of the pooled lookup, reading
 // fabric-fetched rows from the staging buffer.
+//
+//hotline:hotpath
 func (s *ShardedBag) fwdRange(out *tensor.Matrix, indices [][]int32, staged *shard.Staging, lo, hi int) {
 	for b := lo; b < hi; b++ {
 		orow := out.Row(b)
@@ -176,6 +186,8 @@ func (s *ShardedBag) fwdRange(out *tensor.Matrix, indices [][]int32, staged *sha
 // untouched and, with an engine attached, stages its fabric rows
 // synchronously — the measured baseline the overlap is compared against.
 // Consumed staging buffers are recycled into the engine's ring.
+//
+//hotline:hotpath
 func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 	var staged *shard.Staging
 	var win *shard.Window
@@ -226,6 +238,8 @@ func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 // must be shadows (ShadowBag / model.NewShadow): calling ServeForward on
 // an instance with an in-flight Forward→Backward pair would overwrite the
 // activations that backward still reads.
+//
+//hotline:hotpath
 func (s *ShardedBag) ServeForward(indices [][]int32) *tensor.Matrix {
 	var staged *shard.Staging
 	if s.svc.Multiproc() {
@@ -255,6 +269,8 @@ func (s *ShardedBag) ServeForward(indices [][]int32) *tensor.Matrix {
 }
 
 // Backward implements Bag.
+//
+//hotline:hotpath
 func (s *ShardedBag) Backward(gradOut *tensor.Matrix) SparseGrad {
 	if s.lastIndices == nil {
 		panic("embedding: Backward before Forward")
@@ -265,6 +281,8 @@ func (s *ShardedBag) Backward(gradOut *tensor.Matrix) SparseGrad {
 // BackwardIndices implements Bag: the storage-independent adjoint plus the
 // gradient scatter accounting (each node pre-reduces locally and pushes one
 // message per distinct remote row to its owner).
+//
+//hotline:hotpath
 func (s *ShardedBag) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) SparseGrad {
 	if gradOut.Rows != len(indices) || gradOut.Cols != s.Dim {
 		panic(fmt.Sprintf("embedding: Backward grad %dx%d want %dx%d",
@@ -275,6 +293,8 @@ func (s *ShardedBag) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) 
 }
 
 // sgdRange applies rows [lo, hi) of a sparse SGD update.
+//
+//hotline:hotpath
 func (s *ShardedBag) sgdRange(sg SparseGrad, lr float32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		wrow := s.RowView(int(sg.Rows[i]))
@@ -289,6 +309,9 @@ func (s *ShardedBag) sgdRange(sg SparseGrad, lr float32, lo, hi int) {
 // Open prefetch windows that staged any updated row are marked dirty first
 // (and joined, so no in-flight fetch races the write); the consuming
 // forward repairs them.
+//
+//hotline:mutates-rows
+//hotline:hotpath
 func (s *ShardedBag) ApplySparseSGD(sg SparseGrad, lr float32) {
 	s.windows.MarkDirty(sg.Rows)
 	perItem := int64(s.Dim) * 2
@@ -310,6 +333,9 @@ func (s *ShardedBag) ApplySparseSGD(sg SparseGrad, lr float32) {
 // the same serial row order as the single-node table — bit-identical for
 // every node count and placement. Like the SGD path, staged copies of the
 // updated rows in open prefetch windows are marked dirty first.
+//
+//hotline:mutates-rows
+//hotline:hotpath
 func (s *ShardedBag) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32) {
 	s.windows.MarkDirty(sg.Rows)
 	for i, ix := range sg.Rows {
@@ -323,6 +349,8 @@ func (s *ShardedBag) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr floa
 
 // ResetStepScratch rewinds the backward arena at a step boundary (see
 // Table.ResetStepScratch — shadows never see the apply-time rewind).
+//
+//hotline:hotpath
 func (s *ShardedBag) ResetStepScratch() { s.bw.reset() }
 
 // NumRows implements Bag.

@@ -48,6 +48,8 @@ func bagLookups(indices [][]int32, dim int) int64 {
 }
 
 // fwdRange computes output rows [lo, hi) of the pooled lookup.
+//
+//hotline:hotpath
 func (t *Table) fwdRange(out *tensor.Matrix, indices [][]int32, lo, hi int) {
 	for b := lo; b < hi; b++ {
 		orow := out.Row(b)
@@ -68,6 +70,8 @@ func (t *Table) fwdRange(out *tensor.Matrix, indices [][]int32, lo, hi int) {
 // embedding rows. One-hot inputs simply use single-element lists. The
 // returned matrix is scratch owned by t, valid until the next Forward call
 // on this instance.
+//
+//hotline:hotpath
 func (t *Table) Forward(indices [][]int32) *tensor.Matrix {
 	out := t.fwdOut.Resize(len(indices), t.Dim)
 	perItem := bagLookups(indices, t.Dim)
@@ -89,6 +93,8 @@ func (t *Table) Forward(indices [][]int32) *tensor.Matrix {
 // accounting to skip — the split exists so serving code holds one method
 // across both bag implementations. The returned matrix is the instance's
 // forward scratch; serve replicas own shadows, never the training instance.
+//
+//hotline:hotpath
 func (t *Table) ServeForward(indices [][]int32) *tensor.Matrix {
 	out := t.fwdOut.Resize(len(indices), t.Dim)
 	perItem := bagLookups(indices, t.Dim)
@@ -112,6 +118,8 @@ type SparseGrad struct {
 // Backward folds the pooled output gradient back onto the accessed rows.
 // Each accessed row receives the (summed) gradient of every bag that touched
 // it — the exact adjoint of sum pooling.
+//
+//hotline:hotpath
 func (t *Table) Backward(gradOut *tensor.Matrix) SparseGrad {
 	if t.lastIndices == nil {
 		panic("embedding: Backward before Forward")
@@ -122,6 +130,8 @@ func (t *Table) Backward(gradOut *tensor.Matrix) SparseGrad {
 // BackwardIndices is Backward against an explicit index set instead of the
 // cached one. The TBSM model uses it to run several lookups per table per
 // iteration (one per timestep) and backpropagate each independently.
+//
+//hotline:hotpath
 func (t *Table) BackwardIndices(indices [][]int32, gradOut *tensor.Matrix) SparseGrad {
 	if gradOut.Rows != len(indices) || gradOut.Cols != t.Dim {
 		panic(fmt.Sprintf("embedding: Backward grad %dx%d want %dx%d",
@@ -156,6 +166,8 @@ type backwardArena struct {
 
 // reset rewinds the slot cursor; existing slot contents stay valid until
 // the next backward pass overwrites them.
+//
+//hotline:hotpath
 func (a *backwardArena) reset() { a.cur = 0 }
 
 // acquire hands out the next slot, pooling up to maxArenaSlots.
@@ -180,6 +192,8 @@ func (a *backwardArena) acquire() *sparseSlot {
 // and the batch position in the low 32, so an ascending sort groups each
 // row's contributions in batch order — exactly the serial reduction order
 // the map recorded — without allocating.
+//
+//hotline:hotpath
 func bagBackward(a *backwardArena, indices [][]int32, gradOut *tensor.Matrix, dim int) SparseGrad {
 	// Pass 1 (serial): flatten and sort the (row, batch position) pairs.
 	// Duplicates within one bag produce identical pairs, which keep the
@@ -187,7 +201,7 @@ func bagBackward(a *backwardArena, indices [][]int32, gradOut *tensor.Matrix, di
 	pairs := a.pairs[:0]
 	for b, idxs := range indices {
 		for _, ix := range idxs {
-			pairs = append(pairs, int64(ix)<<32|int64(uint32(b)))
+			pairs = append(pairs, int64(ix)<<32|int64(uint32(b))) //hotline:allow hotalloc arena pair buffer; growth converges to the batch's lookup count
 		}
 	}
 	a.pairs = pairs
@@ -202,19 +216,19 @@ func bagBackward(a *backwardArena, indices [][]int32, gradOut *tensor.Matrix, di
 	slot := a.acquire()
 	rows := slot.rows[:0]
 	if cap(rows) < distinct {
-		rows = make([]int32, 0, distinct)
+		rows = make([]int32, 0, distinct) //hotline:allow hotalloc grown only past the arena slot's high-water mark
 	}
 	starts := a.starts[:0]
 	if cap(starts) < distinct+1 {
-		starts = make([]int32, 0, distinct+1)
+		starts = make([]int32, 0, distinct+1) //hotline:allow hotalloc grown only past the arena's high-water mark
 	}
 	for i := range pairs {
 		if i == 0 || pairs[i]>>32 != pairs[i-1]>>32 {
-			rows = append(rows, int32(pairs[i]>>32))
-			starts = append(starts, int32(i))
+			rows = append(rows, int32(pairs[i]>>32)) //hotline:allow hotalloc capacity ensured above; the reslice never grows
+			starts = append(starts, int32(i))        //hotline:allow hotalloc capacity ensured above; the reslice never grows
 		}
 	}
-	starts = append(starts, int32(len(pairs)))
+	starts = append(starts, int32(len(pairs))) //hotline:allow hotalloc capacity ensured above; the reslice never grows
 	slot.rows, a.starts = rows, starts
 
 	// Pass 2 (parallel over distinct rows): sum each row's contributions in
@@ -233,6 +247,8 @@ func bagBackward(a *backwardArena, indices [][]int32, gradOut *tensor.Matrix, di
 }
 
 // bagBackwardRange fills gradient rows [lo, hi) from their pair segments.
+//
+//hotline:hotpath
 func bagBackwardRange(grad, gradOut *tensor.Matrix, pairs []int64, starts []int32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		g := grad.Row(i)
@@ -246,6 +262,8 @@ func bagBackwardRange(grad, gradOut *tensor.Matrix, pairs []int64, starts []int3
 }
 
 // sgdRange applies rows [lo, hi) of a sparse SGD update.
+//
+//hotline:hotpath
 func (t *Table) sgdRange(sg SparseGrad, lr float32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		wrow := t.W.Row(int(sg.Rows[i]))
@@ -261,6 +279,8 @@ func (t *Table) sgdRange(sg SparseGrad, lr float32, lo, hi int) {
 // Applying a step's gradients recycles the backward arena: every SparseGrad
 // this instance produced since the last update becomes invalid after the
 // NEXT backward pass overwrites the slots.
+//
+//hotline:hotpath
 func (t *Table) ApplySparseSGD(sg SparseGrad, lr float32) {
 	perItem := int64(t.Dim) * 2
 	if par.Serial(len(sg.Rows), perItem) {
@@ -277,6 +297,8 @@ func (t *Table) ApplySparseSGD(sg SparseGrad, lr float32) {
 // bags need this: their SparseGrads are absorbed into the primary model's
 // stash and applied through the PRIMARY tables, so the apply-time rewind
 // never fires on the shadow instance — Model.ZeroAll calls this instead.
+//
+//hotline:hotpath
 func (t *Table) ResetStepScratch() { t.bw.reset() }
 
 // SizeBytes returns the table's parameter footprint (float32 entries).
@@ -380,6 +402,8 @@ func NewAdagradStateFor(b Bag) *AdagradState {
 // non-linear in g, callers must pass the FULL mini-batch gradient (popular
 // and non-popular µ-batches accumulated) to stay at parity with a baseline
 // that updates once per mini-batch.
+//
+//hotline:hotpath
 func (t *Table) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32) {
 	for i, ix := range sg.Rows {
 		adagradRow(t.W.Row(int(ix)), st.Accum.Row(int(ix)), sg.Grad.Row(i), lr, st.Eps)
@@ -389,6 +413,8 @@ func (t *Table) ApplySparseAdagrad(st *AdagradState, sg SparseGrad, lr float32) 
 
 // adagradRow is the shared per-row adaptive step: serial element order, so
 // every Bag implementation produces bit-identical state.
+//
+//hotline:hotpath
 func adagradRow(wrow, arow, grow []float32, lr, eps float32) {
 	for k := range wrow {
 		g := grow[k]
@@ -397,4 +423,5 @@ func adagradRow(wrow, arow, grow []float32, lr, eps float32) {
 	}
 }
 
+//hotline:hotpath
 func sqrt32(v float32) float32 { return float32(math.Sqrt(float64(v))) }

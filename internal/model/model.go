@@ -110,6 +110,8 @@ type sparsePrefetcher interface {
 // ahead never changes training state. The TBSM sequence table is skipped
 // (its per-timestep index sets are built inside Forward) and everything
 // else is a no-op on non-prefetching bags.
+//
+//hotline:hotpath
 func (m *Model) PrefetchSparse(b *data.Batch) {
 	for t, bag := range m.Tables {
 		if m.IsTBSM() && t == 0 {
@@ -156,6 +158,8 @@ func NewShadow(m *Model) *Model {
 // gradients add into m's accumulators in parameter order, and the shadow's
 // stashed sparse gradients append after m's own (fixed reduction order, so
 // the combined update is deterministic for any worker count).
+//
+//hotline:hotpath
 func (m *Model) AbsorbShadow(s *Model) {
 	pm, ps := m.DenseParams(), s.DenseParams()
 	if len(pm) != len(ps) {
@@ -164,7 +168,7 @@ func (m *Model) AbsorbShadow(s *Model) {
 	for i := range pm {
 		tensor.AxpyInto(pm[i].Grad, 1, ps[i].Grad)
 	}
-	m.pendingSparse = append(m.pendingSparse, s.pendingSparse...)
+	m.pendingSparse = append(m.pendingSparse, s.pendingSparse...) //hotline:allow hotalloc sparse stash; converges to the per-step entry count
 	s.pendingSparse = s.pendingSparse[:0]
 }
 
@@ -178,6 +182,8 @@ type serveForwarder interface {
 // bagForward dispatches one table lookup down the training or the serving
 // path. Every in-tree bag implements serveForwarder; the Forward fallback
 // keeps external Bag implementations working on the serve path too.
+//
+//hotline:hotpath
 func bagForward(b embedding.Bag, indices [][]int32, serve bool) *tensor.Matrix {
 	if serve {
 		if sf, ok := b.(serveForwarder); ok {
@@ -189,6 +195,8 @@ func bagForward(b embedding.Bag, indices [][]int32, serve bool) *tensor.Matrix {
 
 // Forward computes the logits (B x 1) for a batch. The returned matrix is
 // scratch owned by the top MLP, valid until the next Forward call.
+//
+//hotline:hotpath
 func (m *Model) Forward(b *data.Batch) *tensor.Matrix { return m.forward(b, false) }
 
 // forward is the shared forward pass. With serve set it takes the read-only
@@ -198,6 +206,8 @@ func (m *Model) Forward(b *data.Batch) *tensor.Matrix { return m.forward(b, fals
 // Backward on DIFFERENT instances of the same weights perturbs nothing.
 // Dense-layer activations are still instance scratch either way, so serve
 // traffic runs on shadows (NewShadow), never on the training instance.
+//
+//hotline:hotpath
 func (m *Model) forward(b *data.Batch, serve bool) *tensor.Matrix {
 	if !serve {
 		m.lastBatch = b
@@ -205,7 +215,7 @@ func (m *Model) forward(b *data.Batch, serve bool) *tensor.Matrix {
 	m.fws.Reset()
 	z0 := m.Bot.Forward(b.Dense)
 	if m.inputsBuf == nil {
-		m.inputsBuf = make([]*tensor.Matrix, m.Cfg.NumTables+1)
+		m.inputsBuf = make([]*tensor.Matrix, m.Cfg.NumTables+1) //hotline:allow hotalloc lazy one-time input-slice init
 	}
 	inputs := m.inputsBuf
 	inputs[0] = z0
@@ -260,6 +270,8 @@ func (m *Model) forwardSequence(b *data.Batch, serve bool) *tensor.Matrix {
 // add into the MLP accumulators; sparse gradients are stashed (scaled by
 // scale) until ApplySparse. Multiple Backward calls between updates model
 // µ-batch accumulation.
+//
+//hotline:hotpath
 func (m *Model) Backward(gradLogits *tensor.Matrix, scale float32) {
 	if m.lastBatch == nil {
 		panic("model: Backward before Forward")
@@ -278,12 +290,12 @@ func (m *Model) Backward(gradLogits *tensor.Matrix, scale float32) {
 			stepGrads := m.Attn.Backward(gEmb)
 			for s, sg := range stepGrads {
 				spg := m.Tables[0].BackwardIndices(m.lastStepIdx[s], sg)
-				m.pendingSparse = append(m.pendingSparse, tableGrad{table: 0, grad: spg, scale: 1})
+				m.pendingSparse = append(m.pendingSparse, tableGrad{table: 0, grad: spg, scale: 1}) //hotline:allow hotalloc sparse stash; converges to the per-step entry count
 			}
 			continue
 		}
 		spg := m.Tables[t].BackwardIndices(m.lastBatch.Sparse[t], gEmb)
-		m.pendingSparse = append(m.pendingSparse, tableGrad{table: t, grad: spg, scale: 1})
+		m.pendingSparse = append(m.pendingSparse, tableGrad{table: t, grad: spg, scale: 1}) //hotline:allow hotalloc sparse stash; converges to the per-step entry count
 	}
 }
 
@@ -299,6 +311,8 @@ func (m *Model) DenseParams() []nn.Param {
 
 // ApplySparse applies all stashed sparse gradients with the learning rate
 // and clears the stash. Application order is deterministic (stash order).
+//
+//hotline:hotpath
 func (m *Model) ApplySparse(lr float32) {
 	for _, tg := range m.pendingSparse {
 		m.Tables[tg.table].ApplySparseSGD(tg.grad, lr*tg.scale)
@@ -314,6 +328,8 @@ func (m *Model) ApplySparse(lr float32) {
 // into a single combined SparseGrad first (rows unioned in ascending order,
 // contributions summed in stash order), exactly the full-mini-batch
 // gradient a baseline executor would apply.
+//
+//hotline:hotpath
 func (m *Model) ApplySparseAdagrad(states []*embedding.AdagradState, lr float32) {
 	if len(states) != len(m.Tables) {
 		panic(fmt.Sprintf("model: ApplySparseAdagrad wants %d states, got %d", len(m.Tables), len(states)))

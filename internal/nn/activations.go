@@ -21,6 +21,8 @@ type ReLU struct {
 func NewReLU() *ReLU { return &ReLU{} }
 
 // reluRange computes elements [lo, hi) of max(x, 0) and the mask.
+//
+//hotline:hotpath
 func reluRange(out, mask, x *tensor.Matrix, lo, hi int) {
 	o, mk, xd := out.Data, mask.Data, x.Data
 	for i := lo; i < hi; i++ {
@@ -32,6 +34,8 @@ func reluRange(out, mask, x *tensor.Matrix, lo, hi int) {
 }
 
 // Forward computes max(x, 0) element-wise.
+//
+//hotline:hotpath
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	out := r.out.Resize(x.Rows, x.Cols)
 	mask := r.mask.Resize(x.Rows, x.Cols)
@@ -47,6 +51,8 @@ func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward gates the incoming gradient by the forward mask.
+//
+//hotline:hotpath
 func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if !r.fwdRun {
 		panic("nn: ReLU.Backward before Forward")
@@ -70,6 +76,8 @@ type Sigmoid struct {
 func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // SigmoidScalar computes the numerically stable logistic function.
+//
+//hotline:hotpath
 func SigmoidScalar(x float32) float32 {
 	if x >= 0 {
 		z := float32(math.Exp(-float64(x)))

@@ -33,6 +33,8 @@ func NewAdagrad(params []Param, lr float32) *Adagrad {
 }
 
 // Step applies p -= lr·g/√(G+eps) with G += g² element-wise.
+//
+//hotline:hotpath
 func (a *Adagrad) Step() {
 	for i, p := range a.params {
 		acc := a.accum[i]

@@ -11,4 +11,6 @@
 // In the DESIGN.md layering the package sits directly above internal/tensor
 // and below internal/model, which assembles these layers into full DLRM and
 // TBSM architectures.
+//
+//hotline:deterministic
 package nn

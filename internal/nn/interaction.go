@@ -37,6 +37,8 @@ func (d *DotInteraction) OutWidth() int {
 }
 
 // fwdRange computes samples [lo, hi) of the interaction output.
+//
+//hotline:hotpath
 func (d *DotInteraction) fwdRange(out *tensor.Matrix, inputs []*tensor.Matrix, lo, hi int) {
 	for b := lo; b < hi; b++ {
 		row := out.Row(b)
@@ -59,6 +61,8 @@ func (d *DotInteraction) fwdRange(out *tensor.Matrix, inputs []*tensor.Matrix, l
 
 // Forward consumes the dense vector matrix followed by one matrix per
 // embedding table, each of shape (B x Dim), and returns (B x OutWidth()).
+//
+//hotline:hotpath
 func (d *DotInteraction) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
 	if len(inputs) != d.NumVec {
 		panic(fmt.Sprintf("nn: DotInteraction wants %d inputs, got %d", d.NumVec, len(inputs)))
@@ -83,6 +87,8 @@ func (d *DotInteraction) Forward(inputs []*tensor.Matrix) *tensor.Matrix {
 }
 
 // bwdRange computes samples [lo, hi) of every input gradient.
+//
+//hotline:hotpath
 func (d *DotInteraction) bwdRange(grads []*tensor.Matrix, gradOut *tensor.Matrix, lo, hi int) {
 	for b := lo; b < hi; b++ {
 		grow := gradOut.Row(b)
@@ -112,15 +118,17 @@ func (d *DotInteraction) bwdRange(grads []*tensor.Matrix, gradOut *tensor.Matrix
 
 // Backward returns one gradient matrix per forward input, in order (scratch
 // owned by d, valid until the next Backward call).
+//
+//hotline:hotpath
 func (d *DotInteraction) Backward(gradOut *tensor.Matrix) []*tensor.Matrix {
 	if d.lastInputs == nil {
 		panic("nn: DotInteraction.Backward before Forward")
 	}
 	batch := d.lastInputs[0].Rows
 	if d.grads == nil {
-		d.grads = make([]*tensor.Matrix, d.NumVec)
+		d.grads = make([]*tensor.Matrix, d.NumVec) //hotline:allow hotalloc lazy one-time gradient-buffer init
 		for i := range d.grads {
-			d.grads[i] = &tensor.Matrix{}
+			d.grads[i] = &tensor.Matrix{} //hotline:allow hotalloc lazy one-time gradient-buffer init
 		}
 	}
 	for i := range d.grads {

@@ -21,6 +21,8 @@ type Layer interface {
 }
 
 // ZeroGrads clears the gradient accumulators of all params.
+//
+//hotline:hotpath
 func ZeroGrads(params []Param) {
 	for _, p := range params {
 		p.Grad.Zero()

@@ -54,6 +54,8 @@ func (l *Linear) Shadow() *Linear {
 
 // Forward computes x·W + b for a batch x of shape (B x in). The returned
 // matrix is scratch owned by l, valid until the next Forward call.
+//
+//hotline:hotpath
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: Linear forward input cols %d want %d", x.Cols, l.In))
@@ -67,6 +69,8 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward accumulates dW = xᵀ·g, db = Σrows g and returns dx = g·Wᵀ
 // (scratch owned by l, valid until the next Backward call).
+//
+//hotline:hotpath
 func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if l.lastInput == nil {
 		panic("nn: Linear.Backward before Forward")

@@ -32,6 +32,8 @@ func BCEWithLogits(logits *tensor.Matrix, targets []float32, red Reduction) (flo
 // BCEWithLogitsInto is BCEWithLogits writing the gradient into a
 // caller-supplied buffer (resized to B x 1), so steady-state training can
 // reuse one gradient matrix per executor instead of allocating per step.
+//
+//hotline:hotpath
 func BCEWithLogitsInto(grad *tensor.Matrix, logits *tensor.Matrix, targets []float32, red Reduction) (float64, *tensor.Matrix) {
 	if logits.Cols != 1 {
 		panic(fmt.Sprintf("nn: BCEWithLogits wants Bx1 logits, got %dx%d", logits.Rows, logits.Cols))

@@ -52,6 +52,8 @@ func (m *MLP) Shadow() *MLP {
 }
 
 // Forward runs the stack on a batch.
+//
+//hotline:hotpath
 func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
 	for _, l := range m.layers {
 		x = l.Forward(x)
@@ -60,6 +62,8 @@ func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward runs the reverse pass through the stack.
+//
+//hotline:hotpath
 func (m *MLP) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	for i := len(m.layers) - 1; i >= 0; i-- {
 		gradOut = m.layers[i].Backward(gradOut)

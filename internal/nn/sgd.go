@@ -16,6 +16,8 @@ func NewSGD(params []Param, lr float32) *SGD {
 }
 
 // Step applies p.Value -= lr·p.Grad to every parameter.
+//
+//hotline:hotpath
 func (s *SGD) Step() {
 	for _, p := range s.params {
 		tensor.AxpyInto(p.Value, -s.LR, p.Grad)

@@ -13,4 +13,6 @@
 // parallelises (kernels, the Hotline executor's concurrent µ-batches, the
 // experiment sweep's per-kernel sharding) routes through it, which is what
 // makes one knob govern the whole process.
+//
+//hotline:deterministic
 package par

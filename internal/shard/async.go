@@ -51,13 +51,15 @@ func (p *GatherPlan) reset(table, nodes int) {
 // add registers one fabric fetch of row from owner. Rows are staged once
 // even when several requesting nodes fetch them (identical payload), while
 // Bytes accumulates the full per-node fabric volume.
+//
+//hotline:hotpath
 func (p *GatherPlan) add(row int32, owner int, rowBytes int64) {
 	p.Bytes += rowBytes
 	if _, ok := p.slot[row]; ok {
 		return
 	}
 	p.slot[row] = len(p.slot)
-	p.perOwner[owner] = append(p.perOwner[owner], row)
+	p.perOwner[owner] = append(p.perOwner[owner], row) //hotline:allow hotalloc per-owner lists are plan-ring scratch; growth converges to the gather high-water mark
 }
 
 // Rows returns the number of distinct staged rows.
@@ -81,6 +83,8 @@ type Staging struct {
 }
 
 // Lookup returns the staged copy of row, if the plan fetched it.
+//
+//hotline:hotpath
 func (st *Staging) Lookup(row int32) ([]float32, bool) {
 	i, ok := st.slot[row]
 	if !ok {
@@ -92,6 +96,8 @@ func (st *Staging) Lookup(row int32) ([]float32, bool) {
 // Has reports whether the plan staged row, without touching the buffer (so
 // it is safe while fetches are still in flight — the slot map is immutable
 // after planning).
+//
+//hotline:hotpath
 func (st *Staging) Has(row int32) bool {
 	_, ok := st.slot[row]
 	return ok
@@ -135,7 +141,7 @@ func (h *Handle) jobDone() {
 // to hide. The handle is recycled on return; pass the staging to
 // AsyncGatherer.Release once its rows are consumed.
 func (h *Handle) Await() *Staging {
-	start := time.Now()
+	start := time.Now() //hotline:allow detorder measured exposed-gather wall; never feeds math
 	for _, q := range h.g.queues {
 		q.drainOn()
 	}
@@ -145,7 +151,7 @@ func (h *Handle) Await() *Staging {
 	}
 	h.mu.Unlock()
 	st := h.staging
-	h.g.noteExposed(time.Since(start), h)
+	h.g.noteExposed(time.Since(start), h) //hotline:allow detorder measured exposed-gather wall; never feeds math
 	return st
 }
 
@@ -225,6 +231,8 @@ type engineCounters struct {
 	stats OverlapStats
 }
 
+//
+//hotline:stats-writer
 func (c *engineCounters) noteBusy(d time.Duration) {
 	c.mu.Lock()
 	c.stats.GatherBusy += d
@@ -349,7 +357,7 @@ func (q *gatherQueue) close() {
 // are recorded on the owning service (Service.FabricErr); the job still
 // retires so Await never deadlocks on a dead peer.
 func runJobs(jobs []fetchJob, c *engineCounters) {
-	start := time.Now()
+	start := time.Now() //hotline:allow detorder measured drainer-busy wall; never feeds math
 	for _, j := range jobs {
 		st := j.h.staging
 		if j.svc != nil {
@@ -362,7 +370,7 @@ func runJobs(jobs []fetchJob, c *engineCounters) {
 		}
 		j.h.jobDone()
 	}
-	c.noteBusy(time.Since(start))
+	c.noteBusy(time.Since(start)) //hotline:allow detorder measured drainer-busy wall; never feeds math
 }
 
 // AsyncGatherer executes gather plans off the consumer's critical path: one
@@ -445,6 +453,8 @@ func (g *AsyncGatherer) Release(st *Staging) { g.ring.ReleaseStaging(st) }
 // on a single-CPU host — the window then streams while the caller's compute
 // runs, which is exactly the overlap the paper's pipeline performs in
 // hardware.
+//
+//hotline:stats-writer
 func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Handle {
 	h := g.ring.Handle()
 	h.g = g
@@ -480,8 +490,10 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 // the filled staging buffer. The wall time is accounted as synchronous
 // (fully exposed) gather time — the baseline the overlap is measured
 // against.
+//
+//hotline:stats-writer
 func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *Staging {
-	start := time.Now()
+	start := time.Now() //hotline:allow detorder measured sync-gather wall; never feeds math
 	st := g.ring.Staging(plan, dim)
 	for owner, rows := range plan.perOwner {
 		if len(rows) == 0 {
@@ -496,7 +508,7 @@ func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *
 			fetch(row, st.buf[i*st.dim:(i+1)*st.dim])
 		}
 	}
-	el := time.Since(start)
+	el := time.Since(start) //hotline:allow detorder measured sync-gather wall; never feeds math
 	g.c.mu.Lock()
 	g.c.stats.SyncWindows++
 	g.c.stats.SyncRows += int64(plan.Rows())
@@ -521,6 +533,8 @@ func (g *AsyncGatherer) ResetStats() {
 }
 
 // noteRepair accounts one window's dirty-row delta repair.
+//
+//hotline:stats-writer
 func (g *AsyncGatherer) noteRepair(rows int, bytes int64) {
 	g.c.mu.Lock()
 	g.c.stats.RepairRows += int64(rows)
@@ -529,6 +543,8 @@ func (g *AsyncGatherer) noteRepair(rows int, bytes int64) {
 }
 
 // noteStale accounts dirtied rows consumed without repair (stale mode).
+//
+//hotline:stats-writer
 func (g *AsyncGatherer) noteStale(rows int) {
 	g.c.mu.Lock()
 	g.c.stats.StaleRows += int64(rows)
@@ -537,6 +553,8 @@ func (g *AsyncGatherer) noteStale(rows int) {
 
 // noteExposed accounts one Await's blocked wall time and recycles the
 // handle.
+//
+//hotline:stats-writer
 func (g *AsyncGatherer) noteExposed(d time.Duration, h *Handle) {
 	g.c.mu.Lock()
 	g.c.stats.Exposed += d

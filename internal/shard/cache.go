@@ -83,6 +83,8 @@ func (c *DeviceCache) Occupancy() float64 {
 }
 
 // Contains probes without touching replacement state or counters.
+//
+//hotline:hotpath
 func (c *DeviceCache) Contains(key uint64) bool {
 	_, ok := c.index[key]
 	return ok
@@ -91,6 +93,8 @@ func (c *DeviceCache) Contains(key uint64) bool {
 // Lookup probes the cache and updates replacement state and hit/miss
 // counters. It never admits: admission is a separate policy decision made by
 // the Service (only popularity-classified rows are replicated).
+//
+//hotline:hotpath
 func (c *DeviceCache) Lookup(key uint64) bool {
 	i, ok := c.index[key]
 	if !ok {
@@ -109,6 +113,8 @@ func (c *DeviceCache) Lookup(key uint64) bool {
 // Insert admits key, evicting per the policy when full. Inserting a present
 // key only refreshes its replacement state. Returns whether an eviction
 // happened.
+//
+//hotline:hotpath
 func (c *DeviceCache) Insert(key uint64) bool {
 	if c.cap == 0 {
 		return false
@@ -143,6 +149,8 @@ func (c *DeviceCache) Insert(key uint64) bool {
 // victim selects the slot to evict. LRU takes the recency-list tail; SRRIP
 // sweeps the CLOCK hand for a distant (rrpv==max) entry, aging entries it
 // passes — the amortised-O(1) equivalent of SRRIP's "age all, rescan" loop.
+//
+//hotline:hotpath
 func (c *DeviceCache) victim() int {
 	if c.policy == PolicyLRU {
 		return c.tail
@@ -160,6 +168,8 @@ func (c *DeviceCache) victim() int {
 // Reset drops all contents and counters. The index map and slot array are
 // retained (clear, not reallocate), so reset-heavy measurement loops stay
 // allocation-free — TestDeviceCacheResetZeroAlloc gates this.
+//
+//hotline:hotpath
 func (c *DeviceCache) Reset() {
 	clear(c.index)
 	for i := range c.slots {
@@ -171,6 +181,7 @@ func (c *DeviceCache) Reset() {
 
 // --- intrusive LRU recency list ------------------------------------------
 
+//hotline:hotpath
 func (c *DeviceCache) pushFront(i int) {
 	c.slots[i].prev = -1
 	c.slots[i].next = c.head
@@ -183,6 +194,7 @@ func (c *DeviceCache) pushFront(i int) {
 	}
 }
 
+//hotline:hotpath
 func (c *DeviceCache) unlink(i int) {
 	p, n := c.slots[i].prev, c.slots[i].next
 	if p >= 0 {
@@ -198,6 +210,7 @@ func (c *DeviceCache) unlink(i int) {
 	c.slots[i].prev, c.slots[i].next = -1, -1
 }
 
+//hotline:hotpath
 func (c *DeviceCache) moveToFront(i int) {
 	if c.head == i {
 		return

@@ -49,4 +49,6 @@
 // mode (Service.SetStaleReads) skips the repair, serves issue-time values
 // and counts them, so the accuracy cost of staleness is measured rather
 // than assumed.
+//
+//hotline:deterministic
 package shard

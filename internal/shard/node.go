@@ -1,3 +1,5 @@
+//hotline:typed-errors
+
 package shard
 
 import (
@@ -95,6 +97,7 @@ func (s *NodeServer) Close() error {
 		s.closed.Store(true)
 		s.ln.Close()
 		s.mu.Lock()
+		//hotline:allow detorder teardown closes every conn; order is unobservable
 		for c := range s.conns {
 			c.Close()
 		}

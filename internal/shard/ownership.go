@@ -59,6 +59,7 @@ func NewRoundRobin(nodes int) Partitioner {
 	return roundRobin{nodes: nodes}
 }
 
+//hotline:hotpath
 func (p roundRobin) Owner(table int, row int32) int { return int(row) % p.nodes }
 func (p roundRobin) Nodes() int                     { return p.nodes }
 func (p roundRobin) Name() string                   { return PlaceRoundRobin.String() }
@@ -105,6 +106,7 @@ func NewCapacityWeighted(weights []int) Partitioner {
 	return p
 }
 
+//hotline:hotpath
 func (p capacityWeighted) Owner(table int, row int32) int {
 	return int(p.schedule[int(row)%len(p.schedule)])
 }

@@ -301,6 +301,8 @@ func (s *Service) Partitioner() Partitioner { return s.part }
 
 // Owner returns the node that owns a row of a table under the service's
 // placement policy.
+//
+//hotline:hotpath
 func (s *Service) Owner(table int, row int32) int { return s.part.Owner(table, row) }
 
 // EnableAsyncGather attaches (or returns the already-attached) asynchronous
@@ -335,6 +337,8 @@ func (s *Service) StaleReads() bool { return s.stale.Load() }
 func (s *Service) NodeOf(sample int) int { return sample % s.cfg.Nodes }
 
 // key packs (table, row) into a cache key.
+//
+//hotline:hotpath
 func key(table int, row int32) uint64 {
 	return uint64(table)<<32 | uint64(uint32(row))
 }
@@ -378,6 +382,8 @@ func (s *Service) PlanServeGather(table int, indices [][]int32) *GatherPlan {
 // planGather is the shared accounting walk behind RecordGather /
 // RecordServeGather / PlanGather. serve selects the serve-side counter set;
 // cache state is shared between the two paths by design.
+//
+//hotline:stats-writer
 func (s *Service) planGather(table int, indices [][]int32, collect, serve bool) *GatherPlan {
 	if s.cfg.Nodes == 1 {
 		// Single node: every access is local; count and return.
@@ -476,6 +482,8 @@ func (s *Service) acquirePlan(table int) *GatherPlan {
 // pass: every node locally pre-reduces its gradient contributions, then
 // sends one row-sized message per distinct remote row it touched to that
 // row's owner.
+//
+//hotline:stats-writer
 func (s *Service) RecordScatter(table int, indices [][]int32) {
 	if s.cfg.Nodes == 1 {
 		return
@@ -506,6 +514,8 @@ func (s *Service) RecordScatter(table int, indices [][]int32) {
 // deterministically keeps the most recently preloaded suffix. Fill traffic
 // counts actual admissions only: re-preloading an already-resident row just
 // refreshes its replacement state and moves no bytes across the fabric.
+//
+//hotline:stats-writer
 func (s *Service) Preload(table int, rows []int32) {
 	if s.cfg.Nodes == 1 {
 		return

@@ -1,3 +1,5 @@
+//hotline:typed-errors
+
 package shard
 
 import (
@@ -139,7 +141,7 @@ func (t *SocketTransport) exchangeLocked(owner int, p *socketPeer, req *wireMsg,
 		return p.err
 	}
 	p.out = appendMsg(append(p.out[:0], 0, 0, 0, 0), req)
-	p.conn.SetDeadline(time.Now().Add(t.cfg.Timeout))
+	p.conn.SetDeadline(time.Now().Add(t.cfg.Timeout)) //hotline:allow detorder deadline arming; timeouts are a fault policy, not math
 	if err := writeFrame(p.conn, p.out); err != nil {
 		return fail("write", err)
 	}
@@ -157,7 +159,10 @@ func (t *SocketTransport) exchangeLocked(owner int, p *socketPeer, req *wireMsg,
 		return wireErr(p.rep.code, p.rep.text)
 	}
 	if p.rep.op != want {
-		return fail("reply", fmt.Errorf("opcode %d, want %d", p.rep.op, want))
+		// A well-framed reply with the wrong opcode is a protocol
+		// violation: type it ErrBadFrame so the fault grid can classify
+		// it, and let fail mark the peer dead (the stream is desynced).
+		return fail("reply", fmt.Errorf("%w: reply opcode %d, want %d", ErrBadFrame, p.rep.op, want))
 	}
 	return nil
 }
@@ -280,7 +285,7 @@ func StartLocalFabric(nodes int, network string, timeout time.Duration, wrap fun
 		case "tcp":
 			addr = "127.0.0.1:0"
 		default:
-			return nil, fmt.Errorf("shard: unknown fabric network %q", network)
+			return nil, fmt.Errorf("%w: unknown fabric network %q", ErrFabricConfig, network)
 		}
 		srv, err := ServeNode(n, network, addr)
 		if err != nil {

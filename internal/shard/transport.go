@@ -1,3 +1,5 @@
+//hotline:typed-errors
+
 package shard
 
 import (
@@ -18,6 +20,9 @@ var (
 	ErrPeerDead = errors.New("shard: peer dead")
 	// ErrUnknownRow reports a fetch of a row the owner node never received.
 	ErrUnknownRow = errors.New("shard: unknown row")
+	// ErrFabricConfig reports an invalid fabric configuration (unknown
+	// network, empty address list) before any peer is dialled.
+	ErrFabricConfig = errors.New("shard: invalid fabric config")
 )
 
 // RowAt returns the authoritative payload of one row from the coordinator's
@@ -75,6 +80,7 @@ func NewInproc() Transport { return inproc{} }
 func (inproc) Name() string    { return "inproc" }
 func (inproc) Multiproc() bool { return false }
 
+//hotline:hotpath
 func (inproc) Fetch(table, owner int, rows []int32, st *Staging, local FetchFunc) error {
 	for _, r := range rows {
 		if v, ok := st.Lookup(r); ok {
@@ -183,9 +189,9 @@ func (s *Service) PushUpdates(table int, rows []int32, src RowAt) {
 		if len(rs) == 0 {
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //hotline:allow detorder measured scatter wall; never feeds math
 		err := s.tr.Push(table, o, rs, src)
-		s.scatterWallNS.Add(time.Since(start).Nanoseconds())
+		s.scatterWallNS.Add(time.Since(start).Nanoseconds()) //hotline:allow detorder measured scatter wall; never feeds math
 		if err != nil {
 			s.noteFabricErr(fmt.Errorf("scatter push of table %d to node %d: %w", table, o, err))
 		}
@@ -195,9 +201,9 @@ func (s *Service) PushUpdates(table int, rows []int32, src RowAt) {
 // fetchVia routes one per-owner fetch list through the transport, timing it
 // into the given wall-clock meter and recording any fabric error.
 func (s *Service) fetchVia(wall *atomic.Int64, table, owner int, rows []int32, st *Staging, local FetchFunc) error {
-	start := time.Now()
+	start := time.Now() //hotline:allow detorder measured gather wall; never feeds math
 	err := s.tr.Fetch(table, owner, rows, st, local)
-	wall.Add(time.Since(start).Nanoseconds())
+	wall.Add(time.Since(start).Nanoseconds()) //hotline:allow detorder measured gather wall; never feeds math
 	if err != nil {
 		s.noteFabricErr(fmt.Errorf("gather fetch of table %d from node %d: %w", table, owner, err))
 	}

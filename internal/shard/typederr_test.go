@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// Regression tests for the typed-error gaps the wraperr analyzer flagged
+// when it first ran: three sites built errors no errors.Is caller could
+// classify. Each test pins the typed form so the bugs stay fixed.
+
+// An error code this build does not know (a protocol-version mismatch)
+// used to surface untyped; it must classify as ErrBadFrame.
+func TestWireErrUnknownCodeIsBadFrame(t *testing.T) {
+	err := wireErr(250, "from the future")
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("unknown wire code = %v, want errors.Is ErrBadFrame", err)
+	}
+	if errors.Is(wireErr(wireErrUnknownRow, "x"), ErrBadFrame) {
+		t.Fatal("known code wireErrUnknownRow must not map to ErrBadFrame")
+	}
+}
+
+// StartLocalFabric on an unknown network used to return an untyped error;
+// it must classify as ErrFabricConfig.
+func TestFabricUnknownNetworkIsConfigError(t *testing.T) {
+	_, err := StartLocalFabric(2, "carrier-pigeon", time.Second, nil)
+	if !errors.Is(err, ErrFabricConfig) {
+		t.Fatalf("unknown network = %v, want errors.Is ErrFabricConfig", err)
+	}
+}
+
+// A well-framed reply with the wrong opcode is a protocol violation: the
+// error must classify as ErrBadFrame AND ErrPeerDead (the stream is
+// desynced, so the peer goes sticky-dead).
+func TestWrongReplyOpcodeIsBadFrameAndPeerDead(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var in []byte
+		if _, err := readFrame(srv, in); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		// Reply with a valid hello frame where an ack is wanted.
+		out := appendMsg([]byte{0, 0, 0, 0}, &wireMsg{op: opHello, node: 9})
+		if err := writeFrame(srv, out); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	tr := &SocketTransport{cfg: FabricConfig{Timeout: time.Second}}
+	p := &socketPeer{conn: cli}
+	err := tr.exchange(0, p, &wireMsg{op: opHello, node: 0}, opAck)
+	<-done
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("wrong-opcode reply = %v, want errors.Is ErrBadFrame", err)
+	}
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("wrong-opcode reply = %v, want errors.Is ErrPeerDead", err)
+	}
+	if p.err == nil {
+		t.Fatal("peer not marked sticky-dead after the protocol violation")
+	}
+}

@@ -1,3 +1,5 @@
+//hotline:typed-errors
+
 package shard
 
 import (
@@ -301,6 +303,8 @@ func wireErr(code byte, text string) error {
 	case wireErrBadFrame:
 		return fmt.Errorf("%w: %s", ErrBadFrame, text)
 	default:
-		return fmt.Errorf("shard: peer error %d: %s", code, text)
+		// An error code this build does not know is a protocol-version
+		// mismatch — unintelligible protocol, same class as a bad frame.
+		return fmt.Errorf("%w: peer error %d: %s", ErrBadFrame, code, text)
 	}
 }

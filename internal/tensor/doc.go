@@ -12,4 +12,6 @@
 //
 // In the DESIGN.md layering this is the bottom of the functional stack:
 // nn, embedding and model all build on these kernels.
+//
+//hotline:deterministic
 package tensor

@@ -36,6 +36,8 @@ func FromSlice(rows, cols int, data []float32) *Matrix {
 // existing backing array when its capacity suffices. This is the scratch
 // substrate of the steady-state training loop: per-step buffers are resized
 // instead of reallocated, so after warm-up a step performs no allocations.
+//
+//hotline:hotpath
 func (m *Matrix) Resize(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
@@ -49,7 +51,7 @@ func (m *Matrix) Resize(rows, cols int) *Matrix {
 		if c := 2 * cap(m.Data); c > newCap {
 			newCap = c
 		}
-		m.Data = make([]float32, n, newCap)
+		m.Data = make([]float32, n, newCap) //hotline:allow hotalloc geometric growth; scratch converges after warm-up (0 allocs/op gated)
 	} else {
 		m.Data = m.Data[:n]
 		for i := range m.Data {
@@ -64,6 +66,8 @@ func (m *Matrix) Resize(rows, cols int) *Matrix {
 // every element is about to be overwritten (or that the consuming kernel
 // zeroes itself, like MatMul). Reusing a buffer through Resize would memset
 // it twice per step on the hot path.
+//
+//hotline:hotpath
 func (m *Matrix) ResizeNoZero(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
@@ -74,7 +78,7 @@ func (m *Matrix) ResizeNoZero(rows, cols int) *Matrix {
 		if c := 2 * cap(m.Data); c > newCap {
 			newCap = c
 		}
-		m.Data = make([]float32, n, newCap)
+		m.Data = make([]float32, n, newCap) //hotline:allow hotalloc geometric growth; scratch converges after warm-up (0 allocs/op gated)
 	} else {
 		m.Data = m.Data[:n]
 	}
@@ -95,6 +99,8 @@ func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
 func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
 
 // Row returns a view (no copy) of row r.
+//
+//hotline:hotpath
 func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
 
 // Clone returns a deep copy of m.
@@ -106,6 +112,8 @@ func (m *Matrix) Clone() *Matrix {
 
 // CopyFrom resizes m to src's shape and copies src's contents into it,
 // reusing m's backing array when possible.
+//
+//hotline:hotpath
 func (m *Matrix) CopyFrom(src *Matrix) *Matrix {
 	n := src.Rows * src.Cols
 	if cap(m.Data) < n {
@@ -115,7 +123,7 @@ func (m *Matrix) CopyFrom(src *Matrix) *Matrix {
 		if c := 2 * cap(m.Data); c > newCap {
 			newCap = c
 		}
-		m.Data = make([]float32, n, newCap)
+		m.Data = make([]float32, n, newCap) //hotline:allow hotalloc geometric growth; scratch converges after warm-up (0 allocs/op gated)
 	} else {
 		m.Data = m.Data[:n]
 	}
@@ -125,6 +133,8 @@ func (m *Matrix) CopyFrom(src *Matrix) *Matrix {
 }
 
 // Zero sets every element to 0 in place.
+//
+//hotline:hotpath
 func (m *Matrix) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
@@ -132,6 +142,8 @@ func (m *Matrix) Zero() {
 }
 
 // Fill sets every element to v in place.
+//
+//hotline:hotpath
 func (m *Matrix) Fill(v float32) {
 	for i := range m.Data {
 		m.Data[i] = v
@@ -160,6 +172,8 @@ func (m *Matrix) String() string { return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m
 // branch keeps the steady-state training loop allocation-free.
 
 // matMulRange computes rows [lo, hi) of dst = a x b (dst rows pre-zeroed).
+//
+//hotline:hotpath
 func matMulRange(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
 	for i := lo; i < hi; i++ {
@@ -180,6 +194,8 @@ func matMulRange(dst, a, b *Matrix, lo, hi int) {
 // axpyUnrolled computes dst[j] += alpha*src[j] with 4-wide unrolling. Each
 // output element keeps its own addition chain, so the result is bit-equal
 // to the plain loop — the unroll only exposes instruction parallelism.
+//
+//hotline:hotpath
 func axpyUnrolled(dst, src []float32, alpha float32) {
 	j := 0
 	for ; j+4 <= len(src) && j+4 <= len(dst); j += 4 {
@@ -195,6 +211,8 @@ func axpyUnrolled(dst, src []float32, alpha float32) {
 
 // MatMul computes dst = a x b. dst must be a.Rows x b.Cols and must not
 // alias a or b. It uses the cache-friendly i-k-j loop order.
+//
+//hotline:hotpath
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
@@ -217,6 +235,8 @@ func MatMul(dst, a, b *Matrix) {
 // are processed in pairs: the two dot products keep their own k-ascending
 // accumulation chains (bit-equal to the plain loop) while their instruction
 // streams interleave.
+//
+//hotline:hotpath
 func matMulTransBRange(dst, a, b *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
@@ -245,6 +265,8 @@ func matMulTransBRange(dst, a, b *Matrix, lo, hi int) {
 }
 
 // MatMulTransB computes dst = a x bᵀ. dst must be a.Rows x b.Rows.
+//
+//hotline:hotpath
 func MatMulTransB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", a.Cols, b.Cols))
@@ -266,6 +288,8 @@ func MatMulTransB(dst, a, b *Matrix) {
 // dst = aᵀ x b, accumulating over r in ascending order — the same
 // per-element addition sequence for every shard split, so the result is
 // bit-identical to the serial r-outer loop.
+//
+//hotline:hotpath
 func matMulTransARange(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
 	ac := a.Cols
@@ -283,6 +307,8 @@ func matMulTransARange(dst, a, b *Matrix, lo, hi int) {
 }
 
 // MatMulTransA computes dst = aᵀ x b. dst must be a.Cols x b.Cols.
+//
+//hotline:hotpath
 func MatMulTransA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d != %d", a.Rows, b.Rows))
@@ -316,6 +342,8 @@ func MatMulTransA(dst, a, b *Matrix) {
 }
 
 // AddBiasRow adds bias (length m.Cols) to every row of m in place.
+//
+//hotline:hotpath
 func AddBiasRow(m *Matrix, bias []float32) {
 	if len(bias) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddBiasRow bias len %d want %d", len(bias), m.Cols))
@@ -330,6 +358,8 @@ func AddBiasRow(m *Matrix, bias []float32) {
 
 // sumRowsRange accumulates columns [lo, hi) of the column-wise sum of m
 // into dst, over r in ascending order.
+//
+//hotline:hotpath
 func sumRowsRange(dst []float32, m *Matrix, lo, hi int) {
 	cols := m.Cols
 	for c := lo; c < hi; c++ {
@@ -340,6 +370,8 @@ func sumRowsRange(dst []float32, m *Matrix, lo, hi int) {
 }
 
 // SumRowsInto accumulates the column-wise sum of m into dst (length m.Cols).
+//
+//hotline:hotpath
 func SumRowsInto(dst []float32, m *Matrix) {
 	if len(dst) != m.Cols {
 		panic(fmt.Sprintf("tensor: SumRowsInto dst len %d want %d", len(dst), m.Cols))
@@ -370,6 +402,8 @@ func Add(dst, a, b *Matrix) {
 }
 
 // axpyRange computes dst[lo:hi] += alpha*src[lo:hi].
+//
+//hotline:hotpath
 func axpyRange(dst *Matrix, alpha float32, src *Matrix, lo, hi int) {
 	d, s := dst.Data, src.Data
 	for i := lo; i < hi; i++ {
@@ -378,6 +412,8 @@ func axpyRange(dst *Matrix, alpha float32, src *Matrix, lo, hi int) {
 }
 
 // AxpyInto computes dst += alpha*src element-wise.
+//
+//hotline:hotpath
 func AxpyInto(dst *Matrix, alpha float32, src *Matrix) {
 	checkSameShape("AxpyInto", dst, src)
 	if par.Serial(len(dst.Data), 1) {
@@ -390,6 +426,8 @@ func AxpyInto(dst *Matrix, alpha float32, src *Matrix) {
 }
 
 // Scale multiplies every element of m by alpha in place.
+//
+//hotline:hotpath
 func Scale(m *Matrix, alpha float32) {
 	for i := range m.Data {
 		m.Data[i] *= alpha
@@ -408,6 +446,8 @@ func Apply(dst, src *Matrix, f func(float32) float32) {
 }
 
 // hadamardRange computes dst[lo:hi] = a[lo:hi] ⊙ b[lo:hi].
+//
+//hotline:hotpath
 func hadamardRange(dst, a, b *Matrix, lo, hi int) {
 	d, x, y := dst.Data, a.Data, b.Data
 	for i := lo; i < hi; i++ {
@@ -416,6 +456,8 @@ func hadamardRange(dst, a, b *Matrix, lo, hi int) {
 }
 
 // Hadamard computes dst = a ⊙ b element-wise.
+//
+//hotline:hotpath
 func Hadamard(dst, a, b *Matrix) {
 	checkSameShape("Hadamard", a, b)
 	checkSameShape("Hadamard(dst)", dst, a)

@@ -12,4 +12,6 @@
 // internal/accel. NewHotlineSharded additionally runs the same executor on
 // shard-service-backed tables (internal/shard) — bit-identical math, plus
 // measured cache and all-to-all traffic.
+//
+//hotline:deterministic
 package train

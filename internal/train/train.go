@@ -152,6 +152,8 @@ func (t *Baseline) Model() *model.Model { return t.M }
 // Step implements Trainer. The SGD path is exactly Model.TrainStep (one
 // implementation of the standard step); only the Adagrad variant lives
 // here.
+//
+//hotline:hotpath
 func (t *Baseline) Step(b *data.Batch) float64 {
 	m := t.M
 	if t.adagrad == nil {
@@ -307,6 +309,8 @@ func (t *HotlineTrainer) PopularFraction() float64 {
 
 // learn feeds one mini-batch through the accelerator's learning phase
 // (initial warm-up, then periodic 5% re-sampling).
+//
+//hotline:hotpath
 func (t *HotlineTrainer) learn(b *data.Batch) {
 	if t.seenSamples < t.LearnSamples {
 		t.Acc.LearnBatch(b)
@@ -317,10 +321,14 @@ func (t *HotlineTrainer) learn(b *data.Batch) {
 }
 
 // Step implements Trainer: segregate, run both µ-batches, update once.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) Step(b *data.Batch) float64 { return t.StepLookahead(b, nil) }
 
 // StepPipelined implements PipelinedTrainer: StepLookahead with a
 // one-batch lookahead (the classic two-deep pipeline when Depth >= 2).
+//
+//hotline:hotpath
 func (t *HotlineTrainer) StepPipelined(b, next *data.Batch) float64 {
 	if next == nil {
 		return t.StepLookahead(b, nil)
@@ -334,6 +342,8 @@ func (t *HotlineTrainer) StepPipelined(b, next *data.Batch) float64 {
 func (t *HotlineTrainer) Lookahead() int { return t.depth() - 1 }
 
 // depth normalises the public Depth knob.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) depth() int {
 	if t.Depth < 1 {
 		return 1
@@ -345,11 +355,13 @@ func (t *HotlineTrainer) depth() int {
 // then the lookahead — accelerator learning + classification + fabric
 // prefetch for every not-yet-staged batch of `lookahead`, up to Depth-1
 // ahead. See the type comment for the determinism argument.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) StepLookahead(b *data.Batch, lookahead []*data.Batch) float64 {
 	if len(t.ring) != t.depth() {
 		// First step, or the Depth knob moved: restart the pipeline.
 		t.abortStaged()
-		t.ring = make([]stagedBatch, t.depth())
+		t.ring = make([]stagedBatch, t.depth()) //hotline:allow hotalloc pipeline restart is cold; the ring is reused until Depth changes
 		t.head = 0
 	}
 
@@ -376,9 +388,9 @@ func (t *HotlineTrainer) StepLookahead(b *data.Batch, lookahead []*data.Batch) f
 		t.abortStaged()
 		t.learn(b)
 		cl := t.Acc.Classify(b)
-		slot = &t.ring[t.head] // every slot is free after the abort
-		slot.popIdx = append(slot.popIdx[:0], cl.PopularIdx...)
-		slot.nonIdx = append(slot.nonIdx[:0], cl.NonPopularIdx...)
+		slot = &t.ring[t.head]                                     // every slot is free after the abort
+		slot.popIdx = append(slot.popIdx[:0], cl.PopularIdx...)    //hotline:allow hotalloc classification copy into slot scratch; converges to the batch size
+		slot.nonIdx = append(slot.nonIdx[:0], cl.NonPopularIdx...) //hotline:allow hotalloc classification copy into slot scratch; converges to the batch size
 		pop, non = slot.popIdx, slot.nonIdx
 	}
 	t.PopularInputs += int64(len(pop))
@@ -445,6 +457,8 @@ func (t *HotlineTrainer) StepLookahead(b *data.Batch, lookahead []*data.Batch) f
 // speculation), and the ring slots are freed. The committed accelerator
 // learning is NOT undone, matching the real system: the EAL saw those
 // inputs whether or not the speculation paid off.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) abortStaged() {
 	if t.staged == 0 {
 		return
@@ -469,6 +483,8 @@ func (t *HotlineTrainer) abortStaged() {
 // pipeline is Depth-1 deep, skipping the prefix that is already staged. A
 // caller whose lookahead diverges from what was staged gets no new staging
 // — the mismatch is resolved (aborted) when its head batch trains.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) stageLookahead(lookahead []*data.Batch) {
 	limit := len(t.ring) - 1
 	for j, nb := range lookahead {
@@ -493,13 +509,15 @@ func (t *HotlineTrainer) stageLookahead(lookahead []*data.Batch) {
 // after the current step's sparse update; rows a LATER update rewrites
 // while the window waits are delta-repaired at consume time, so the staged
 // values always equal what a synchronous gather would read.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) stage(nb *data.Batch) {
 	slot := &t.ring[(t.head+t.staged)%len(t.ring)]
 	t.learn(nb)
 	cl := t.Acc.Classify(nb)
 	slot.batch = nb
-	slot.popIdx = append(slot.popIdx[:0], cl.PopularIdx...)
-	slot.nonIdx = append(slot.nonIdx[:0], cl.NonPopularIdx...)
+	slot.popIdx = append(slot.popIdx[:0], cl.PopularIdx...)    //hotline:allow hotalloc classification copy into slot scratch; converges to the batch size
+	slot.nonIdx = append(slot.nonIdx[:0], cl.NonPopularIdx...) //hotline:allow hotalloc classification copy into slot scratch; converges to the batch size
 	slot.sub = nil
 	slot.prefetched = false
 	t.staged++
@@ -520,15 +538,19 @@ func (t *HotlineTrainer) stage(nb *data.Batch) {
 // ring slot owns one buffer: a slot's previous subset is consumed (passes
 // complete) before the slot is restaged, so the Depth buffers cover the
 // whole pipeline without copies.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) subBufFor(slot *stagedBatch) *data.Batch {
 	if slot.subBuf == nil {
-		slot.subBuf = &data.Batch{}
+		slot.subBuf = &data.Batch{} //hotline:allow hotalloc lazy one-time per-slot subset buffer
 	}
 	return slot.subBuf
 }
 
 // runSplit runs the popular and non-popular µ-batch passes (concurrently
 // when workers allow) and folds the shadow's gradients back in fixed order.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) runSplit(b *data.Batch, pop []int, nonSub *data.Batch, invN float32) float64 {
 	var totalLoss float64
 	if par.Workers() <= 1 {
@@ -548,12 +570,16 @@ func (t *HotlineTrainer) runSplit(b *data.Batch, pop []int, nonSub *data.Batch, 
 }
 
 // overlapReady reports whether cross-µ-batch gather prefetching is active.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) overlapReady() bool {
 	return t.OverlapGather && t.Shard != nil && t.Shard.Gatherer() != nil
 }
 
 // passOn subsets idx out of b into the executor's popular-side buffer and
 // runs one µ-batch pass on m.
+//
+//hotline:hotpath
 func (t *HotlineTrainer) passOn(m *model.Model, b *data.Batch, idx []int, invN float32, grad *tensor.Matrix) float64 {
 	return passInto(m, b.SubsetInto(&t.popSub, idx), invN, grad)
 }
@@ -562,6 +588,8 @@ func (t *HotlineTrainer) passOn(m *model.Model, b *data.Batch, idx []int, invN f
 // Sum-reduced gradients are scaled by 1/n (the full mini-batch size) so the
 // accumulated update equals the baseline's mean-reduced mini-batch update
 // (Eq. 5). grad is the executor-owned loss-gradient buffer for this pass.
+//
+//hotline:hotpath
 func passInto(m *model.Model, sub *data.Batch, invN float32, grad *tensor.Matrix) float64 {
 	logits := m.Forward(sub)
 	loss, g := nn.BCEWithLogitsInto(grad, logits, sub.Labels, nn.ReduceSum)
