@@ -30,7 +30,7 @@ const fabricReadyTimeout = 15 * time.Second
 // coordinator falls back to an in-process fabric — every node still sits
 // behind its own socket and NodeServer, only the process boundary is
 // missing — and says so.
-func runFabric(network string, nodes, depth, iters int) {
+func runFabric(network string, nodes, depth, iters int, timeouts shard.FabricTimeouts) {
 	if network != "unix" && network != "tcp" {
 		fmt.Fprintf(os.Stderr, "hotline-bench: -fabric must be unix or tcp, got %q\n", network)
 		os.Exit(2)
@@ -41,7 +41,7 @@ func runFabric(network string, nodes, depth, iters int) {
 	}
 	const batch = 256
 
-	tr, cleanup, mode := dialFabricWorkers(network, nodes)
+	tr, cleanup, mode := dialFabricWorkers(network, nodes, timeouts)
 	defer cleanup()
 
 	m, err := pipeline.MeasureFabricOver(data.CriteoKaggle(), nodes, depth, iters, batch, tr)
@@ -67,11 +67,11 @@ func runFabric(network string, nodes, depth, iters int) {
 // dialFabricWorkers connects a transport whose peers are real hotline-node
 // processes, or an in-process fabric when the worker binary is missing.
 // The returned cleanup tears down whichever was built.
-func dialFabricWorkers(network string, nodes int) (shard.Transport, func(), string) {
+func dialFabricWorkers(network string, nodes int, timeouts shard.FabricTimeouts) (shard.Transport, func(), string) {
 	bin, err := findNodeBinary()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hotline-bench: %v; falling back to in-process node servers\n", err)
-		fab, ferr := shard.StartLocalFabric(nodes, network, 0, nil)
+		fab, ferr := shard.StartLocalFabric(nodes, network, timeouts.IO, nil)
 		if ferr != nil {
 			fmt.Fprintln(os.Stderr, "hotline-bench:", ferr)
 			os.Exit(1)
@@ -102,7 +102,8 @@ func dialFabricWorkers(network string, nodes int) (shard.Transport, func(), stri
 		if network == "tcp" {
 			listen = "127.0.0.1:0"
 		}
-		cmd := exec.Command(bin, "-node", fmt.Sprint(i), "-network", network, "-listen", listen)
+		cmd := exec.Command(bin, "-node", fmt.Sprint(i), "-network", network, "-listen", listen,
+			"-io-timeout", timeouts.IO.String())
 		cmd.Stderr = os.Stderr
 		out, err := cmd.StdoutPipe()
 		if err == nil {
@@ -123,7 +124,7 @@ func dialFabricWorkers(network string, nodes int) (shard.Transport, func(), stri
 		fmt.Fprintf(os.Stderr, "hotline-bench: node %d ready on %s %s (pid %d)\n", i, network, addr, cmd.Process.Pid)
 		addrs = append(addrs, addr)
 	}
-	tr, err := shard.DialFabric(shard.FabricConfig{Network: network, Addrs: addrs})
+	tr, err := shard.DialFabric(shard.FabricConfig{Network: network, Addrs: addrs, Timeouts: timeouts})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotline-bench: dial fabric:", err)
 		cleanup()

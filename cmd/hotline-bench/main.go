@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"hotline"
+	"hotline/internal/shard"
 	"hotline/internal/tools/microbench"
 )
 
@@ -75,6 +76,9 @@ func main() {
 	fabric := flag.String("fabric", "", `multi-process coordinator mode: train over real hotline-node worker processes on this socket family ("unix" or "tcp") and report measured vs analytic all-to-all time`)
 	fabricNodes := flag.Int("fabric-nodes", 2, "shard node count for -fabric")
 	fabricIters := flag.Int("fabric-iters", 6, "training iterations for -fabric")
+	fabricDial := flag.Duration("fabric-dial", shard.DefaultDialTimeout, "per-peer dial timeout for -fabric")
+	fabricIO := flag.Duration("fabric-io", shard.DefaultIOTimeout, "per-operation read/write deadline for -fabric (also the workers' -io-timeout)")
+	fabricRetry := flag.Duration("fabric-retry", shard.DefaultRetryTimeout, "recovery budget one peer re-dial loop may spend for -fabric")
 	bench := flag.Bool("bench", false, "run the micro-benchmarks and emit BENCH_<date>.json")
 	benchOut := flag.String("bench-out", "", "micro-benchmark output path (default BENCH_<date>.json; '-' = stdout)")
 	benchLabel := flag.String("bench-label", "", "label recorded in the benchmark report")
@@ -90,7 +94,12 @@ func main() {
 		return
 	}
 	if *fabric != "" {
-		runFabric(*fabric, *fabricNodes, *depth, *fabricIters)
+		timeouts := shard.FabricTimeouts{Dial: *fabricDial, IO: *fabricIO, Retry: *fabricRetry}
+		if err := timeouts.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "hotline-bench:", err)
+			os.Exit(2)
+		}
+		runFabric(*fabric, *fabricNodes, *depth, *fabricIters, timeouts)
 		return
 	}
 

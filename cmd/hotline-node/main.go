@@ -37,13 +37,19 @@ func main() {
 	node := flag.Int("node", 0, "this node's id in the fabric (owner index)")
 	network := flag.String("network", "unix", `socket family: "unix" or "tcp"`)
 	listen := flag.String("listen", "", "address to listen on (unix socket path, or host:port; port 0 picks a free port)")
+	ioTimeout := flag.Duration("io-timeout", shard.DefaultIOTimeout,
+		"per-frame IO deadline: reading a started request's payload and writing its reply must each finish within this (0 = unbounded; idle waits between requests are never bounded)")
 	flag.Parse()
 
 	if *listen == "" {
 		fmt.Fprintln(os.Stderr, "hotline-node: -listen is required")
 		os.Exit(2)
 	}
-	srv, err := shard.ServeNode(*node, *network, *listen)
+	if *ioTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "hotline-node: -io-timeout must be >= 0, got %s\n", *ioTimeout)
+		os.Exit(2)
+	}
+	srv, err := shard.ServeNodeTimeout(*node, *network, *listen, *ioTimeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotline-node:", err)
 		os.Exit(1)

@@ -28,6 +28,7 @@ import (
 	"hotline/internal/report"
 	"hotline/internal/serve"
 	"hotline/internal/shard"
+	"hotline/internal/shard/chaos"
 	"hotline/internal/train"
 )
 
@@ -346,6 +347,69 @@ type LocalFabric = shard.LocalFabric
 func StartLocalFabric(nodes int, network string) (*LocalFabric, error) {
 	return shard.StartLocalFabric(nodes, network, 0, nil)
 }
+
+// --- fault tolerance & recovery ---------------------------------------------
+
+// FabricTimeouts are the socket fabric's validated timeout knobs: Dial
+// (connection establishment), IO (per-operation read/write deadlines) and
+// Retry (one recovery's total re-dial budget). Zero fields take documented
+// non-zero defaults; negative fields are a config error.
+type FabricTimeouts = shard.FabricTimeouts
+
+// ResilientTransport layers retry, re-dial, mirror resync and spare
+// adoption over a dialed SocketTransport: transient I/O failures recover,
+// protocol corruption surfaces immediately, and per-peer health is
+// observable (ShardService.PeerHealth).
+type ResilientTransport = shard.ResilientTransport
+
+// NewResilientTransport wraps a dialed socket fabric in the retry/re-dial
+// policy. The zero RetryConfig is a working production config.
+var NewResilientTransport = shard.NewResilientTransport
+
+// RetryConfig tunes the resilient layer: attempt/redial bounds, backoff
+// schedule, injectable clock, address re-resolution and spare-node
+// adoption.
+type RetryConfig = shard.RetryConfig
+
+// PeerHealth is one peer's recovery snapshot: state (alive/suspect/dead),
+// consecutive failures, re-dials, spare adoption, last error.
+type PeerHealth = shard.PeerHealth
+
+// RecoveryConfig selects the service's recovery policy: RecoverNone
+// (fail-fast, the default), RecoverRedial (transport-level retry only), or
+// RecoverAdopt (surviving nodes adopt a dead peer's shard, bit-identically).
+type RecoveryConfig = shard.RecoveryConfig
+
+// RecoveryPolicy names a recovery policy.
+type RecoveryPolicy = shard.RecoveryPolicy
+
+// Recovery policies, in escalation order.
+const (
+	RecoverNone   = shard.RecoverNone
+	RecoverRedial = shard.RecoverRedial
+	RecoverAdopt  = shard.RecoverAdopt
+)
+
+// RecoveryStats counts what recovery cost: shard adoptions, migrated and
+// resynced row payload, re-routed window fetches, recovery wall clock.
+type RecoveryStats = shard.RecoveryStats
+
+// ChaosSchedule is a deterministic fault schedule (kill/restart/delay/
+// corrupt events at training-window granularity) for recovery testing.
+type ChaosSchedule = chaos.Schedule
+
+// SeededChaosSchedule derives a deterministic kill/restart (+link-delay)
+// schedule from a seed: same inputs, same faults, every run.
+var SeededChaosSchedule = chaos.Seeded
+
+// ChaosMeasurement is one functional training run through an injected
+// fault: recovery latency, migration/resync payload, stale-served rows and
+// the bit-parity evidence against the fault-free reference.
+type ChaosMeasurement = pipeline.ChaosMeasurement
+
+// MeasureChaos kills a peer mid-training under a deterministic schedule and
+// measures what the chosen recovery policy cost (the mn-chaos scenario).
+var MeasureChaos = pipeline.MeasureChaos
 
 // FabricMeasurement is one functional training run over a real fabric:
 // measured gather/scatter wall clock plus bit-parity evidence against the

@@ -11,7 +11,7 @@ import (
 // mn-syn through hotline-bench -smoke without the race detector).
 var heavyExperiments = map[string]bool{
 	"tab5": true, "fig18": true, "fig27": true, "fig28": true, "abl-eal": true,
-	"mn-depth": true, "mn-syn": true, "mn-fabric": true,
+	"mn-depth": true, "mn-syn": true, "mn-fabric": true, "mn-chaos": true,
 }
 
 func TestAllExperimentsRun(t *testing.T) {
@@ -66,7 +66,7 @@ func TestRegistryComplete(t *testing.T) {
 		"mn-scale", "mn-cache", "mn-skew", "mn-policy",
 		"mn-place", "mn-overlap", "mn-adagrad",
 		"mn-depth", "mn-syn", "mn-batch",
-		"mn-serve", "mn-qps", "mn-fabric",
+		"mn-serve", "mn-qps", "mn-fabric", "mn-chaos",
 	}
 	for _, id := range extras {
 		if !have[id] {

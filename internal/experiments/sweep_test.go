@@ -20,13 +20,18 @@ func sweepIDs(t *testing.T) []string {
 }
 
 // wallClockExperiments report measured wall-clock durations of the
-// functional layer (the async-overlap scenario, the depth sweep and the
-// serving latency knee). Their timing cells legitimately vary run to run,
-// so the byte-identical sweep contract skips them; everything structural
-// about them is still checked. mn-serve is NOT in this set: it reports
-// only traffic counters, which must stay deterministic.
+// functional layer (the async-overlap scenario, the depth sweep, the
+// serving latency knee, and the chaos recovery runs — whose restart
+// timer is real time, so the recovery wall and the number of serve
+// probes landing inside the outage vary run to run). Their timing cells
+// legitimately vary, so the byte-identical sweep contract skips them;
+// everything structural about them is still checked — for mn-chaos the
+// bit-identity claim itself (max diff 0) is enforced inside MeasureChaos,
+// which errors on any loss divergence. mn-serve is NOT in this set: it
+// reports only traffic counters, which must stay deterministic.
 var wallClockExperiments = map[string]bool{
 	"mn-overlap": true, "mn-depth": true, "mn-qps": true, "mn-fabric": true,
+	"mn-chaos": true,
 }
 
 // TestRunAllExperiments: every id yields a non-empty table, and the

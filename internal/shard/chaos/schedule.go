@@ -1,0 +1,138 @@
+//hotline:typed-errors
+
+// Package chaos is the deterministic fault scheduler for the shard fabric:
+// a seeded Schedule of kill/restart/delay/corrupt events driven against a
+// restartable in-process fabric (Fabric), so recovery tests and the
+// mn-chaos scenario inject byte-identical fault sequences on every run.
+//
+// Determinism is the whole point — a recovery property that only holds for
+// one lucky interleaving is not a property. Schedules are pure data derived
+// from a seed; the harness applies them at training-window granularity
+// (Tick) with the single deliberate exception of restarts, which fire on a
+// wall-clock timer: a training loop blocked inside the transport's retry
+// path cannot advance windows, so a window-gated restart would deadlock the
+// very scenario it exists to test.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Kind is one chaos event type.
+type Kind int
+
+const (
+	// KillPeer closes the peer's node process mid-run (the in-process
+	// equivalent of SIGTERM: hotline-node's signal handler does exactly
+	// this server Close).
+	KillPeer Kind = iota
+	// RestartPeer starts a fresh, empty node process for the peer on a new
+	// address, After the event's wall delay.
+	RestartPeer
+	// DelayLink adds a per-frame read delay on the coordinator↔peer link
+	// for the next Windows training windows.
+	DelayLink
+	// CorruptFrame corrupts the next reply frame read from the peer (a
+	// flipped length prefix — never a valid frame again).
+	CorruptFrame
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KillPeer:
+		return "kill"
+	case RestartPeer:
+		return "restart"
+	case DelayLink:
+		return "delay"
+	case CorruptFrame:
+		return "corrupt"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// Window is the training window at which the event fires (Tick(w)).
+	Window int
+	Kind   Kind
+	// Peer is the target node.
+	Peer int
+	// After delays a RestartPeer on the wall clock past its window's tick.
+	After time.Duration
+	// Windows is a DelayLink's duration in training windows.
+	Windows int
+	// Delay is a DelayLink's added per-frame read delay.
+	Delay time.Duration
+}
+
+// Schedule is a deterministic fault sequence, ordered by window.
+type Schedule []Event
+
+// String renders the schedule compactly ("w3:kill(1) w3:restart(1)+20ms").
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "none"
+	}
+	var b strings.Builder
+	for i, e := range s {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "w%d:%s(%d)", e.Window, e.Kind, e.Peer)
+		if e.Kind == RestartPeer && e.After > 0 {
+			fmt.Fprintf(&b, "+%s", e.After)
+		}
+		if e.Kind == DelayLink {
+			fmt.Fprintf(&b, "×%dw/%s", e.Windows, e.Delay)
+		}
+	}
+	return b.String()
+}
+
+// KillRestart is the canonical single-fault schedule: kill peer at window,
+// restart it after the given wall delay.
+func KillRestart(peer, window int, after time.Duration) Schedule {
+	return Schedule{
+		{Window: window, Kind: KillPeer, Peer: peer},
+		{Window: window, Kind: RestartPeer, Peer: peer, After: after},
+	}
+}
+
+// Kill is the no-mercy schedule: kill peer at window and never bring it
+// back (the shard-adoption scenario).
+func Kill(peer, window int) Schedule {
+	return Schedule{{Window: window, Kind: KillPeer, Peer: peer}}
+}
+
+// Seeded derives a deterministic schedule from seed: one kill+restart of a
+// random peer, plus events random link delays spread over the windows. The
+// same (seed, windows, nodes, events) always yields the same schedule.
+// Frame corruption is deliberately absent — it is non-retriable by design
+// (TransientFabricErr), so a generated corruption would void the very
+// recovery run the schedule exists to drive; corruption tests build their
+// Event explicitly.
+func Seeded(seed int64, windows, nodes, events int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if windows < 2 {
+		windows = 2
+	}
+	victim := rng.Intn(nodes)
+	killAt := 1 + rng.Intn(windows-1)
+	s := KillRestart(victim, killAt, time.Duration(5+rng.Intn(20))*time.Millisecond)
+	for i := 0; i < events; i++ {
+		// Fault a peer other than the kill victim so the generated extras
+		// never mask the kill/restart recovery under test.
+		peer := rng.Intn(nodes)
+		if peer == victim {
+			peer = (peer + 1) % nodes
+		}
+		s = append(s, Event{Window: rng.Intn(windows), Kind: DelayLink, Peer: peer,
+			Windows: 1 + rng.Intn(2), Delay: time.Duration(1+rng.Intn(3)) * time.Millisecond})
+	}
+	return s
+}

@@ -2,23 +2,9 @@ package conformance
 
 import (
 	"testing"
-	"time"
 
 	"hotline/internal/shard"
 )
-
-// suiteTimeout derives the fabric timeout from the test deadline (deflake
-// contract: a hung socket fails the test loudly, never times the run out).
-func suiteTimeout(tb testing.TB) time.Duration {
-	if t, ok := tb.(*testing.T); ok {
-		if d, ok := t.Deadline(); ok {
-			if rem := time.Until(d) / 2; rem < shard.DefaultFabricTimeout {
-				return rem
-			}
-		}
-	}
-	return shard.DefaultFabricTimeout
-}
 
 func socketSuite(network string) Suite {
 	return Suite{
@@ -63,4 +49,15 @@ func TestConformanceFaultsTCP(t *testing.T) {
 		t.Skip("unix sockets only in -short (CI deflake contract)")
 	}
 	RunFaults(t, "tcp")
+}
+
+func TestRecoveryUnix(t *testing.T) {
+	RunRecovery(t, "unix")
+}
+
+func TestRecoveryTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unix sockets only in -short (CI deflake contract)")
+	}
+	RunRecovery(t, "tcp")
 }

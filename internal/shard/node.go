@@ -5,9 +5,11 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // NodeServer is one shard node of the socket fabric: the authoritative store
@@ -23,6 +25,7 @@ import (
 type NodeServer struct {
 	node int
 	ln   net.Listener
+	io   time.Duration // per-frame IO deadline; 0 = none
 
 	mu    sync.Mutex
 	rows  map[uint64][]float32 // key(table,row) → authoritative payload
@@ -54,12 +57,26 @@ type NodeStats struct {
 // Close. The accept loop runs in the background; Addr reports the bound
 // address.
 func ServeNode(node int, network, addr string) (*NodeServer, error) {
+	return ServeNodeTimeout(node, network, addr, 0)
+}
+
+// ServeNodeTimeout is ServeNode with a per-frame IO deadline: once a
+// request's length prefix has arrived, reading its payload and writing the
+// reply must each finish within ioTimeout, so a coordinator that stalls
+// mid-frame cannot pin a handler goroutine (and its conn) forever. Waiting
+// for the next request is never bounded — coordinator connections idle
+// between training windows by design. Zero disables the deadline; negative
+// is a config error.
+func ServeNodeTimeout(node int, network, addr string, ioTimeout time.Duration) (*NodeServer, error) {
+	if ioTimeout < 0 {
+		return nil, fmt.Errorf("%w: node %d negative io timeout %s", ErrFabricConfig, node, ioTimeout)
+	}
 	ln, err := net.Listen(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("shard: node %d listen %s %s: %w", node, network, addr, err)
 	}
 	s := &NodeServer{
-		node: node, ln: ln,
+		node: node, ln: ln, io: ioTimeout,
 		rows:  make(map[uint64][]float32),
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -141,7 +158,7 @@ func (s *NodeServer) serveConn(c net.Conn) {
 	var req wireMsg // decoded request, slices reused
 	var rep wireMsg
 	for {
-		payload, err := readFrame(c, in)
+		payload, err := s.readRequest(c, in)
 		if err != nil {
 			if errors.Is(err, ErrBadFrame) || errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrTruncatedFrame) {
 				// Protocol violation: tell the peer once, then drop the
@@ -228,10 +245,35 @@ func (s *NodeServer) replyFetch(c net.Conn, out *[]byte, req, rep *wireMsg) bool
 	return s.reply(c, out, rep)
 }
 
+// readRequest reads one request frame. The wait for the length prefix is
+// unbounded (idle connections are healthy); once a frame has started, its
+// payload must arrive within the IO deadline.
+func (s *NodeServer) readRequest(c net.Conn, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	if s.io > 0 {
+		if err := c.SetReadDeadline(time.Now().Add(s.io)); err != nil { //hotline:allow detorder deadline arming; timeouts are a fault policy, not math
+			return nil, fmt.Errorf("%w: node %d arm read deadline: %v", ErrPeerDead, s.node, err)
+		}
+		defer c.SetReadDeadline(time.Time{})
+	}
+	return readFramePayload(c, hdr, buf)
+}
+
 // reply frames and writes one response; false means the conn is unusable.
+// The write runs under the IO deadline, so a peer that stops draining its
+// socket cannot wedge the handler.
 func (s *NodeServer) reply(c net.Conn, out *[]byte, m *wireMsg) bool {
 	buf := append((*out)[:0], 0, 0, 0, 0) // reserve the length prefix
 	buf = appendMsg(buf, m)
 	*out = buf
+	if s.io > 0 {
+		if c.SetWriteDeadline(time.Now().Add(s.io)) != nil { //hotline:allow detorder deadline arming; timeouts are a fault policy, not math
+			return false
+		}
+		defer c.SetWriteDeadline(time.Time{})
+	}
 	return writeFrame(c, buf) == nil
 }

@@ -1,0 +1,412 @@
+//hotline:typed-errors
+
+// Service-level recovery: shard adoption when a peer is past saving.
+//
+// The ResilientTransport handles everything that can be fixed at the
+// connection level — retry, re-dial, resync, spare identity adoption. This
+// file handles the case it cannot: a peer declared unrecoverable while
+// training still needs its rows. The coordinator's mirror is authoritative
+// (all training math happens there; node stores are replicas fed absolute
+// row values), so failover is a pure routing change: repartition the dead
+// node's rows over the survivors, push their current bits from the mirror,
+// and re-route the failed fetches. Every staged row a forward consumes
+// still holds exactly the bits a fault-free run would have staged — repairs
+// and re-fetches always read current mirror state, and the dirty-row
+// tracker already forces a repair wherever an update intervened — so
+// training after failover is bit-identical to the fault-free fixed-
+// placement run.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RecoveryPolicy selects what the service does when the fabric reports a
+// dead peer.
+type RecoveryPolicy int
+
+const (
+	// RecoverNone is the fail-fast default: the first fabric error sticks
+	// and the run is void (the pre-recovery behavior, still what the fault
+	// classification suite asserts).
+	RecoverNone RecoveryPolicy = iota
+	// RecoverRedial relies on the transport layer alone: transient failures
+	// retry, dead peers re-dial (optionally onto a restarted process or a
+	// spare adopting the dead node's identity) and resync from the mirror.
+	// A peer that exhausts the retry budget fails the run.
+	RecoverRedial
+	// RecoverAdopt adds shard adoption on top of RecoverRedial: when a peer
+	// is unrecoverable, the surviving nodes adopt its rows — ownership
+	// repartitions, the mirror migrates the rows, failed operations
+	// re-route — and the run completes without it.
+	RecoverAdopt
+)
+
+// String names the policy for reports.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case RecoverNone:
+		return "fail-fast"
+	case RecoverRedial:
+		return "redial"
+	case RecoverAdopt:
+		return "adopt"
+	}
+	return fmt.Sprintf("RecoveryPolicy(%d)", int(p))
+}
+
+// RecoveryConfig arms a Service's recovery behavior (SetRecovery).
+type RecoveryConfig struct {
+	Policy RecoveryPolicy
+	// MaxFailovers bounds how many peers may be adopted away in one run
+	// (cascading failures). Zero defaults to Nodes-1 — adopt until one
+	// node remains.
+	MaxFailovers int
+}
+
+// RecoveryStats counts the recovery subsystem's work. Fetch re-routes and
+// row migration happen on the coordinator; redials, spare adoptions and
+// per-peer health live in PeerHealth.
+type RecoveryStats struct {
+	// Adoptions counts survivor failovers (dead peers whose shard the
+	// remaining nodes adopted).
+	Adoptions int
+	// MigratedRows / MigratedBytes count rows pushed to their new owners
+	// during failover (repair/migration traffic, separate from scatter).
+	MigratedRows, MigratedBytes int64
+	// ResyncRows / ResyncBytes count rows re-pushed to a revived (re-dialed
+	// or spare) peer restoring its shard from the mirror.
+	ResyncRows, ResyncBytes int64
+	// Refetches counts rows whose failed gather fetch was re-routed to a
+	// surviving owner and completed.
+	Refetches int64
+	// RecoveryWall is the wall clock spent inside failover and re-routing
+	// (recovery latency; excludes the transport layer's own redial backoff).
+	RecoveryWall time.Duration
+}
+
+// failoverState is one immutable ownership overlay: rows whose base owner
+// is dead spread uniformly over the survivors. Swapped in atomically so the
+// hot-path Owner read never takes a lock.
+type failoverState struct {
+	dead      []bool
+	survivors []int32
+}
+
+func (st *failoverState) route(base int, row int32) int {
+	if st == nil || !st.dead[base] {
+		return base
+	}
+	return int(st.survivors[uint32(row)%uint32(len(st.survivors))])
+}
+
+// failoverPart wraps the configured Partitioner with the failover overlay.
+// Installed by SetRecovery(RecoverAdopt) before any table registers, so
+// ownership reads are overlay-aware from the start and failover is a single
+// atomic pointer swap — no lock ever appears on the Owner hot path.
+type failoverPart struct {
+	base  Partitioner
+	state atomic.Pointer[failoverState]
+}
+
+func (f *failoverPart) Owner(table int, row int32) int {
+	return f.state.Load().route(f.base.Owner(table, row), row)
+}
+
+func (f *failoverPart) ownerWith(st *failoverState, table int, row int32) int {
+	return st.route(f.base.Owner(table, row), row)
+}
+
+func (f *failoverPart) Nodes() int   { return f.base.Nodes() }
+func (f *failoverPart) Name() string { return f.base.Name() }
+
+// SetRecovery arms the recovery policy. Like SetTransport it must run on a
+// fresh service — before tables register — so ownership routing and the
+// initial shard sync agree from the first row.
+func (s *Service) SetRecovery(cfg RecoveryConfig) {
+	s.mu.Lock()
+	registered := len(s.tables)
+	s.mu.Unlock()
+	if registered > 0 {
+		panic("shard: SetRecovery after tables were registered; arm recovery on a fresh service")
+	}
+	if cfg.MaxFailovers == 0 {
+		cfg.MaxFailovers = s.cfg.Nodes - 1
+	}
+	s.recovery = cfg
+	s.deadNodes = make([]bool, s.cfg.Nodes)
+	if cfg.Policy == RecoverAdopt {
+		fp := &failoverPart{base: s.part}
+		s.part = fp
+		s.failPart = fp
+	}
+}
+
+// Recovery returns the armed recovery configuration.
+func (s *Service) Recovery() RecoveryConfig { return s.recovery }
+
+// PeerHealth snapshots per-peer fabric health — the primary observability
+// surface for a resilient fabric (nil on transports without a recovery
+// layer). Ordered by node id.
+func (s *Service) PeerHealth() []PeerHealth {
+	if rt, ok := s.tr.(*ResilientTransport); ok {
+		return rt.PeerHealth()
+	}
+	return nil
+}
+
+// RecoveryStats snapshots the recovery subsystem's counters.
+func (s *Service) RecoveryStats() RecoveryStats {
+	s.recStatsMu.Lock()
+	defer s.recStatsMu.Unlock()
+	return s.recStats
+}
+
+// DeadNodes returns the nodes adopted away by failover, in id order.
+func (s *Service) DeadNodes() []int {
+	s.recoverMu.Lock()
+	defer s.recoverMu.Unlock()
+	var out []int
+	for n, d := range s.deadNodes {
+		if d {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// adoptable reports whether a fabric failure should trigger shard adoption:
+// the adopt policy is armed and the error is dead-peer-class (not an
+// application error, not a closing fabric).
+func (s *Service) adoptable(err error) bool {
+	return s.recovery.Policy == RecoverAdopt &&
+		errors.Is(err, ErrPeerDead) && !errors.Is(err, ErrClosed)
+}
+
+// recoverFetch re-routes one failed per-owner fetch after shard adoption:
+// fail the dead owner over, re-group the rows by their post-failover owners
+// and re-fetch. Bounded rounds cover cascading failures (a re-routed fetch
+// landing on another dying peer). Returns nil when every row landed —
+// recovery succeeded and no fabric error is recorded.
+func (s *Service) recoverFetch(table, owner int, rows []int32, st *Staging, local FetchFunc, cause error) error {
+	if !s.adoptable(cause) {
+		return cause
+	}
+	start := time.Now() //hotline:allow detorder measured recovery wall; never feeds math
+	defer func() {
+		s.noteRecoveryWall(time.Since(start)) //hotline:allow detorder measured recovery wall; never feeds math
+	}()
+	pending := rows
+	deadOwner := owner
+	err := cause
+	for round := 0; round < s.cfg.Nodes; round++ {
+		if ferr := s.failoverDead(deadOwner); ferr != nil {
+			return fmt.Errorf("failover of node %d: %w", deadOwner, ferr)
+		}
+		// Re-group by post-failover owner. Recovery path: allocation is fine.
+		byOwner := make([][]int32, s.cfg.Nodes)
+		for _, r := range pending {
+			o := s.Owner(table, r)
+			byOwner[o] = append(byOwner[o], r)
+		}
+		pending = pending[:0:0]
+		err = nil
+		for o, rs := range byOwner {
+			if len(rs) == 0 {
+				continue
+			}
+			if ferr := s.tr.Fetch(table, o, rs, st, local); ferr != nil {
+				if !s.adoptable(ferr) {
+					return ferr
+				}
+				pending = append(pending, rs...)
+				deadOwner, err = o, ferr
+				continue
+			}
+			s.noteRefetch(int64(len(rs)))
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+	}
+	return err
+}
+
+// recoverPush is recoverFetch for the scatter direction: after adoption the
+// failed rows re-group by their new owners and push again (idempotent —
+// pushes carry absolute mirror values).
+func (s *Service) recoverPush(table, owner int, rows []int32, src RowAt, cause error) error {
+	if !s.adoptable(cause) {
+		return cause
+	}
+	start := time.Now() //hotline:allow detorder measured recovery wall; never feeds math
+	defer func() {
+		s.noteRecoveryWall(time.Since(start)) //hotline:allow detorder measured recovery wall; never feeds math
+	}()
+	pending := rows
+	deadOwner := owner
+	err := cause
+	for round := 0; round < s.cfg.Nodes; round++ {
+		if ferr := s.failoverDead(deadOwner); ferr != nil {
+			return fmt.Errorf("failover of node %d: %w", deadOwner, ferr)
+		}
+		byOwner := make([][]int32, s.cfg.Nodes)
+		for _, r := range pending {
+			o := s.Owner(table, r)
+			byOwner[o] = append(byOwner[o], r)
+		}
+		pending = pending[:0:0]
+		err = nil
+		for o, rs := range byOwner {
+			if len(rs) == 0 {
+				continue
+			}
+			if ferr := s.tr.Push(table, o, rs, src); ferr != nil {
+				if !s.adoptable(ferr) {
+					return ferr
+				}
+				pending = append(pending, rs...)
+				deadOwner, err = o, ferr
+				continue
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+	}
+	return err
+}
+
+// failoverDead fails one unrecoverable peer over to the survivors:
+// recompute the ownership overlay without it, push every row that moves to
+// its new owner (current mirror bits — the authoritative values), and only
+// then swap the overlay in, so a concurrent plan can never route a fetch to
+// a node that does not hold the row yet. Single-flight and idempotent: a
+// second caller for the same peer finds it already failed over and returns
+// nil. Commit is all-or-nothing — a migration push failure leaves the old
+// overlay in place (the caller's bounded rounds will fail the pushed-to
+// peer over too and re-enter).
+func (s *Service) failoverDead(dead int) error {
+	s.recoverMu.Lock()
+	defer s.recoverMu.Unlock()
+	if s.recovery.Policy != RecoverAdopt || s.failPart == nil {
+		return fmt.Errorf("%w: shard adoption not armed", ErrFabricConfig)
+	}
+	if dead < 0 || dead >= s.cfg.Nodes {
+		return fmt.Errorf("%w: failover of unknown node %d", ErrFabricConfig, dead)
+	}
+	if s.deadNodes[dead] {
+		return nil
+	}
+	failed := 0
+	for _, d := range s.deadNodes {
+		if d {
+			failed++
+		}
+	}
+	if failed >= s.recovery.MaxFailovers {
+		return fmt.Errorf("%w: node %d dead but failover budget (%d) is spent", ErrPeerDead, dead, s.recovery.MaxFailovers)
+	}
+	newDead := make([]bool, s.cfg.Nodes)
+	copy(newDead, s.deadNodes)
+	newDead[dead] = true
+	var survivors []int32
+	for n := 0; n < s.cfg.Nodes; n++ {
+		if !newDead[n] {
+			survivors = append(survivors, int32(n))
+		}
+	}
+	if len(survivors) == 0 {
+		return fmt.Errorf("%w: node %d was the last node standing", ErrPeerDead, dead)
+	}
+	oldState := s.failPart.state.Load()
+	newState := &failoverState{dead: newDead, survivors: survivors}
+
+	s.mu.Lock()
+	tables := append([]tableReg(nil), s.tables...)
+	s.mu.Unlock()
+
+	// Migrate before swapping: every row whose owner changes is pushed to
+	// its new owner first, so the overlay only ever routes to nodes that
+	// hold the row.
+	var migRows, migBytes int64
+	for _, t := range tables {
+		byOwner := make([][]int32, s.cfg.Nodes)
+		for r := 0; r < t.rows; r++ {
+			row := int32(r)
+			oldO := s.failPart.ownerWith(oldState, t.table, row)
+			newO := s.failPart.ownerWith(newState, t.table, row)
+			if oldO != newO {
+				byOwner[newO] = append(byOwner[newO], row)
+			}
+		}
+		for o, rs := range byOwner {
+			if len(rs) == 0 {
+				continue
+			}
+			if err := s.tr.Push(t.table, o, rs, t.src); err != nil {
+				return fmt.Errorf("migrating %d rows of table %d to node %d: %w", len(rs), t.table, o, err)
+			}
+			migRows += int64(len(rs))
+			migBytes += int64(len(rs)) * int64(t.dim) * 4
+		}
+	}
+
+	s.failPart.state.Store(newState)
+	s.deadNodes[dead] = true
+	s.recStatsMu.Lock()
+	s.recStats.Adoptions++
+	s.recStats.MigratedRows += migRows
+	s.recStats.MigratedBytes += migBytes
+	s.recStatsMu.Unlock()
+	return nil
+}
+
+// resyncOwner restores a revived peer's shard from the coordinator mirror:
+// every row the peer currently owns is pushed with its authoritative bits.
+// Wired into the ResilientTransport by SetTransport; runs under the
+// transport's per-peer write lock (no fetch can observe the half-restored
+// store) and pushes through the direct inner transport so it cannot recurse
+// into the retry layer.
+func (s *Service) resyncOwner(owner int, direct Transport) error {
+	s.mu.Lock()
+	tables := append([]tableReg(nil), s.tables...)
+	s.mu.Unlock()
+	var rrows, rbytes int64
+	for _, t := range tables {
+		var rows []int32
+		for r := 0; r < t.rows; r++ {
+			if s.Owner(t.table, int32(r)) == owner {
+				rows = append(rows, int32(r))
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		if err := direct.Push(t.table, owner, rows, t.src); err != nil {
+			return fmt.Errorf("resync of table %d (%d rows) to node %d: %w", t.table, len(rows), owner, err)
+		}
+		rrows += int64(len(rows))
+		rbytes += int64(len(rows)) * int64(t.dim) * 4
+	}
+	s.recStatsMu.Lock()
+	s.recStats.ResyncRows += rrows
+	s.recStats.ResyncBytes += rbytes
+	s.recStatsMu.Unlock()
+	return nil
+}
+
+func (s *Service) noteRefetch(rows int64) {
+	s.recStatsMu.Lock()
+	s.recStats.Refetches += rows
+	s.recStatsMu.Unlock()
+}
+
+func (s *Service) noteRecoveryWall(d time.Duration) {
+	s.recStatsMu.Lock()
+	s.recStats.RecoveryWall += d
+	s.recStatsMu.Unlock()
+}

@@ -1,0 +1,495 @@
+//hotline:typed-errors
+
+// Resilient fabric layer: retry, re-dial and spare adoption around the
+// fail-fast SocketTransport.
+//
+// The socket transport deliberately knows nothing about recovery — one bad
+// frame and the peer is sticky-dead. ResilientTransport layers policy on
+// top: it classifies each failure (transient I/O retries, protocol
+// corruption surfaces immediately), re-dials dead peers under a bounded
+// backoff schedule with an injectable clock, resyncs a freshly dialed
+// (empty) node from the coordinator's authoritative mirror, and can hand a
+// dead node's identity to a spare process. Every fetch and scatter in the
+// fabric carries absolute row values, so replaying an operation after a
+// re-dial is idempotent — the retry loop never needs to reason about
+// partial application.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PeerState is one peer's position in the recovery state machine.
+type PeerState int32
+
+const (
+	// PeerAlive: last operation succeeded; requests flow normally.
+	PeerAlive PeerState = iota
+	// PeerSuspect: an operation failed transiently; recovery (re-dial,
+	// resync) is pending or in flight.
+	PeerSuspect
+	// PeerDead: the retry budget is exhausted; the peer is unrecoverable
+	// and only shard adoption (Service-level failover) can route around it.
+	PeerDead
+)
+
+// String names the state for health snapshots and logs.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	}
+	return fmt.Sprintf("PeerState(%d)", int32(s))
+}
+
+// PeerHealth is a point-in-time snapshot of one peer's recovery state — the
+// observability surface that replaces squinting at a single sticky
+// FabricErr.
+type PeerHealth struct {
+	Node     int
+	Addr     string // current dial address (moves on restart/spare adoption)
+	State    PeerState
+	Failures int    // consecutive failed operations since the last success
+	Redials  int    // successful re-dials over the peer's lifetime
+	Adopted  bool   // a spare process holds this node's identity
+	LastErr  string // most recent failure, "" while healthy
+}
+
+// RetryConfig tunes the resilient layer. The zero value is a working
+// production config; tests inject Sleep/Now/Backoff to make recovery
+// schedules deterministic.
+type RetryConfig struct {
+	// MaxAttempts bounds how many times one operation runs (first try
+	// included), each retry preceded by a successful recovery. Default 3.
+	MaxAttempts int
+	// MaxRedials bounds dial attempts within one recovery. Default 8.
+	MaxRedials int
+	// Budget bounds one recovery's total wall clock; exhausted budget
+	// declares the peer unrecoverable. Zero uses the inner transport's
+	// FabricTimeouts.Retry.
+	Budget time.Duration
+	// Backoff returns the pause before redial attempt n (0-based).
+	// Default: 1ms doubling per attempt, capped at 250ms.
+	Backoff func(attempt int) time.Duration
+	// Sleep and Now are the injectable clock. Defaults: time.Sleep,
+	// time.Now.
+	Sleep func(time.Duration)
+	Now   func() time.Time
+	// Resolve, when set, is asked for the peer's current address before
+	// each redial — the hook a restart harness uses to point the fabric at
+	// a node re-listening on a new port. Returning "" keeps the current
+	// address; returning an error skips this redial attempt.
+	Resolve func(owner int) (string, error)
+	// Spares are standby node addresses. After SpareAfter failed redials
+	// of a dead peer's own address, the next spare adopts the peer's
+	// identity: its address swaps in, the fabric re-dials it, and Resync
+	// restores the shard — ownership never changes, so training bits
+	// don't either.
+	Spares []string
+	// SpareAfter is how many failed redials precede spare adoption.
+	// Default 2.
+	SpareAfter int
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.MaxRedials == 0 {
+		c.MaxRedials = 8
+	}
+	if c.Backoff == nil {
+		c.Backoff = func(attempt int) time.Duration {
+			d := time.Millisecond << min(attempt, 10)
+			return min(d, 250*time.Millisecond)
+		}
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.SpareAfter == 0 {
+		c.SpareAfter = 2
+	}
+	return c
+}
+
+// rPeer is one peer's recovery state. Operations hold mu.RLock around the
+// inner transport call; recovery holds mu.Lock across redial+resync so no
+// fetch can race a freshly dialed, not-yet-resynced (empty) node. recMu
+// single-flights recovery: concurrent failers queue behind it and find the
+// peer already revived.
+type rPeer struct {
+	mu    sync.RWMutex
+	recMu sync.Mutex
+
+	state   atomic.Int32
+	fails   atomic.Int32
+	redials atomic.Int32
+	adopted atomic.Bool
+	gone    atomic.Bool // unrecoverable; only failover routes around it
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+func (p *rPeer) setErr(err error) {
+	p.errMu.Lock()
+	p.lastErr = err
+	p.errMu.Unlock()
+}
+
+func (p *rPeer) lastError() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.lastErr
+}
+
+// ResilientTransport wraps a SocketTransport with retry, re-dial, resync
+// and spare adoption. It implements Transport and is safe for concurrent
+// use; recovery of one peer never blocks traffic to the others.
+type ResilientTransport struct {
+	inner *SocketTransport
+	cfg   RetryConfig
+	peers []*rPeer
+
+	// resync restores a freshly (re-)dialed node's shard from the
+	// coordinator mirror, pushing through direct so it cannot recurse into
+	// this layer's locks. Wired by Service.SetTransport.
+	resyncMu sync.Mutex
+	resync   func(owner int, direct Transport) error
+
+	spareMu   sync.Mutex
+	spareNext int
+
+	// recoveryWallNS accumulates the wall clock spent inside successful
+	// recoveries (backoff sleeps, redials, resync) — the transport-side
+	// recovery latency the mn-chaos scenario reports. Measured with the
+	// injectable cfg.Now clock.
+	recoveryWallNS atomic.Int64
+}
+
+// NewResilientTransport layers retry/re-dial policy over a dialed socket
+// fabric. The resilient layer owns inner from here on; Close closes it.
+func NewResilientTransport(inner *SocketTransport, cfg RetryConfig) (*ResilientTransport, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("%w: resilient layer needs a dialed SocketTransport", ErrFabricConfig)
+	}
+	if cfg.MaxAttempts < 0 || cfg.MaxRedials < 0 || cfg.Budget < 0 || cfg.SpareAfter < 0 {
+		return nil, fmt.Errorf("%w: negative retry bound in %+v", ErrFabricConfig, cfg)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Budget == 0 {
+		cfg.Budget = inner.cfg.Timeouts.Retry
+	}
+	r := &ResilientTransport{inner: inner, cfg: cfg, peers: make([]*rPeer, len(inner.peers))}
+	for i := range r.peers {
+		r.peers[i] = &rPeer{}
+	}
+	return r, nil
+}
+
+// setResync installs the mirror-resync callback (called by
+// Service.SetTransport; a fabric without one revives peers with empty
+// stores, which is only correct for freshly restarted processes that are
+// resynced some other way).
+func (r *ResilientTransport) setResync(fn func(owner int, direct Transport) error) {
+	r.resyncMu.Lock()
+	r.resync = fn
+	r.resyncMu.Unlock()
+}
+
+func (r *ResilientTransport) getResync() func(owner int, direct Transport) error {
+	r.resyncMu.Lock()
+	defer r.resyncMu.Unlock()
+	return r.resync
+}
+
+// Name reports the inner socket family; the retry layer is policy, not a
+// different wire.
+func (r *ResilientTransport) Name() string { return r.inner.Name() }
+
+// Multiproc reports true: rows still cross a process boundary.
+func (r *ResilientTransport) Multiproc() bool { return true }
+
+// Close closes the inner fabric.
+func (r *ResilientTransport) Close() error { return r.inner.Close() }
+
+// Fetch implements Transport with retry: transient failures trigger
+// recovery (re-dial + resync) and the fetch replays — idempotent, the rows
+// stream absolute values. Corruption-class failures surface immediately.
+func (r *ResilientTransport) Fetch(table, owner int, rows []int32, st *Staging, local FetchFunc) error {
+	return r.do(owner, func() error { return r.inner.Fetch(table, owner, rows, st, local) })
+}
+
+// Push implements Transport with retry. Scatter pushes carry the rows'
+// absolute current values, so a replay after re-dial is idempotent.
+func (r *ResilientTransport) Push(table, owner int, rows []int32, src RowAt) error {
+	return r.do(owner, func() error { return r.inner.Push(table, owner, rows, src) })
+}
+
+// FetchFast is the serve path's fetch: exactly one attempt, no backoff
+// sleeps. Against a non-alive peer it makes at most one opportunistic
+// recovery probe (re-dial + resync, single-flight, budget-free) so serving
+// un-degrades by itself when the peer returns, and otherwise fails fast so
+// the caller can answer from warmed caches instead.
+func (r *ResilientTransport) FetchFast(table, owner int, rows []int32, st *Staging, local FetchFunc) error {
+	p := r.peers[owner]
+	if PeerState(p.state.Load()) == PeerAlive && !p.gone.Load() {
+		p.mu.RLock()
+		err := r.inner.Fetch(table, owner, rows, st, local)
+		p.mu.RUnlock()
+		if err == nil {
+			r.noteSuccess(p)
+			return nil
+		}
+		r.noteFailure(p, err)
+		if !TransientFabricErr(err) {
+			return err
+		}
+	}
+	if err := r.probePeer(owner); err != nil {
+		return err
+	}
+	p.mu.RLock()
+	err := r.inner.Fetch(table, owner, rows, st, local)
+	p.mu.RUnlock()
+	if err == nil {
+		r.noteSuccess(p)
+		return nil
+	}
+	r.noteFailure(p, err)
+	return err
+}
+
+// PeerHealth snapshots every peer's recovery state, ordered by node id.
+func (r *ResilientTransport) PeerHealth() []PeerHealth {
+	out := make([]PeerHealth, len(r.peers))
+	for i, p := range r.peers {
+		h := PeerHealth{
+			Node:     i,
+			Addr:     r.inner.peerAddr(i),
+			State:    PeerState(p.state.Load()),
+			Failures: int(p.fails.Load()),
+			Redials:  int(p.redials.Load()),
+			Adopted:  p.adopted.Load(),
+		}
+		if err := p.lastError(); err != nil {
+			h.LastErr = err.Error()
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// TransientFabricErr classifies a fabric failure: true means retrying after
+// a re-dial can help (connection loss, timeout, truncated stream), false
+// means it cannot or must not (protocol corruption, unknown rows, config
+// errors, a closed fabric).
+func TransientFabricErr(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case isAny(err, ErrBadFrame, ErrFrameTooLarge):
+		// Corruption: the stream produced bytes that never form a valid
+		// frame. Retrying blind risks re-applying whatever poisoned it;
+		// surface it and let the operator (or the chaos test) look.
+		return false
+	case isAny(err, ErrUnknownRow, ErrFabricConfig, ErrClosed):
+		return false
+	}
+	// Everything else — dial refusals, I/O timeouts, EOF/truncated frames,
+	// plain ErrPeerDead — is connection-class and worth a re-dial.
+	return true
+}
+
+// do runs one idempotent operation with the retry policy: op under the
+// peer's read lock; transient failure → single-flight recovery → replay.
+func (r *ResilientTransport) do(owner int, op func() error) error {
+	p := r.peers[owner]
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if p.gone.Load() {
+			return r.deadErr(owner, p)
+		}
+		if attempt > 0 || PeerState(p.state.Load()) != PeerAlive {
+			if err := r.recoverPeer(owner); err != nil {
+				return err
+			}
+		}
+		p.mu.RLock()
+		err := op()
+		p.mu.RUnlock()
+		if err == nil {
+			r.noteSuccess(p)
+			return nil
+		}
+		r.noteFailure(p, err)
+		if !TransientFabricErr(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%w: node %d (%s %s) still failing after %d attempts: %w",
+		ErrPeerDead, owner, r.inner.cfg.Network, r.inner.peerAddr(owner), r.cfg.MaxAttempts, lastErr)
+}
+
+func (r *ResilientTransport) noteSuccess(p *rPeer) {
+	p.state.Store(int32(PeerAlive))
+	p.fails.Store(0)
+	p.setErr(nil)
+}
+
+func (r *ResilientTransport) noteFailure(p *rPeer, err error) {
+	p.fails.Add(1)
+	p.setErr(err)
+	if !p.gone.Load() {
+		p.state.Store(int32(PeerSuspect))
+	}
+}
+
+// deadErr describes an unrecoverable peer, wrapping its terminal error.
+func (r *ResilientTransport) deadErr(owner int, p *rPeer) error {
+	last := p.lastError()
+	if last == nil {
+		last = ErrPeerDead
+	}
+	return fmt.Errorf("%w: node %d (%s %s) unrecoverable: %w",
+		ErrPeerDead, owner, r.inner.cfg.Network, r.inner.peerAddr(owner), last)
+}
+
+// recoverPeer revives one peer: bounded backoff re-dials (optionally
+// re-resolved or spare-adopted addresses), then a mirror resync, all while
+// holding the peer's write lock so no operation can observe the
+// half-revived (empty) node. Single-flight: concurrent failers block on
+// recMu and find the peer already alive. Exhausting the budget marks the
+// peer unrecoverable — from then on only shard adoption serves its rows.
+func (r *ResilientTransport) recoverPeer(owner int) error {
+	p := r.peers[owner]
+	p.recMu.Lock()
+	defer p.recMu.Unlock()
+	if p.gone.Load() {
+		return r.deadErr(owner, p)
+	}
+	if PeerState(p.state.Load()) == PeerAlive {
+		return nil // another flight already revived it
+	}
+	start := r.cfg.Now()
+	deadline := start.Add(r.cfg.Budget)
+	lastErr := p.lastError()
+	for attempt := 0; ; attempt++ {
+		if attempt >= r.cfg.MaxRedials || r.cfg.Now().After(deadline) {
+			p.gone.Store(true)
+			p.state.Store(int32(PeerDead))
+			err := fmt.Errorf("%w: node %d (%s %s) unrecoverable after %d redials: %w",
+				ErrPeerDead, owner, r.inner.cfg.Network, r.inner.peerAddr(owner), attempt, lastErr)
+			p.setErr(err)
+			return err
+		}
+		r.cfg.Sleep(r.cfg.Backoff(attempt))
+		r.retarget(owner, p, attempt)
+		if err := r.revive(owner, p); err != nil {
+			lastErr = err
+			p.setErr(err)
+			continue
+		}
+		r.recoveryWallNS.Add(r.cfg.Now().Sub(start).Nanoseconds())
+		return nil
+	}
+}
+
+// RecoveryWall reports the cumulative wall clock successful recoveries took
+// (from first failure handling to revival), measured on the injected clock.
+func (r *ResilientTransport) RecoveryWall() time.Duration {
+	return time.Duration(r.recoveryWallNS.Load())
+}
+
+// probePeer is recoverPeer for the serve path: one redial attempt, no
+// sleeps, no budget consumption, and TryLock instead of blocking — a serve
+// gather never waits behind a training-side recovery.
+func (r *ResilientTransport) probePeer(owner int) error {
+	p := r.peers[owner]
+	if !p.recMu.TryLock() {
+		if err := p.lastError(); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: node %d (%s %s) recovery in flight",
+			ErrPeerDead, owner, r.inner.cfg.Network, r.inner.peerAddr(owner))
+	}
+	defer p.recMu.Unlock()
+	if PeerState(p.state.Load()) == PeerAlive && !p.gone.Load() {
+		return nil
+	}
+	start := r.cfg.Now()
+	r.retarget(owner, p, 0)
+	if err := r.revive(owner, p); err != nil {
+		p.setErr(err)
+		return err
+	}
+	r.recoveryWallNS.Add(r.cfg.Now().Sub(start).Nanoseconds())
+	return nil
+}
+
+// retarget updates the peer's dial address ahead of a redial: Resolve wins
+// (a restart harness reporting the new port); otherwise, once attempt
+// passes SpareAfter, the next spare address adopts the peer's identity.
+func (r *ResilientTransport) retarget(owner int, p *rPeer, attempt int) {
+	if r.cfg.Resolve != nil {
+		if addr, err := r.cfg.Resolve(owner); err == nil && addr != "" {
+			r.inner.setPeerAddr(owner, addr)
+			return
+		}
+	}
+	if attempt < r.cfg.SpareAfter || p.adopted.Load() {
+		return
+	}
+	r.spareMu.Lock()
+	defer r.spareMu.Unlock()
+	if r.spareNext < len(r.cfg.Spares) {
+		r.inner.setPeerAddr(owner, r.cfg.Spares[r.spareNext])
+		r.spareNext++
+		p.adopted.Store(true)
+	}
+}
+
+// revive re-dials the peer at its current address and resyncs its shard
+// from the mirror, under the write lock that keeps every operation out
+// until the node holds correct bits again.
+func (r *ResilientTransport) revive(owner int, p *rPeer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := r.inner.redialPeer(owner); err != nil {
+		return err
+	}
+	if resync := r.getResync(); resync != nil {
+		if err := resync(owner, r.inner); err != nil {
+			return fmt.Errorf("%w: node %d (%s %s) resync after redial: %w",
+				ErrPeerDead, owner, r.inner.cfg.Network, r.inner.peerAddr(owner), err)
+		}
+	}
+	p.state.Store(int32(PeerAlive))
+	p.fails.Store(0)
+	p.redials.Add(1)
+	p.setErr(nil)
+	return nil
+}
+
+// isAny reports errors.Is against any of the targets.
+func isAny(err error, targets ...error) bool {
+	for _, t := range targets {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return false
+}

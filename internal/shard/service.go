@@ -99,6 +99,11 @@ type Stats struct {
 	FillBytes int64
 	// Evictions counts device-cache displacements across all nodes.
 	Evictions int64
+	// StaleServeRows counts serve-path rows answered from the coordinator's
+	// warmed mirror while their owner peer was unreachable (graceful serve
+	// degradation). Only the serve-side snapshot ever writes it; on the
+	// training counters it is always zero.
+	StaleServeRows int64
 
 	// GatherWall / ScatterWall are measured wall-clock totals the transport
 	// spent moving this window's fabric traffic: staged gather fetches
@@ -172,6 +177,7 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.ScatterBytes -= prev.ScatterBytes
 	d.FillBytes -= prev.FillBytes
 	d.Evictions -= prev.Evictions
+	d.StaleServeRows -= prev.StaleServeRows
 	d.GatherWall -= prev.GatherWall
 	d.ScatterWall -= prev.ScatterWall
 	return d
@@ -240,9 +246,22 @@ type Service struct {
 	// them into Stats.GatherWall / Stats.ScatterWall.
 	gatherWallNS, scatterWallNS, serveWallNS atomic.Int64
 
-	// errMu guards fabricErr, the first transport failure observed.
-	errMu     sync.Mutex
-	fabricErr error
+	// errMu guards the aggregated fabric error (noteFabricErr).
+	errMu      sync.Mutex
+	fabricErr  error
+	fabricErrN int
+
+	// recovery is the armed recovery policy (SetRecovery; read-only after
+	// arming, which must precede table registration and training).
+	recovery RecoveryConfig
+	// failPart is the failover ownership overlay (nil unless RecoverAdopt
+	// armed); recoverMu single-flights failover and guards deadNodes.
+	failPart  *failoverPart
+	recoverMu sync.Mutex
+	deadNodes []bool
+	// recStatsMu guards the recovery counters.
+	recStatsMu sync.Mutex
+	recStats   RecoveryStats
 
 	// pushMu serialises PushUpdates' per-owner grouping scratch.
 	pushMu     sync.Mutex

@@ -11,6 +11,60 @@ import (
 	"time"
 )
 
+// FabricTimeouts splits the fabric's time budget into the three places a
+// socket fabric can stall, each with a documented non-zero default (a zero
+// field selects its default, so the zero value is a fully bounded fabric —
+// no knob setting can make a dial or an exchange wait forever).
+type FabricTimeouts struct {
+	// Dial bounds every connection attempt (initial fabric dial and every
+	// re-dial of a dead peer). Default DefaultDialTimeout.
+	Dial time.Duration
+	// IO bounds each request/response operation on a live connection. The
+	// deadline is armed per write and re-armed per read, so a peer that
+	// turns slow mid-frame cannot ride a stale deadline from the previous
+	// operation. Default DefaultIOTimeout.
+	IO time.Duration
+	// Retry bounds the total wall clock a ResilientTransport spends
+	// retrying and re-dialing one dead peer before declaring it
+	// unrecoverable (the point where shard adoption takes over). Default
+	// DefaultRetryTimeout.
+	Retry time.Duration
+}
+
+// Fabric timeout defaults. A zero FabricTimeouts field selects its default.
+const (
+	DefaultDialTimeout  = 5 * time.Second
+	DefaultIOTimeout    = 10 * time.Second
+	DefaultRetryTimeout = 30 * time.Second
+)
+
+// DefaultFabricTimeout is the historical single-knob default, kept as the
+// per-operation (IO) bound.
+const DefaultFabricTimeout = DefaultIOTimeout
+
+// Validate rejects negative budgets (zero means "use the default").
+func (t FabricTimeouts) Validate() error {
+	if t.Dial < 0 || t.IO < 0 || t.Retry < 0 {
+		return fmt.Errorf("%w: negative timeout in %+v", ErrFabricConfig, t)
+	}
+	return nil
+}
+
+// WithDefaults returns the timeouts with every zero field replaced by its
+// documented default.
+func (t FabricTimeouts) WithDefaults() FabricTimeouts {
+	if t.Dial == 0 {
+		t.Dial = DefaultDialTimeout
+	}
+	if t.IO == 0 {
+		t.IO = DefaultIOTimeout
+	}
+	if t.Retry == 0 {
+		t.Retry = DefaultRetryTimeout
+	}
+	return t
+}
+
 // FabricConfig describes how the coordinator reaches its shard node
 // processes.
 type FabricConfig struct {
@@ -18,19 +72,15 @@ type FabricConfig struct {
 	Network string
 	// Addrs[owner] is the listen address of owner's node process.
 	Addrs []string
-	// Timeout bounds every dial and every request/response exchange
-	// (connection deadlines are re-armed per operation). Defaults to
-	// DefaultFabricTimeout.
-	Timeout time.Duration
+	// Timeouts bounds dialing, per-operation I/O and the re-dial budget;
+	// zero fields select their documented defaults (see FabricTimeouts).
+	Timeouts FabricTimeouts
 	// WrapConn, when set, wraps each freshly dialed peer connection — the
-	// fault-injection seam the conformance suite uses to drop, corrupt,
-	// truncate or delay frames. Production fabrics leave it nil.
+	// fault-injection seam the conformance suite and the chaos harness use
+	// to drop, corrupt, truncate or delay frames. Re-dials are wrapped the
+	// same way. Production fabrics leave it nil.
 	WrapConn func(owner int, c net.Conn) net.Conn
 }
-
-// DefaultFabricTimeout bounds fabric operations when FabricConfig.Timeout
-// is zero.
-const DefaultFabricTimeout = 10 * time.Second
 
 // socketPeer is the coordinator's connection to one node process. A peer is
 // strictly request/response and mutex-serialized: the gather drainers, the
@@ -38,9 +88,12 @@ const DefaultFabricTimeout = 10 * time.Second
 // same owner concurrently, and interleaving frames on one conn would corrupt
 // the stream. A failed exchange marks the peer dead (sticky): later
 // operations fail fast with ErrPeerDead instead of hanging on a broken conn.
+// A ResilientTransport can revive a dead peer through redial, which swaps in
+// a fresh connection and clears the sticky error.
 type socketPeer struct {
 	mu   sync.Mutex
 	conn net.Conn
+	addr string  // current dial address (re-dials may move it, e.g. a restart on a new port)
 	err  error   // sticky; nil while healthy
 	out  []byte  // encode scratch
 	in   []byte  // reply read scratch
@@ -63,27 +116,85 @@ type SocketTransport struct {
 // with a hello exchange, so a mis-wired fabric fails at dial time, not mid-
 // training. The caller owns the returned transport and must Close it.
 func DialFabric(cfg FabricConfig) (*SocketTransport, error) {
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = DefaultFabricTimeout
+	if err := cfg.Timeouts.Validate(); err != nil {
+		return nil, err
 	}
+	cfg.Timeouts = cfg.Timeouts.WithDefaults()
 	t := &SocketTransport{cfg: cfg, peers: make([]*socketPeer, len(cfg.Addrs))}
 	for o, addr := range cfg.Addrs {
-		c, err := net.DialTimeout(cfg.Network, addr, cfg.Timeout)
-		if err != nil {
+		t.peers[o] = &socketPeer{addr: addr}
+		if err := t.dialPeerLocked(o, t.peers[o]); err != nil {
 			t.Close()
-			return nil, fmt.Errorf("shard: dial node %d (%s %s): %w", o, cfg.Network, addr, err)
-		}
-		if cfg.WrapConn != nil {
-			c = cfg.WrapConn(o, c)
-		}
-		p := &socketPeer{conn: c}
-		t.peers[o] = p
-		if err := t.exchange(o, p, &wireMsg{op: opHello, node: o}, opAck); err != nil {
-			t.Close()
-			return nil, fmt.Errorf("shard: hello to node %d: %w", o, err)
+			return nil, err
 		}
 	}
 	return t, nil
+}
+
+// dialPeerLocked dials (or re-dials) one peer at its current address and
+// verifies it with a hello exchange. The caller must guarantee no concurrent
+// operation is using the peer (fresh transport, or redialPeer holding the
+// resilient layer's write lock).
+func (t *SocketTransport) dialPeerLocked(owner int, p *socketPeer) error {
+	c, err := net.DialTimeout(t.cfg.Network, p.addr, t.cfg.Timeouts.Dial)
+	if err != nil {
+		return fmt.Errorf("%w: dial node %d (%s %s): %w", ErrPeerDead, owner, t.cfg.Network, p.addr, err)
+	}
+	if t.cfg.WrapConn != nil {
+		c = t.cfg.WrapConn(owner, c)
+	}
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = c
+	p.err = nil
+	err = t.exchangeLocked(owner, p, &wireMsg{op: opHello, node: owner}, opAck)
+	p.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("hello to node %d (%s %s): %w", owner, t.cfg.Network, p.addr, err)
+	}
+	return nil
+}
+
+// redialPeer replaces a (typically dead) peer's connection with a freshly
+// dialed, hello-verified one and clears the sticky error — the revive
+// primitive of the ResilientTransport. The caller must exclude concurrent
+// operations against this peer for the duration.
+func (t *SocketTransport) redialPeer(owner int) error {
+	t.mu.Lock()
+	dead := t.dead
+	t.mu.Unlock()
+	if dead {
+		return ErrClosed
+	}
+	return t.dialPeerLocked(owner, t.peers[owner])
+}
+
+// setPeerAddr moves a peer's dial address (a node restarted on a new port,
+// or a spare process adopting the dead peer's shard). Takes effect on the
+// next redialPeer.
+func (t *SocketTransport) setPeerAddr(owner int, addr string) {
+	p := t.peers[owner]
+	p.mu.Lock()
+	p.addr = addr
+	p.mu.Unlock()
+}
+
+// peerAddr returns a peer's current dial address.
+func (t *SocketTransport) peerAddr(owner int) string {
+	p := t.peers[owner]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+// peerErr returns a peer's sticky error (nil while healthy).
+func (t *SocketTransport) peerErr(owner int) error {
+	p := t.peers[owner]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
 }
 
 // Name reports the socket family ("unix" or "tcp").
@@ -103,17 +214,21 @@ func (t *SocketTransport) Close() error {
 			if p == nil {
 				continue
 			}
-			p.conn.Close()
+			p.mu.Lock()
+			if p.conn != nil {
+				p.conn.Close()
+			}
+			p.mu.Unlock()
 		}
 	})
 	return nil
 }
 
 // exchange runs one request/response round-trip against a peer under its
-// mutex: encode req, write the frame under a fresh deadline, read exactly
-// one reply frame, decode it, and demand the wanted opcode (opError replies
-// surface as their mapped typed error). Any I/O or protocol failure marks
-// the peer dead.
+// mutex: encode req, write the frame under a fresh write deadline, read
+// exactly one reply frame under a fresh read deadline, decode it, and demand
+// the wanted opcode (opError replies surface as their mapped typed error).
+// Any I/O or protocol failure marks the peer dead.
 func (t *SocketTransport) exchange(owner int, p *socketPeer, req *wireMsg, want byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -135,15 +250,26 @@ func (t *SocketTransport) exchangeLocked(owner int, p *socketPeer, req *wireMsg,
 	}
 	fail := func(stage string, err error) error {
 		// Both %w verbs matter: callers classify on ErrPeerDead AND on the
-		// underlying codec error (ErrFrameTooLarge & co) via errors.Is.
-		p.err = fmt.Errorf("%w: node %d %s: %w", ErrPeerDead, owner, stage, err)
+		// underlying codec error (ErrFrameTooLarge & co) via errors.Is. The
+		// wrap carries the node id and its dial address so a failure in a
+		// many-node fabric names the process to look at.
+		p.err = fmt.Errorf("%w: node %d (%s %s) %s: %w", ErrPeerDead, owner, t.cfg.Network, p.addr, stage, err)
 		p.conn.Close()
 		return p.err
 	}
 	p.out = appendMsg(append(p.out[:0], 0, 0, 0, 0), req)
-	p.conn.SetDeadline(time.Now().Add(t.cfg.Timeout)) //hotline:allow detorder deadline arming; timeouts are a fault policy, not math
+	// Per-operation deadlines, checked: the write deadline covers exactly
+	// this frame's write, and the read deadline is re-armed AFTER the write
+	// completes, so a slow peer mid-readFrame gets the full IO budget rather
+	// than riding whatever remained of a stale combined deadline.
+	if err := p.conn.SetWriteDeadline(time.Now().Add(t.cfg.Timeouts.IO)); err != nil { //hotline:allow detorder deadline arming; timeouts are a fault policy, not math
+		return fail("arm write deadline", err)
+	}
 	if err := writeFrame(p.conn, p.out); err != nil {
 		return fail("write", err)
+	}
+	if err := p.conn.SetReadDeadline(time.Now().Add(t.cfg.Timeouts.IO)); err != nil { //hotline:allow detorder deadline arming; timeouts are a fault policy, not math
+		return fail("arm read deadline", err)
 	}
 	payload, err := readFrame(p.conn, p.in)
 	if err != nil {
@@ -205,8 +331,8 @@ func (t *SocketTransport) fetchChunk(table, owner int, p *socketPeer, rows []int
 	// on this peer, and the lock is what keeps that exchange out.
 	rep := &p.rep
 	if len(rep.rows) != len(rows) || (len(rows) > 0 && rep.dim != st.dim) {
-		p.err = fmt.Errorf("%w: node %d returned %d rows dim %d, want %d rows dim %d",
-			ErrPeerDead, owner, len(rep.rows), rep.dim, len(rows), st.dim)
+		p.err = fmt.Errorf("%w: node %d (%s %s) returned %d rows dim %d, want %d rows dim %d",
+			ErrPeerDead, owner, t.cfg.Network, p.addr, len(rep.rows), rep.dim, len(rows), st.dim)
 		p.conn.Close()
 		return p.err
 	}
@@ -265,27 +391,16 @@ type LocalFabric struct {
 
 // StartLocalFabric listens one NodeServer per node and dials the fabric.
 // network is "unix" (sockets under a fresh temp dir) or "tcp" (loopback,
-// port 0). wrap is FabricConfig.WrapConn (nil for a healthy fabric).
+// port 0). timeout bounds each fabric operation (FabricTimeouts.IO; zero
+// selects the defaults) and wrap is FabricConfig.WrapConn (nil for a
+// healthy fabric).
 func StartLocalFabric(nodes int, network string, timeout time.Duration, wrap func(int, net.Conn) net.Conn) (*LocalFabric, error) {
 	f := &LocalFabric{Servers: make([]*NodeServer, 0, nodes)}
 	addrs := make([]string, 0, nodes)
 	for n := 0; n < nodes; n++ {
-		var addr string
-		switch network {
-		case "unix":
-			if f.dir == "" {
-				// Keep the path short: unix socket paths cap near 100 bytes.
-				d, err := os.MkdirTemp("", "hlfab")
-				if err != nil {
-					return nil, err
-				}
-				f.dir = d
-			}
-			addr = filepath.Join(f.dir, fmt.Sprintf("n%d.sock", n))
-		case "tcp":
-			addr = "127.0.0.1:0"
-		default:
-			return nil, fmt.Errorf("%w: unknown fabric network %q", ErrFabricConfig, network)
+		addr, err := f.localAddr(network, n)
+		if err != nil {
+			return nil, err
 		}
 		srv, err := ServeNode(n, network, addr)
 		if err != nil {
@@ -295,13 +410,45 @@ func StartLocalFabric(nodes int, network string, timeout time.Duration, wrap fun
 		f.Servers = append(f.Servers, srv)
 		addrs = append(addrs, srv.Addr())
 	}
-	tr, err := DialFabric(FabricConfig{Network: network, Addrs: addrs, Timeout: timeout, WrapConn: wrap})
+	tr, err := DialFabric(FabricConfig{
+		Network: network, Addrs: addrs,
+		Timeouts: FabricTimeouts{Dial: timeout, IO: timeout},
+		WrapConn: wrap,
+	})
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	f.Transport = tr
 	return f, nil
+}
+
+// localAddr picks a fresh listen address for one in-process node: a socket
+// path under the fabric's temp dir ("unix"), or loopback port 0 ("tcp").
+// Repeated calls for the same node yield distinct paths, so a restarted
+// node never fights its predecessor's socket file.
+func (f *LocalFabric) localAddr(network string, node int) (string, error) {
+	switch network {
+	case "unix":
+		if f.dir == "" {
+			// Keep the path short: unix socket paths cap near 100 bytes.
+			d, err := os.MkdirTemp("", "hlfab")
+			if err != nil {
+				return "", err
+			}
+			f.dir = d
+		}
+		for gen := 0; ; gen++ {
+			addr := filepath.Join(f.dir, fmt.Sprintf("n%d_%d.sock", node, gen))
+			if _, err := os.Stat(addr); os.IsNotExist(err) {
+				return addr, nil
+			}
+		}
+	case "tcp":
+		return "127.0.0.1:0", nil
+	default:
+		return "", fmt.Errorf("%w: unknown fabric network %q", ErrFabricConfig, network)
+	}
 }
 
 // Close tears the fabric down: transport first, then the servers, then the
@@ -312,6 +459,9 @@ func (f *LocalFabric) Close() error {
 		first = f.Transport.Close()
 	}
 	for _, s := range f.Servers {
+		if s == nil {
+			continue
+		}
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}

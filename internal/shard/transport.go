@@ -118,6 +118,11 @@ func (s *Service) SetTransport(tr Transport) {
 	}
 	s.tr = tr
 	s.multiproc = tr.Multiproc()
+	if rt, ok := tr.(*ResilientTransport); ok {
+		// A revived (re-dialed or spare) peer starts with an empty store;
+		// the service restores its shard from the authoritative mirror.
+		rt.setResync(s.resyncOwner)
+	}
 	if s.multiproc {
 		s.EnableAsyncGather()
 	}
@@ -154,7 +159,11 @@ func (s *Service) RegisterTable(table, dim, rows int, src RowAt) {
 		if len(rs) == 0 {
 			continue
 		}
-		if err := s.tr.Push(table, o, rs, src); err != nil {
+		err := s.tr.Push(table, o, rs, src)
+		if err != nil {
+			err = s.recoverPush(table, o, rs, src, err)
+		}
+		if err != nil {
 			s.noteFabricErr(fmt.Errorf("initial sync of table %d to node %d: %w", table, o, err))
 		}
 	}
@@ -193,17 +202,25 @@ func (s *Service) PushUpdates(table int, rows []int32, src RowAt) {
 		err := s.tr.Push(table, o, rs, src)
 		s.scatterWallNS.Add(time.Since(start).Nanoseconds()) //hotline:allow detorder measured scatter wall; never feeds math
 		if err != nil {
+			err = s.recoverPush(table, o, rs, src, err)
+		}
+		if err != nil {
 			s.noteFabricErr(fmt.Errorf("scatter push of table %d to node %d: %w", table, o, err))
 		}
 	}
 }
 
 // fetchVia routes one per-owner fetch list through the transport, timing it
-// into the given wall-clock meter and recording any fabric error.
+// into the given wall-clock meter. A failure first offers itself to shard
+// adoption (recoverFetch re-routes the rows to surviving owners); only an
+// unrecovered failure is recorded as a fabric error.
 func (s *Service) fetchVia(wall *atomic.Int64, table, owner int, rows []int32, st *Staging, local FetchFunc) error {
 	start := time.Now() //hotline:allow detorder measured gather wall; never feeds math
 	err := s.tr.Fetch(table, owner, rows, st, local)
 	wall.Add(time.Since(start).Nanoseconds()) //hotline:allow detorder measured gather wall; never feeds math
+	if err != nil {
+		err = s.recoverFetch(table, owner, rows, st, local, err)
+	}
 	if err != nil {
 		s.noteFabricErr(fmt.Errorf("gather fetch of table %d from node %d: %w", table, owner, err))
 	}
@@ -219,10 +236,32 @@ func (s *Service) transportFetch(table, owner int, rows []int32, st *Staging, lo
 // the transport (the read path of a multi-process fabric); the wall time
 // books into the serve-side counters (ServeSnapshot().GatherWall). Release
 // the returned staging to the gatherer once its rows are consumed.
+//
+// On a resilient fabric the serve path degrades instead of erroring: each
+// per-owner fetch gets exactly one attempt (FetchFast — at most an
+// opportunistic re-dial probe, never a backoff sleep), and an unreachable
+// owner's rows are answered from the coordinator's warmed mirror, counted
+// as StaleServeRows in the serve snapshot. When the peer returns, the probe
+// reconnects it and the counter stops — serving un-degrades by itself.
 func (s *Service) ServeGatherSync(plan *GatherPlan, dim int, local FetchFunc) *Staging {
 	st := s.gather.ring.Staging(plan, dim)
+	rt, degrade := s.tr.(*ResilientTransport)
 	for owner, rows := range plan.perOwner {
 		if len(rows) == 0 {
+			continue
+		}
+		if degrade {
+			start := time.Now() //hotline:allow detorder measured serve wall; never feeds math
+			err := rt.FetchFast(plan.Table, owner, rows, st, local)
+			s.serveWallNS.Add(time.Since(start).Nanoseconds()) //hotline:allow detorder measured serve wall; never feeds math
+			if err != nil {
+				for _, r := range rows {
+					if v, ok := st.Lookup(r); ok {
+						local(r, v)
+					}
+				}
+				s.noteStaleServe(int64(len(rows)))
+			}
 			continue
 		}
 		s.fetchVia(&s.serveWallNS, plan.Table, owner, rows, st, local)
@@ -230,30 +269,62 @@ func (s *Service) ServeGatherSync(plan *GatherPlan, dim int, local FetchFunc) *S
 	return st
 }
 
-// noteFabricErr records the first fabric error (later ones are dropped —
-// the first failure is the actionable one; a dead peer cascades).
+// noteStaleServe counts serve rows answered from the mirror during an
+// outage.
+//
+//hotline:stats-writer
+func (s *Service) noteStaleServe(rows int64) {
+	s.mu.Lock()
+	s.serveStats.StaleServeRows += rows
+	s.mu.Unlock()
+}
+
+// maxAggregatedFabricErrs bounds how many distinct failures FabricErr
+// keeps; a long outage produces thousands of identical cascade errors and
+// aggregating them all would only bury the actionable ones.
+const maxAggregatedFabricErrs = 8
+
+// noteFabricErr aggregates fabric errors: every recorded failure stays
+// classifiable (errors.Is walks the join), the first maxAggregatedFabricErrs
+// keep their full text, and later ones only count.
 func (s *Service) noteFabricErr(err error) {
 	s.errMu.Lock()
-	if s.fabricErr == nil {
+	switch {
+	case s.fabricErr == nil:
 		s.fabricErr = err
+	case s.fabricErrN < maxAggregatedFabricErrs:
+		s.fabricErr = errors.Join(s.fabricErr, err)
 	}
+	s.fabricErrN++
 	s.errMu.Unlock()
 }
 
-// FabricErr returns the first transport failure the service observed (nil
-// when the fabric is healthy). Fetch failures leave staged rows unfilled,
-// so a non-nil fabric error voids any parity claim for the run; check it
-// after training and after Close.
+// FabricErr returns the transport failures the service observed, aggregated
+// (nil when the fabric is healthy — including runs where every failure was
+// recovered by retry, re-dial or shard adoption; recovered operations are
+// not errors). Fetch failures leave staged rows unfilled, so a non-nil
+// fabric error voids any parity claim for the run; check it after training
+// and after Close. Suppressed duplicates beyond the aggregation cap are
+// reported by FabricErrCount.
 func (s *Service) FabricErr() error {
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
 	return s.fabricErr
 }
 
-// ResetFabricErr clears the recorded fabric error (fault-injection tests).
+// FabricErrCount returns how many fabric errors were recorded in total
+// (including those beyond the aggregation cap).
+func (s *Service) FabricErrCount() int {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.fabricErrN
+}
+
+// ResetFabricErr clears the recorded fabric errors (fault-injection tests).
 func (s *Service) ResetFabricErr() {
 	s.errMu.Lock()
 	s.fabricErr = nil
+	s.fabricErrN = 0
 	s.errMu.Unlock()
 }
 

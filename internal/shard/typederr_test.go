@@ -2,7 +2,9 @@ package shard
 
 import (
 	"errors"
+	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 )
@@ -52,8 +54,8 @@ func TestWrongReplyOpcodeIsBadFrameAndPeerDead(t *testing.T) {
 			t.Errorf("server write: %v", err)
 		}
 	}()
-	tr := &SocketTransport{cfg: FabricConfig{Timeout: time.Second}}
-	p := &socketPeer{conn: cli}
+	tr := &SocketTransport{cfg: FabricConfig{Timeouts: FabricTimeouts{IO: time.Second}.WithDefaults()}}
+	p := &socketPeer{conn: cli, addr: "pipe"}
 	err := tr.exchange(0, p, &wireMsg{op: opHello, node: 0}, opAck)
 	<-done
 	if !errors.Is(err, ErrBadFrame) {
@@ -64,5 +66,37 @@ func TestWrongReplyOpcodeIsBadFrameAndPeerDead(t *testing.T) {
 	}
 	if p.err == nil {
 		t.Fatal("peer not marked sticky-dead after the protocol violation")
+	}
+}
+
+// Every ErrPeerDead wrap must carry the peer's dial address and node id,
+// and both must survive further %w wrapping by callers (FabricErr wraps the
+// transport error again, so failures reach the operator double-wrapped).
+func TestPeerDeadErrorCarriesAddrThroughDoubleWrap(t *testing.T) {
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	go func() {
+		// Hang up without replying: the exchange read fails.
+		var in []byte
+		readFrame(srv, in)
+		srv.Close()
+	}()
+	const addr = "/tmp/hlfab/n3_0.sock"
+	tr := &SocketTransport{cfg: FabricConfig{Network: "unix", Timeouts: FabricTimeouts{IO: time.Second}.WithDefaults()}}
+	p := &socketPeer{conn: cli, addr: addr}
+	err := tr.exchange(3, p, &wireMsg{op: opHello, node: 3}, opAck)
+	if err == nil {
+		t.Fatal("exchange against a hung-up peer succeeded")
+	}
+	// Double-wrap, as Service.noteFabricErr and the resilient layer do.
+	wrapped := fmt.Errorf("gather window 7: %w", fmt.Errorf("fabric: %w", err))
+	if !errors.Is(wrapped, ErrPeerDead) {
+		t.Fatalf("double-wrapped error = %v, want errors.Is ErrPeerDead", wrapped)
+	}
+	if !strings.Contains(wrapped.Error(), addr) {
+		t.Fatalf("double-wrapped error %q lost the peer address %q", wrapped, addr)
+	}
+	if !strings.Contains(wrapped.Error(), "node 3") {
+		t.Fatalf("double-wrapped error %q lost the node id", wrapped)
 	}
 }

@@ -103,6 +103,13 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
+	return readFramePayload(r, hdr, buf)
+}
+
+// readFramePayload reads a frame's body after its 4-byte length prefix has
+// already arrived (the NodeServer splits the read there to arm its IO
+// deadline only once a frame has started).
+func readFramePayload(r io.Reader, hdr [4]byte, buf []byte) ([]byte, error) {
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)

@@ -214,6 +214,53 @@ func ServeLoad() ServeLoadResult {
 	}
 }
 
+// RecoveryResult is the BENCH json's fault-recovery section: one
+// fixed-schedule chaos run per recovery policy (2 nodes, unix sockets, peer
+// killed at window 1), recording the measured recovery latency and payload
+// costs so the trajectory of recovery overhead is tracked across PRs like
+// ns/op. MaxStateDiff must stay 0 — a recovered run that is not
+// bit-identical is a correctness bug, not a slow run.
+type RecoveryResult struct {
+	Policy         string  `json:"policy"`
+	Schedule       string  `json:"schedule"`
+	RecoveryWallNS int64   `json:"recovery_wall_ns"`
+	Redials        int     `json:"redials"`
+	Adoptions      int     `json:"adoptions"`
+	MigratedBytes  int64   `json:"migrated_bytes"`
+	ResyncBytes    int64   `json:"resync_bytes"`
+	RefetchedRows  int64   `json:"refetched_rows"`
+	StaleServeRows int64   `json:"stale_serve_rows"`
+	MaxStateDiff   float64 `json:"max_state_diff"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// ChaosRecovery runs the fixed chaos schedule under both recovery policies
+// (Run attaches the results to the BENCH json).
+func ChaosRecovery() []RecoveryResult {
+	out := make([]RecoveryResult, 0, 2)
+	for _, policy := range []shard.RecoveryPolicy{shard.RecoverRedial, shard.RecoverAdopt} {
+		m, err := pipeline.MeasureChaos(data.CriteoKaggle(), 2, 0, "unix",
+			8, 256, policy, 10*time.Millisecond)
+		r := RecoveryResult{
+			Policy:         policy.String(),
+			Schedule:       m.Schedule,
+			RecoveryWallNS: m.RecoveryWall.Nanoseconds(),
+			Redials:        m.Redials,
+			Adoptions:      m.Adoptions,
+			MigratedBytes:  m.MigratedBytes,
+			ResyncBytes:    m.ResyncBytes,
+			RefetchedRows:  m.RefetchedRows,
+			StaleServeRows: m.StaleServeRows,
+			MaxStateDiff:   m.MaxStateDiff,
+		}
+		if err != nil {
+			r.Error = err.Error()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
 // PipelineIteration measures the full analytic timing model for every
 // pipeline on the 4-GPU Kaggle workload.
 func PipelineIteration(b *testing.B) {
@@ -263,6 +310,9 @@ type Report struct {
 	Results       []Result `json:"results"`
 	// ServeLoad is the load-harness run (absent in pre-serving snapshots).
 	ServeLoad *ServeLoadResult `json:"serve_load,omitempty"`
+	// Recovery is the chaos-schedule fault-recovery run, one entry per
+	// policy (absent in pre-recovery snapshots).
+	Recovery []RecoveryResult `json:"recovery,omitempty"`
 }
 
 // Run executes every target under testing.Benchmark and returns the report.
@@ -288,6 +338,7 @@ func Run(label string, now time.Time) Report {
 	}
 	load := ServeLoad()
 	rep.ServeLoad = &load
+	rep.Recovery = ChaosRecovery()
 	return rep
 }
 
