@@ -94,6 +94,16 @@ func BenchmarkHotlineTrainStepDepth4(b *testing.B) { microbench.HotlineTrainStep
 // end on a 4-node service (plan → queues → staging → consume → release).
 func BenchmarkShardedPrefetchWindow(b *testing.B) { microbench.ShardedPrefetchWindow(b) }
 
+// BenchmarkQuantGatherINT8 measures the fused dequantize-gather window with
+// every remote row warm-tier resident at int8 (steady state: 0 allocs/op at
+// Parallelism(1)); diff against BenchmarkShardedPrefetchWindow to isolate
+// the quantization kernel.
+func BenchmarkQuantGatherINT8(b *testing.B) { microbench.QuantGatherINT8(b) }
+
+// BenchmarkQuantGatherFP16 is the fused dequantize-gather window with fp16
+// warm rows.
+func BenchmarkQuantGatherFP16(b *testing.B) { microbench.QuantGatherFP16(b) }
+
 // BenchmarkServePredict measures one online prediction through the
 // read-only serving path on a warmed 4-node sharded server (steady state:
 // 0 allocs/op at Parallelism(1)).

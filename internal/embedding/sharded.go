@@ -242,11 +242,13 @@ func (s *ShardedBag) Forward(indices [][]int32) *tensor.Matrix {
 //hotline:hotpath
 func (s *ShardedBag) ServeForward(indices [][]int32) *tensor.Matrix {
 	var staged *shard.Staging
-	if s.svc.Multiproc() {
+	if s.svc.Multiproc() || s.svc.Quantized() {
 		// On a real fabric the read path must actually cross it: stage the
 		// remote rows synchronously from their owner processes (timed into
 		// the serve-side wall meter) and read the pooled values from the
-		// staging buffer.
+		// staging buffer. Precision-tiered caches stage too — warm-tier hits
+		// must be served through the fused dequantize-gather, not read exact
+		// from the mirror.
 		if plan := s.svc.PlanServeGather(s.TableIdx, indices); plan != nil {
 			staged = s.svc.ServeGatherSync(plan, s.Dim, s.fetchFn)
 		}

@@ -12,6 +12,7 @@ import (
 var heavyExperiments = map[string]bool{
 	"tab5": true, "fig18": true, "fig27": true, "fig28": true, "abl-eal": true,
 	"mn-depth": true, "mn-syn": true, "mn-fabric": true, "mn-chaos": true,
+	"mn-quant": true,
 }
 
 func TestAllExperimentsRun(t *testing.T) {
@@ -66,7 +67,7 @@ func TestRegistryComplete(t *testing.T) {
 		"mn-scale", "mn-cache", "mn-skew", "mn-policy",
 		"mn-place", "mn-overlap", "mn-adagrad",
 		"mn-depth", "mn-syn", "mn-batch",
-		"mn-serve", "mn-qps", "mn-fabric", "mn-chaos",
+		"mn-serve", "mn-qps", "mn-fabric", "mn-chaos", "mn-quant",
 	}
 	for _, id := range extras {
 		if !have[id] {

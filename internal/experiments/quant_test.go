@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"slices"
+	"testing"
+
+	"hotline/internal/data"
+	"hotline/internal/model"
+	"hotline/internal/shard"
+)
+
+// TestQuantCapacityFrontier is the acceptance gate for the precision-tiered
+// caches, at exactly the mn-quant configuration: at one fixed HBM byte
+// budget on the skewed Criteo stream, the tiered format must dominate the
+// fp32-only cache — at least 2x the resident rows, strictly more hits,
+// strictly fewer all-to-all bytes — with the quantization cost measured,
+// not assumed away.
+func TestQuantCapacityFrontier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional training sweep; run without -short")
+	}
+	fn := data.CriteoKaggle()
+	fn.Samples = 2048
+	const nodes, iters, batch = 4, 10, 256
+	budget := mnQuantBudget(fn)
+	run := func(q shard.QuantMode) quantRun {
+		return runQuant(fn, nodes, iters, batch, budget, q, mnQuantClassifier(fn, budget, q))
+	}
+	fp32 := run(shard.QuantOff)
+	if fp32.st.QuantHits != 0 || fp32.rows == 0 {
+		t.Fatalf("fp32 baseline must cache rows and serve no quantized hits: rows=%d quantHits=%d",
+			fp32.rows, fp32.st.QuantHits)
+	}
+
+	for _, q := range []shard.QuantMode{shard.QuantFP16, shard.QuantINT8, shard.QuantMixed} {
+		r := run(q)
+		if r.st.HitRate() <= fp32.st.HitRate() {
+			t.Errorf("%s hit rate %.4f must strictly beat fp32's %.4f at the same budget",
+				q, r.st.HitRate(), fp32.st.HitRate())
+		}
+		if r.st.A2ABytes() >= fp32.st.A2ABytes() {
+			t.Errorf("%s moved %d all-to-all bytes, fp32 %d; the narrow tier must move strictly fewer",
+				q, r.st.A2ABytes(), fp32.st.A2ABytes())
+		}
+		if r.st.QuantHits == 0 {
+			t.Errorf("%s served no warm-tier hits; the fused kernel never ran", q)
+		}
+		if q == shard.QuantMixed && r.rows < 2*fp32.rows {
+			t.Errorf("hot-fp32+warm-int8 holds %d rows vs %d fp32 at the same budget; want >= 2x",
+				r.rows, fp32.rows)
+		}
+	}
+}
+
+// TestQuantOffBitIdentical is the inertness gate: two independent fp32-mode
+// runs of the sweep configuration must agree bit for bit — exact per-step
+// losses and exactly zero parameter divergence — so quantization-off
+// provably changes nothing about training.
+func TestQuantOffBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional training; run without -short")
+	}
+	fn := data.CriteoKaggle()
+	fn.Samples = 2048
+	const nodes, iters, batch = 4, 6, 256
+	budget := mnQuantBudget(fn)
+	hot := mnQuantClassifier(fn, budget, shard.QuantOff)
+	a := runQuant(fn, nodes, iters, batch, budget, shard.QuantOff, hot)
+	b := runQuant(fn, nodes, iters, batch, budget, shard.QuantOff, hot)
+	if !slices.Equal(a.losses, b.losses) {
+		t.Fatalf("fp32 losses diverged:\n%v\n%v", a.losses, b.losses)
+	}
+	if d := model.MaxStateDiff(a.m, b.m); d != 0 {
+		t.Fatalf("fp32 reruns diverged: max |Δw| = %g, want exactly 0", d)
+	}
+}

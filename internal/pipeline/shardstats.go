@@ -49,6 +49,17 @@ type ShardMeasurement struct {
 	A2ABytesPerIter int64
 	// CacheOccupancy is the mean device-cache fill after warm-up.
 	CacheOccupancy float64
+	// Quant names the device caches' precision tiering the measurement ran
+	// under ("fp32" when quantization is off). Part of the memo identity: a
+	// quantized cache's hit rate must never answer a full-precision probe.
+	Quant string
+	// QuantHitFrac is the fraction of device-cache hits served from the
+	// narrow warm tier through the fused dequantize-gather kernel.
+	QuantHitFrac float64
+	// CacheRows is the steady-state device-cache entry count summed over
+	// nodes — at a fixed byte budget the narrow warm tiers hold 2-4x more
+	// rows than fp32, which is what moves HitRate and the all-to-all bytes.
+	CacheRows int
 	// Evictions counts device-cache displacements during the measured
 	// window (cache-pressure indicator for the ablations).
 	Evictions int64
@@ -116,6 +127,13 @@ type ShardProbe struct {
 	// some nodes hold more device memory than others). Empty means a
 	// homogeneous cluster: every node gets the probe's CacheBytes budget.
 	HBMBytes []int64
+	// Quant selects the device caches' precision tiering (shard.QuantOff
+	// reproduces the fp32-only cache bit for bit). Capacity-weighted
+	// placement reprices its ownership weights off the effective row
+	// footprint: a node's HBM budget holds CacheBytes / WarmWidth.RowBytes
+	// rows, so narrowing the warm tier raises the rows-per-node weights
+	// the partitioner spreads ownership by.
+	Quant shard.QuantMode
 }
 
 // shardStatsCache memoises measurements per full probe identity.
@@ -150,8 +168,8 @@ func MeasureShardStats(cfg data.Config, nodes int, cacheBytes int64, batch int, 
 // dominant requesting node, counted over the same stream the measurement
 // replays).
 func MeasureShard(cfg data.Config, p ShardProbe) ShardMeasurement {
-	key := fmt.Sprintf("%s/%d/%d/%d/%s/%s/%v",
-		cfg.Name, p.Nodes, p.CacheBytes, p.Batch, p.Policy, p.Placement, p.HBMBytes)
+	key := fmt.Sprintf("%s/%d/%d/%d/%s/%s/%v/%s",
+		cfg.Name, p.Nodes, p.CacheBytes, p.Batch, p.Policy, p.Placement, p.HBMBytes, p.Quant)
 	if v, ok := shardStatsCache.Load(key); ok {
 		return v.(ShardMeasurement)
 	}
@@ -176,7 +194,7 @@ func MeasureShard(cfg data.Config, p ShardProbe) ShardMeasurement {
 	part := buildPartitioner(probe, p, batch, placement)
 	svc := shard.New(shard.Config{
 		Nodes: p.Nodes, CacheBytes: p.CacheBytes, RowBytes: int64(probe.EmbedDim) * 4,
-		Policy: p.Policy, Part: part,
+		Policy: p.Policy, Part: part, Quant: p.Quant,
 	}, placement)
 	// Replicate the learned hot set (bounded caches keep what fits).
 	for t := 0; t < probe.NumTables; t++ {
@@ -214,6 +232,11 @@ func MeasureShard(cfg data.Config, p ShardProbe) ShardMeasurement {
 		A2ABytesPerIter:   st.A2ABytes() / measureIters,
 		CacheOccupancy:    svc.CacheOccupancy(),
 		Evictions:         svc.CacheEvictions() - before,
+		Quant:             p.Quant.String(),
+		CacheRows:         svc.CacheEntries(),
+	}
+	if st.CacheHits > 0 {
+		m.QuantHitFrac = float64(st.QuantHits) / float64(st.CacheHits)
 	}
 	shardStatsCache.Store(key, m)
 	return m
@@ -229,8 +252,10 @@ func buildPartitioner(probe data.Config, p ShardProbe, batch int, hot shard.HotC
 		// Ownership weights derive from the real per-node HBM byte
 		// budgets: heterogeneous budgets from the probe, else every node's
 		// device budget from the probe's CacheBytes (a pure-remote probe
-		// degenerates to the uniform one-row-per-node weighting).
-		rowBytes := int64(probe.EmbedDim) * 4
+		// degenerates to the uniform one-row-per-node weighting). Under a
+		// quantized warm tier the same bytes hold more rows, so the weights
+		// are priced at the effective (warm-width) row footprint.
+		rowBytes := p.Quant.WarmWidth().RowBytes(probe.EmbedDim)
 		hbm := p.HBMBytes
 		if len(hbm) == 0 {
 			hbm = make([]int64, p.Nodes)

@@ -103,6 +103,62 @@ func TestMeasureShardPlacements(t *testing.T) {
 	}
 }
 
+// TestMeasureShardQuantReprices: the probe's precision-tiering knob is part
+// of the measurement identity, the narrow tier's effective capacity shows up
+// in the measured frontier (more resident rows, higher hit rate, fewer
+// all-to-all bytes at the same byte budget), and the timing models reprice
+// off the quantized measurement automatically — no model code knows about
+// widths, it just consumes better measured stats.
+func TestMeasureShardQuantReprices(t *testing.T) {
+	cfg := data.CriteoKaggle()
+	cache := DefaultShardCacheBytes(cfg) / 8
+	probe := ShardProbe{Nodes: 4, CacheBytes: cache, Batch: 1024}
+	off := MeasureShard(cfg, probe)
+	probe.Quant = shard.QuantINT8
+	i8 := MeasureShard(cfg, probe)
+
+	if off.Quant != "fp32" || off.QuantHitFrac != 0 {
+		t.Fatalf("fp32 probe must record its mode and no warm hits: %q %g", off.Quant, off.QuantHitFrac)
+	}
+	if i8.Quant != "int8" || i8.QuantHitFrac == 0 {
+		t.Fatalf("int8 probe must record its mode and warm-tier hits: %q %g", i8.Quant, i8.QuantHitFrac)
+	}
+	if i8.CacheRows < 2*off.CacheRows {
+		t.Fatalf("int8 cache holds %d rows vs %d fp32 at the same bytes; want >= 2x", i8.CacheRows, off.CacheRows)
+	}
+	if i8.HitRate <= off.HitRate || i8.A2ABytesPerIter >= off.A2ABytesPerIter {
+		t.Fatalf("int8 frontier must dominate: hit %g vs %g, a2a %d vs %d",
+			i8.HitRate, off.HitRate, i8.A2ABytesPerIter, off.A2ABytesPerIter)
+	}
+	if again := MeasureShard(cfg, probe); again != i8 {
+		t.Fatal("repeated int8 probe returned a different (cross-mode) memo entry")
+	}
+
+	// The analytic pipelines consume the measurement as-is: Hotline's model
+	// eats the measured gather fraction, so the quantized probe's smaller
+	// fabric volume must price a strictly faster iteration; the GPU-only
+	// HugeCTR baseline has no device cache in its model (only RemoteFrac),
+	// so its price must not move at all.
+	sys := cost.PaperCluster(4)
+	w := NewWorkload(cfg, 4096, sys)
+	hl := NewHotline()
+	w.Shard = &off
+	hlOff := hl.Iteration(w)
+	w.Shard = &i8
+	hlI8 := hl.Iteration(w)
+	if !hlOff.OOM && !hlI8.OOM && hlI8.Total >= hlOff.Total {
+		t.Fatalf("Hotline: quantized measurement must reprice faster: %v vs %v", hlI8.Total, hlOff.Total)
+	}
+	ctr := NewHugeCTR()
+	w.Shard = &off
+	ctrOff := ctr.Iteration(w)
+	w.Shard = &i8
+	ctrI8 := ctr.Iteration(w)
+	if ctrI8.Total != ctrOff.Total {
+		t.Fatalf("HugeCTR (cache-free baseline) must be precision-inert: %v vs %v", ctrI8.Total, ctrOff.Total)
+	}
+}
+
 // TestHotlineConsumesExposedFrac: a measured exposed-gather fraction moves
 // the Hotline iteration monotonically between the fully-hidden and
 // no-overlap extremes.

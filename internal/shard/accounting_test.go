@@ -79,12 +79,12 @@ func TestAllToAllTimeTinyWindow(t *testing.T) {
 func TestDeviceCacheResetZeroAlloc(t *testing.T) {
 	c := NewDeviceCache(64, PolicyLRU)
 	for k := uint64(0); k < 64; k++ {
-		c.Insert(k)
+		c.Insert(k, WidthFP32, 1)
 	}
 	if n := testing.AllocsPerRun(100, func() {
 		c.Reset()
-		c.Insert(1)
-		c.Insert(2)
+		c.Insert(1, WidthFP32, 1)
+		c.Insert(2, WidthFP32, 1)
 	}); n != 0 {
 		t.Fatalf("Reset+refill allocates %v/op; want 0", n)
 	}
@@ -96,8 +96,10 @@ func TestDeviceCacheResetZeroAlloc(t *testing.T) {
 		t.Fatal("Reset must zero counters")
 	}
 	// The cache must still behave after a cleared-map reset.
-	c.Insert(7)
-	if !c.Lookup(7) || c.Lookup(8) {
+	c.Insert(7, WidthFP32, 1)
+	_, hit7 := c.Lookup(7)
+	_, hit8 := c.Lookup(8)
+	if !hit7 || hit8 {
 		t.Fatal("cache broken after Reset")
 	}
 }

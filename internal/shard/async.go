@@ -24,6 +24,13 @@ type GatherPlan struct {
 
 	perOwner [][]int32     // perOwner[o]: distinct rows owner o must stream
 	slot     map[int32]int // row -> staging slot (distinct rows only)
+
+	// quant/qwidth list the staged rows served as warm-tier cache hits: no
+	// owner streams them — the fused dequantize-gather kernel materializes
+	// each one into its staging slot from the authoritative bits at staging
+	// time (Staging.fillQuant). They occupy slots but add no fabric Bytes.
+	quant  []int32
+	qwidth []Width
 }
 
 func newGatherPlan(table, nodes int) *GatherPlan {
@@ -46,6 +53,8 @@ func (p *GatherPlan) reset(table, nodes int) {
 		}
 	}
 	clear(p.slot)
+	p.quant = p.quant[:0]
+	p.qwidth = p.qwidth[:0]
 }
 
 // add registers one fabric fetch of row from owner. Rows are staged once
@@ -62,8 +71,31 @@ func (p *GatherPlan) add(row int32, owner int, rowBytes int64) {
 	p.perOwner[owner] = append(p.perOwner[owner], row) //hotline:allow hotalloc per-owner lists are plan-ring scratch; growth converges to the gather high-water mark
 }
 
+// addQuant registers one warm-tier cache hit for staging through the fused
+// dequantize-gather kernel. It reports whether the row claimed a fresh slot:
+// a row already staged keeps its first planner's treatment (a fabric fetch
+// stays exact fp32 even if another node later hits it quantized, and a
+// quantized hit keeps its dequantized value even if another node later
+// misses — the miss still accounts its GatherBytes). First-planner-wins is
+// deterministic because planGather walks indices in order.
+//
+//hotline:hotpath
+func (p *GatherPlan) addQuant(row int32, w Width) bool {
+	if _, ok := p.slot[row]; ok {
+		return false
+	}
+	p.slot[row] = len(p.slot)
+	p.quant = append(p.quant, row) //hotline:allow hotalloc quant lists are plan-ring scratch; growth converges to the gather high-water mark
+	p.qwidth = append(p.qwidth, w) //hotline:allow hotalloc quant lists are plan-ring scratch; growth converges to the gather high-water mark
+	return true
+}
+
 // Rows returns the number of distinct staged rows.
 func (p *GatherPlan) Rows() int { return len(p.slot) }
+
+// FabricRows returns the staged rows that actually cross the fabric
+// (Rows minus the warm-tier hits the fused kernel materializes locally).
+func (p *GatherPlan) FabricRows() int { return len(p.slot) - len(p.quant) }
 
 // Staging is the landing buffer for one gather window's fetched rows: a
 // dense rows x dim matrix plus the row -> slot map from the plan. Workers
@@ -80,6 +112,10 @@ type Staging struct {
 	buf  []float32
 	slot map[int32]int
 	plan *GatherPlan // recycled together with the staging
+	// widths records each slot's serving precision (empty = all fp32; sized
+	// only when the plan staged warm-tier hits). The repair path consults it
+	// to re-run the fused kernel instead of re-fetching.
+	widths []Width
 }
 
 // Lookup returns the staged copy of row, if the plan fetched it.
@@ -105,6 +141,41 @@ func (st *Staging) Has(row int32) bool {
 
 // Rows returns the staged row count.
 func (st *Staging) Rows() int { return len(st.slot) }
+
+// Width returns the precision a staged row is served at (WidthFP32 for rows
+// that crossed the fabric exactly, and for rows the plan never staged).
+//
+//hotline:hotpath
+func (st *Staging) Width(row int32) Width {
+	if len(st.widths) == 0 {
+		return WidthFP32
+	}
+	i, ok := st.slot[row]
+	if !ok {
+		return WidthFP32
+	}
+	return st.widths[i]
+}
+
+// fillQuant runs the fused dequantize-gather kernel over the plan's
+// warm-tier rows: each row's current authoritative bits are fetched into its
+// staging slot and round-tripped through the entry's width in place —
+// exactly the value a coherent quantized replica would serve — with zero
+// allocations (the kernels tolerate aliasing). Runs on the planning
+// goroutine before any fabric job is enqueued, so it never races worker
+// fills (slots are disjoint) or sparse updates (same thread).
+//
+//hotline:hotpath
+func (st *Staging) fillQuant(fetch FetchFunc) {
+	p := st.plan
+	for i, row := range p.quant {
+		s := st.slot[row]
+		dst := st.buf[s*st.dim : (s+1)*st.dim]
+		fetch(row, dst)
+		dequantRowInto(dst, dst, p.qwidth[i])
+		st.widths[s] = p.qwidth[i]
+	}
+}
 
 // FetchFunc copies one owner-resident row into its staging slot. It runs on
 // gather workers concurrently with compute, so it must only read the
@@ -459,6 +530,9 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 	h := g.ring.Handle()
 	h.g = g
 	h.staging = g.ring.Staging(plan, dim)
+	if len(plan.quant) > 0 {
+		h.staging.fillQuant(fetch)
+	}
 	jobs := 0
 	for _, rows := range plan.perOwner {
 		if len(rows) > 0 {
@@ -467,7 +541,7 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 	}
 	g.c.mu.Lock()
 	g.c.stats.Windows++
-	g.c.stats.PrefetchRows += int64(plan.Rows())
+	g.c.stats.PrefetchRows += int64(plan.FabricRows())
 	g.c.stats.PrefetchBytes += plan.Bytes
 	g.c.mu.Unlock()
 	if jobs == 0 {
@@ -495,6 +569,9 @@ func (g *AsyncGatherer) Submit(plan *GatherPlan, dim int, fetch FetchFunc) *Hand
 func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *Staging {
 	start := time.Now() //hotline:allow detorder measured sync-gather wall; never feeds math
 	st := g.ring.Staging(plan, dim)
+	if len(plan.quant) > 0 {
+		st.fillQuant(fetch)
+	}
 	for owner, rows := range plan.perOwner {
 		if len(rows) == 0 {
 			continue
@@ -511,7 +588,7 @@ func (g *AsyncGatherer) GatherSync(plan *GatherPlan, dim int, fetch FetchFunc) *
 	el := time.Since(start) //hotline:allow detorder measured sync-gather wall; never feeds math
 	g.c.mu.Lock()
 	g.c.stats.SyncWindows++
-	g.c.stats.SyncRows += int64(plan.Rows())
+	g.c.stats.SyncRows += int64(plan.FabricRows())
 	g.c.stats.SyncBytes += plan.Bytes
 	g.c.stats.SyncGather += el
 	g.c.mu.Unlock()

@@ -25,61 +25,73 @@ func (p Policy) String() string {
 const cacheRRPVMax = 3 // 2-bit RRPV
 
 // cacheSlot is one cached row's metadata. Slots form both the SRRIP ring
-// and the LRU recency list (prev/next are slot indices). Occupancy is
-// tracked by the cache's used counter — slots [0,used) are live — so the
-// slot itself carries no validity bit.
+// and the LRU recency list (prev/next are slot indices). A dead (recycled)
+// slot is marked by bytes == 0 — every live entry occupies at least one
+// byte — so the CLOCK sweep can skip holes left by multi-entry evictions.
 type cacheSlot struct {
 	key        uint64
 	rrpv       uint8
+	width      Width
+	bytes      int32
 	prev, next int
 }
 
-// DeviceCache is one node's bounded hot-entry cache: a fixed number of row
-// slots with LRU or SRRIP eviction. It stores identifiers only — the
-// simulated payload lives in the shard storage — and keeps exact hit/miss,
-// insert and eviction counters. The zero-capacity cache is valid and misses
-// every probe.
+// DeviceCache is one node's bounded hot-entry cache: a byte budget of row
+// entries with LRU or SRRIP eviction. Entries are variable-width — hot rows
+// at fp32, warm rows at a narrow width (Width) — so the capacity is
+// denominated in HBM bytes end-to-end, matching how placement reasons
+// (NewCapacityWeightedHBM). It stores identifiers, widths and footprints
+// only — the simulated payload derives from the shard storage through the
+// fused dequantize-gather kernel — and keeps exact hit/miss, insert and
+// eviction counters. The zero-budget cache is valid and misses every probe.
 type DeviceCache struct {
-	policy Policy
-	cap    int
-	index  map[uint64]int // key -> slot
-	slots  []cacheSlot
+	policy    Policy
+	capBytes  int64
+	usedBytes int64
+	index     map[uint64]int // key -> slot
+	slots     []cacheSlot
+	freeSlots []int // recycled slot indices (holes in slots)
 	// LRU recency list endpoints (slot indices, -1 when empty).
 	head, tail int
-	// used is the number of valid slots; slots [0,used) are allocated in
-	// insertion order so victim search never touches unused slots.
+	// used is the number of live entries.
 	used int
-	// hand is the SRRIP CLOCK pointer.
+	// hand is the SRRIP CLOCK pointer (an index into slots; sweeps skip
+	// dead slots).
 	hand int
 
 	// Hits and Misses count Lookup probes; Inserts and Evicts count
-	// admissions and the displacements they caused.
-	Hits, Misses, Inserts, Evicts int64
+	// admissions and the displacements they caused. QuantHits counts the
+	// Hits that landed on sub-fp32 (warm-tier) entries.
+	Hits, Misses, Inserts, Evicts, QuantHits int64
 }
 
-// NewDeviceCache returns a cache holding at most capacity entries.
-func NewDeviceCache(capacity int, policy Policy) *DeviceCache {
-	if capacity < 0 {
-		panic(fmt.Sprintf("shard: negative cache capacity %d", capacity))
+// NewDeviceCache returns a cache with a budget of capBytes of row storage.
+func NewDeviceCache(capBytes int64, policy Policy) *DeviceCache {
+	if capBytes < 0 {
+		panic(fmt.Sprintf("shard: negative cache capacity %d bytes", capBytes))
 	}
-	c := &DeviceCache{policy: policy, cap: capacity, head: -1, tail: -1}
-	c.index = make(map[uint64]int, capacity)
-	c.slots = make([]cacheSlot, capacity)
+	c := &DeviceCache{policy: policy, capBytes: capBytes, head: -1, tail: -1}
+	c.index = make(map[uint64]int)
 	return c
 }
 
-// Capacity returns the entry budget.
-func (c *DeviceCache) Capacity() int { return c.cap }
+// CapacityBytes returns the byte budget.
+func (c *DeviceCache) CapacityBytes() int64 { return c.capBytes }
+
+// UsedBytes returns the bytes currently held by live entries.
+func (c *DeviceCache) UsedBytes() int64 { return c.usedBytes }
 
 // Len returns the number of cached entries.
 func (c *DeviceCache) Len() int { return c.used }
 
-// Occupancy returns Len/Capacity (0 for a zero-capacity cache).
+// Occupancy returns UsedBytes/CapacityBytes (0 for a zero-budget cache) —
+// the byte-denominated fill fraction, identical in meaning whatever mix of
+// entry widths the budget holds.
 func (c *DeviceCache) Occupancy() float64 {
-	if c.cap == 0 {
+	if c.capBytes == 0 {
 		return 0
 	}
-	return float64(c.used) / float64(c.cap)
+	return float64(c.usedBytes) / float64(c.capBytes)
 }
 
 // Contains probes without touching replacement state or counters.
@@ -90,65 +102,103 @@ func (c *DeviceCache) Contains(key uint64) bool {
 	return ok
 }
 
-// Lookup probes the cache and updates replacement state and hit/miss
-// counters. It never admits: admission is a separate policy decision made by
-// the Service (only popularity-classified rows are replicated).
+// Lookup probes the cache, updates replacement state and hit/miss counters,
+// and returns the hit entry's storage width. It never admits: admission is a
+// separate policy decision made by the Service (the popularity classifier
+// picks the tier).
 //
 //hotline:hotpath
-func (c *DeviceCache) Lookup(key uint64) bool {
+func (c *DeviceCache) Lookup(key uint64) (Width, bool) {
 	i, ok := c.index[key]
 	if !ok {
 		c.Misses++
-		return false
+		return WidthFP32, false
 	}
 	c.Hits++
+	w := c.slots[i].width
+	if w != WidthFP32 {
+		c.QuantHits++
+	}
 	if c.policy == PolicySRRIP {
 		c.slots[i].rrpv = 0 // near re-reference
 	} else {
 		c.moveToFront(i)
 	}
-	return true
+	return w, true
 }
 
-// Insert admits key, evicting per the policy when full. Inserting a present
-// key only refreshes its replacement state. Returns whether an eviction
-// happened.
+// Insert admits key as an entry of `bytes` bytes stored at width, evicting
+// per the policy until it fits — a wide fp32 admission may displace several
+// narrow warm-tier entries. Inserting a present key at its current width
+// only refreshes its replacement state; at a different width it is
+// re-admitted (the old entry is dropped uncounted, the fresh one may evict).
+// Returns whether the key was admitted (false only when it cannot fit the
+// whole budget) and how many evictions the admission caused.
 //
 //hotline:hotpath
-func (c *DeviceCache) Insert(key uint64) bool {
-	if c.cap == 0 {
-		return false
+func (c *DeviceCache) Insert(key uint64, width Width, bytes int64) (admitted bool, evictions int) {
+	if c.capBytes == 0 || bytes <= 0 || bytes > c.capBytes {
+		return false, 0
 	}
 	if i, ok := c.index[key]; ok {
-		if c.policy == PolicySRRIP {
-			c.slots[i].rrpv = 0
-		} else {
-			c.moveToFront(i)
+		if c.slots[i].width == width {
+			if c.policy == PolicySRRIP {
+				c.slots[i].rrpv = 0
+			} else {
+				c.moveToFront(i)
+			}
+			return true, 0
 		}
-		return false
+		// Width change (e.g. a reclassified row moving tiers): drop the old
+		// entry silently and fall through to a fresh admission.
+		c.removeSlot(i)
 	}
-	evicted := false
-	var i int
-	if c.used < c.cap {
-		i = c.used
-		c.used++
-	} else {
-		i = c.victim()
-		delete(c.index, c.slots[i].key)
-		c.unlink(i)
+	for c.usedBytes+bytes > c.capBytes && c.used > 0 {
+		v := c.victim()
+		c.removeSlot(v)
 		c.Evicts++
-		evicted = true
+		evictions++
 	}
-	c.slots[i] = cacheSlot{key: key, rrpv: cacheRRPVMax - 1, prev: -1, next: -1}
+	i := c.allocSlot()
+	c.slots[i] = cacheSlot{key: key, rrpv: cacheRRPVMax - 1, width: width, bytes: int32(bytes), prev: -1, next: -1}
 	c.index[key] = i
 	c.pushFront(i)
+	c.usedBytes += bytes
+	c.used++
 	c.Inserts++
-	return evicted
+	return true, evictions
+}
+
+// allocSlot hands out a slot index, recycling holes before growing.
+//
+//hotline:hotpath
+func (c *DeviceCache) allocSlot() int {
+	if n := len(c.freeSlots); n > 0 {
+		i := c.freeSlots[n-1]
+		c.freeSlots = c.freeSlots[:n-1]
+		return i
+	}
+	c.slots = append(c.slots, cacheSlot{}) //hotline:allow hotalloc slot table grows once to the entry high-water mark, then recycles holes
+	return len(c.slots) - 1
+}
+
+// removeSlot unlinks and recycles one live slot (no eviction accounting).
+//
+//hotline:hotpath
+func (c *DeviceCache) removeSlot(i int) {
+	delete(c.index, c.slots[i].key)
+	c.unlink(i)
+	c.usedBytes -= int64(c.slots[i].bytes)
+	c.slots[i] = cacheSlot{}             // bytes == 0 marks the slot dead
+	c.freeSlots = append(c.freeSlots, i) //hotline:allow hotalloc free list is bounded by the widest/narrowest entry ratio and recycles
+	c.used--
 }
 
 // victim selects the slot to evict. LRU takes the recency-list tail; SRRIP
 // sweeps the CLOCK hand for a distant (rrpv==max) entry, aging entries it
 // passes — the amortised-O(1) equivalent of SRRIP's "age all, rescan" loop.
+// Callers guarantee at least one live entry. Dead slots (recycled holes) are
+// skipped without aging.
 //
 //hotline:hotpath
 func (c *DeviceCache) victim() int {
@@ -157,7 +207,13 @@ func (c *DeviceCache) victim() int {
 	}
 	for {
 		i := c.hand
-		c.hand = (c.hand + 1) % c.used
+		c.hand++
+		if c.hand >= len(c.slots) {
+			c.hand = 0
+		}
+		if c.slots[i].bytes == 0 {
+			continue
+		}
 		if c.slots[i].rrpv >= cacheRRPVMax {
 			return i
 		}
@@ -172,11 +228,11 @@ func (c *DeviceCache) victim() int {
 //hotline:hotpath
 func (c *DeviceCache) Reset() {
 	clear(c.index)
-	for i := range c.slots {
-		c.slots[i] = cacheSlot{}
-	}
+	c.slots = c.slots[:0]
+	c.freeSlots = c.freeSlots[:0]
 	c.head, c.tail, c.used, c.hand = -1, -1, 0, 0
-	c.Hits, c.Misses, c.Inserts, c.Evicts = 0, 0, 0, 0
+	c.usedBytes = 0
+	c.Hits, c.Misses, c.Inserts, c.Evicts, c.QuantHits = 0, 0, 0, 0, 0
 }
 
 // --- intrusive LRU recency list ------------------------------------------

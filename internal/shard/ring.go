@@ -57,6 +57,18 @@ func (r *PrefetchRing) Staging(plan *GatherPlan, dim int) *Staging {
 		st.buf = make([]float32, need)
 	}
 	st.buf = st.buf[:need]
+	if len(plan.quant) > 0 {
+		// Size the per-slot width table only for windows that stage warm-tier
+		// hits; everything defaults to fp32 and fillQuant marks its slots.
+		n := len(plan.slot)
+		if cap(st.widths) < n {
+			st.widths = make([]Width, n)
+		}
+		st.widths = st.widths[:n]
+		clear(st.widths)
+	} else {
+		st.widths = st.widths[:0]
+	}
 	st.dim = dim
 	st.slot = plan.slot
 	st.plan = plan

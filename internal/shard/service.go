@@ -31,6 +31,10 @@ type Config struct {
 	RowBytes int64
 	// Policy selects the device-cache eviction policy (default LRU).
 	Policy Policy
+	// Quant selects the device caches' precision tiering (default QuantOff:
+	// every cached row is fp32 and training is bit-identical to the
+	// untiered cache). See QuantMode.
+	Quant QuantMode
 	// Part decides row ownership. Nil selects the round-robin baseline
 	// (row r of every table lives on node r mod Nodes); see NewRoundRobin,
 	// NewCapacityWeighted and RequestCounter.HotAware for the alternatives.
@@ -48,10 +52,10 @@ func (c Config) Validate() error {
 	if c.CacheBytes < 0 {
 		return fmt.Errorf("shard: negative CacheBytes %d", c.CacheBytes)
 	}
-	if c.CacheBytes > 0 && c.CacheBytes < c.RowBytes {
-		return fmt.Errorf("shard: CacheBytes %d holds no full row of %d bytes; "+
+	if minRow := c.EntryBytes(c.Quant.WarmWidth()); c.CacheBytes > 0 && c.CacheBytes < minRow {
+		return fmt.Errorf("shard: CacheBytes %d holds no full %s row of %d bytes; "+
 			"use CacheBytes = 0 for an explicit pure-remote (uncached) service",
-			c.CacheBytes, c.RowBytes)
+			c.CacheBytes, c.Quant.WarmWidth(), minRow)
 	}
 	if c.Part != nil && c.Part.Nodes() != c.Nodes {
 		return fmt.Errorf("shard: partitioner %q spreads over %d nodes, config has %d",
@@ -60,8 +64,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// CacheRows returns the per-node cache capacity in rows.
+// CacheRows returns the per-node cache capacity in fp32 rows.
 func (c Config) CacheRows() int { return int(c.CacheBytes / c.RowBytes) }
+
+// Dim returns the embedding dimension implied by the fp32 row footprint.
+func (c Config) Dim() int { return int(c.RowBytes / 4) }
+
+// EntryBytes returns one cached row's HBM footprint at the given storage
+// width (the int8 format carries its per-row float32 scale).
+func (c Config) EntryBytes(w Width) int64 { return w.RowBytes(c.Dim()) }
+
+// WarmCacheRows returns how many warm-tier rows the byte budget holds at the
+// configured quantization mode's warm width — the effective capacity the
+// placement and timing models reprice from.
+func (c Config) WarmCacheRows() int {
+	return int(c.CacheBytes / c.EntryBytes(c.Quant.WarmWidth()))
+}
 
 // PureRemote reports whether the service runs without device caches (every
 // remote lookup crosses the fabric, no replication fill traffic).
@@ -88,6 +106,13 @@ type Stats struct {
 	// CacheHits / CacheMisses count remote lookups served by / missing the
 	// requesting node's device cache.
 	CacheHits, CacheMisses int64
+	// QuantHits counts the CacheHits that landed on a warm-tier (sub-fp32)
+	// entry and were served through the fused dequantize-gather kernel.
+	QuantHits int64
+	// DequantRows counts distinct staged rows the fused dequantize-gather
+	// kernel materialized (one per quantized row per staging window, however
+	// many batch positions hit it).
+	DequantRows int64
 	// GatherRows / GatherBytes count rows actually fetched across the
 	// fabric (cache misses deduplicated within one gather call, i.e. one
 	// fetch per distinct row per node per iteration).
@@ -171,6 +196,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.Local -= prev.Local
 	d.CacheHits -= prev.CacheHits
 	d.CacheMisses -= prev.CacheMisses
+	d.QuantHits -= prev.QuantHits
+	d.DequantRows -= prev.DequantRows
 	d.GatherRows -= prev.GatherRows
 	d.GatherBytes -= prev.GatherBytes
 	d.ScatterRows -= prev.ScatterRows
@@ -304,10 +331,19 @@ func New(cfg Config, hot HotClassifier) *Service {
 	}
 	s := &Service{cfg: cfg, hot: hot, part: part, caches: make([]*DeviceCache, cfg.Nodes), tr: NewInproc()}
 	for n := range s.caches {
-		s.caches[n] = NewDeviceCache(cfg.CacheRows(), cfg.Policy)
+		s.caches[n] = NewDeviceCache(cfg.CacheBytes, cfg.Policy)
+	}
+	if cfg.Quant != QuantOff {
+		// Quantized hits are served through staged gathers (the fused
+		// dequantize-gather runs at staging-acquisition time), so tiered
+		// caches always route through the async engine's staging buffers.
+		s.EnableAsyncGather()
 	}
 	return s
 }
+
+// Quantized reports whether the device caches run precision-tiered.
+func (s *Service) Quantized() bool { return s.cfg.Quant != QuantOff }
 
 // Nodes returns the node count.
 func (s *Service) Nodes() int { return s.cfg.Nodes }
@@ -434,8 +470,33 @@ func (s *Service) planGather(table int, indices [][]int32, collect, serve bool) 
 				continue
 			}
 			k := key(table, ix)
-			if cache.Lookup(k) {
+			// The serving width is a pure policy function of the row
+			// (admitWidth), never of cache residency: a narrow-tier row is
+			// served through the fused quantize→dequantize round trip from
+			// its very first touch — the fill that admits it quantizes it,
+			// and the forward reads the dequantized replica — not just on
+			// later hits. Residency-independent values are what keep every
+			// pipeline depth bit-identical to batch-by-batch stepping in
+			// quantized mode: plan order may legally differ between the
+			// synchronous and lookahead executors, so a value that depended
+			// on WHEN a row was admitted would diverge.
+			w, admit := s.admitWidth(table, ix)
+			narrow := admit && w != WidthFP32 && cache.CapacityBytes() > 0
+			if _, hit := cache.Lookup(k); hit {
 				st.CacheHits++
+				if narrow {
+					// Warm-tier hit: served through the fused dequantize-
+					// gather kernel at staging time.
+					st.QuantHits++
+					if collect {
+						if plan == nil {
+							plan = s.acquirePlan(table)
+						}
+						if plan.addQuant(ix, w) {
+							st.DequantRows++
+						}
+					}
+				}
 				continue
 			}
 			st.CacheMisses++
@@ -450,23 +511,59 @@ func (s *Service) planGather(table int, indices [][]int32, collect, serve bool) 
 					if plan == nil {
 						plan = s.acquirePlan(table)
 					}
-					plan.add(ix, s.Owner(table, ix), s.cfg.RowBytes)
+					if narrow {
+						// The miss still prices a full fabric row above (the
+						// fill transfer), but the staged value is the fused
+						// round trip of the row being admitted — exactly what
+						// reading the just-filled warm entry would serve.
+						if plan.addQuant(ix, w) {
+							st.DequantRows++
+						}
+					} else {
+						plan.add(ix, s.Owner(table, ix), s.cfg.RowBytes)
+					}
 				}
 			}
-			// Admission replicates popular rows into the probing cache; the
-			// explicit pure-remote mode (zero capacity) admits nothing and
-			// must account no fill traffic. Like Preload, fill bytes move
-			// only on actual admission — a cache hit above already skipped
-			// this path, so every Insert here admits a new key.
-			if cache.Capacity() > 0 && (s.hot == nil || s.hot.IsHot(table, ix)) {
-				if cache.Insert(k) {
-					st.Evictions++
+			// Admission replicates rows into the probing cache at the width
+			// the tiering mode assigns them (admitWidth); the explicit
+			// pure-remote mode (zero capacity) admits nothing and must
+			// account no fill traffic. Fill bytes move only on actual
+			// admission, at the admitted entry's footprint — a cache hit
+			// above already skipped this path, so every Insert here admits
+			// a new key (or is refused as unfittable, moving nothing).
+			if cache.CapacityBytes() > 0 && admit {
+				eb := s.cfg.EntryBytes(w)
+				if ok, ev := cache.Insert(k, w, eb); ok {
+					st.Evictions += int64(ev)
+					st.FillBytes += eb
 				}
-				st.FillBytes += s.cfg.RowBytes
 			}
 		}
 	}
 	return plan
+}
+
+// admitWidth is the tiering admission rule for one remote row: whether the
+// probing node's cache admits it and at what storage width. Uniform modes
+// (QuantOff, QuantFP16, QuantINT8) keep the popularity gate — only
+// classified-hot rows replicate, at the mode's single width. QuantMixed
+// admits everything: classified-hot rows at full fp32, the rest into the
+// warm tier at int8 (a nil classifier counts every row as hot, so Mixed
+// degenerates to all-fp32 — tiering needs a real popularity signal).
+//
+//hotline:hotpath
+func (s *Service) admitWidth(table int, ix int32) (Width, bool) {
+	hot := s.hot == nil || s.hot.IsHot(table, ix)
+	if s.cfg.Quant == QuantMixed {
+		if hot {
+			return WidthFP32, true
+		}
+		return WidthINT8, true
+	}
+	if !hot {
+		return WidthFP32, false
+	}
+	return s.cfg.Quant.hotWidth(), true
 }
 
 // statsFor returns the training or serve counter set. Caller holds s.mu.
@@ -541,19 +638,22 @@ func (s *Service) Preload(table int, rows []int32) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Preloaded rows are the learning phase's popular set, so they enter at
+	// the hot tier's width (fp32 under QuantOff and QuantMixed).
+	w := s.cfg.Quant.hotWidth()
+	eb := s.cfg.EntryBytes(w)
 	for _, ix := range rows {
 		owner := s.Owner(table, ix)
 		k := key(table, ix)
 		for n, cache := range s.caches {
-			if n == owner || cache.Capacity() == 0 {
+			if n == owner || cache.CapacityBytes() == 0 {
 				continue
 			}
 			resident := cache.Contains(k)
-			if cache.Insert(k) {
-				s.stats.Evictions++
-			}
-			if !resident {
-				s.stats.FillBytes += s.cfg.RowBytes
+			ok, ev := cache.Insert(k, w, eb)
+			s.stats.Evictions += int64(ev)
+			if ok && !resident {
+				s.stats.FillBytes += eb
 			}
 		}
 	}
@@ -611,6 +711,19 @@ func (s *Service) CacheOccupancy() float64 {
 		sum += c.Occupancy()
 	}
 	return sum / float64(len(s.caches))
+}
+
+// CacheEntries sums the rows currently held across all device caches —
+// with tiered admission the same byte budget holds more (narrower) rows,
+// and this is the measured row count the mn-quant frontier reports.
+func (s *Service) CacheEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	for _, c := range s.caches {
+		n += c.Len()
+	}
+	return n
 }
 
 // CacheEvictions sums per-cache eviction counters (lifetime, not window).

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"hotline/internal/tensor"
 )
 
 // FabricTimeouts splits the fabric's time budget into the three places a
@@ -339,6 +341,79 @@ func (t *SocketTransport) fetchChunk(table, owner int, p *socketPeer, rows []int
 	for i, r := range rep.rows {
 		if v, ok := st.Lookup(r); ok {
 			copy(v, rep.vals[i*rep.dim:(i+1)*rep.dim])
+		}
+	}
+	return nil
+}
+
+// maxQuantRowsPerFrame returns how many quantized rows of the given width fit
+// one reply frame with slack for the opcode and varint headers. Width.RowBytes
+// is exactly the wire payload per row (fp16: 2·dim; int8: dim + 4-byte scale).
+func maxQuantRowsPerFrame(dim int, w Width) int {
+	n := (MaxFrame - 64) / (5 + int(w.RowBytes(dim))) // ≤5 varint bytes per row id + payload
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// FetchQuant fetches the listed rows from their owner process at a narrow
+// wire width: the node quantizes each row from its fp32 store, the reply
+// carries the int8/fp16 bits (2-4x fewer fabric bytes than Fetch), and the
+// values are dequantized into the staging buffer here at the receiving edge.
+// The staged value is exactly dequant(quant(owner row)) — the same coherent
+// warm-tier replica the fused dequantize-gather serves from a local cache
+// hit, so a quantized refill and a quantized hit agree bit for bit.
+//
+// The default training and serve paths do not use this (they fetch exact
+// bits and quantize locally, keeping cross-transport counters and values
+// identical); it is the wire format for fabrics whose bottleneck is
+// all-to-all bytes rather than HBM.
+func (t *SocketTransport) FetchQuant(table, owner int, w Width, rows []int32, st *Staging) error {
+	if w != WidthFP16 && w != WidthINT8 {
+		return fmt.Errorf("%w: FetchQuant width %v", ErrFabricConfig, w)
+	}
+	p := t.peers[owner]
+	chunk := maxQuantRowsPerFrame(st.dim, w)
+	for len(rows) > 0 {
+		n := min(len(rows), chunk)
+		if err := t.fetchQuantChunk(table, owner, p, w, rows[:n], st); err != nil {
+			return err
+		}
+		rows = rows[n:]
+	}
+	return nil
+}
+
+func (t *SocketTransport) fetchQuantChunk(table, owner int, p *socketPeer, w Width, rows []int32, st *Staging) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	want := opRows8
+	if w == WidthFP16 {
+		want = opRows16
+	}
+	req := wireMsg{op: opFetchQ, table: table, width: w, rows: rows}
+	if err := t.exchangeLocked(owner, p, &req, want); err != nil {
+		return err
+	}
+	// Still under p.mu: the decoded reply is stable until the next exchange
+	// on this peer, and the lock is what keeps that exchange out.
+	rep := &p.rep
+	if len(rep.rows) != len(rows) || (len(rows) > 0 && rep.dim != st.dim) {
+		p.err = fmt.Errorf("%w: node %d (%s %s) returned %d quantized rows dim %d, want %d rows dim %d",
+			ErrPeerDead, owner, t.cfg.Network, p.addr, len(rep.rows), rep.dim, len(rows), st.dim)
+		p.conn.Close()
+		return p.err
+	}
+	for i, r := range rep.rows {
+		v, ok := st.Lookup(r)
+		if !ok {
+			continue
+		}
+		if w == WidthFP16 {
+			tensor.DequantizeRowF16(v, rep.h16[i*rep.dim:(i+1)*rep.dim])
+		} else {
+			tensor.DequantizeRowI8(v, rep.i8[i*rep.dim:(i+1)*rep.dim], rep.scales[i])
 		}
 	}
 	return nil

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hotline/internal/tensor"
 )
 
 // fabricTimeout derives the fabric's per-op timeout from the test's own
@@ -126,6 +128,112 @@ func TestSocketFabricChunking(t *testing.T) {
 	checkFetched(t, st, rows, dim)
 	if s := f.Servers[0].Stats(); s.FetchFrames < 2 || s.PushFrames < 2 {
 		t.Fatalf("expected chunked frames, got %+v", s)
+	}
+}
+
+// TestSocketFetchQuant covers the quantized wire format end to end: rows
+// pushed at fp32 come back over opRows8/opRows16 and must stage exactly the
+// fused round trip of the authoritative bits — the same value a local
+// warm-tier hit serves — while an unknown row stays a typed application
+// error that leaves the connection healthy.
+func TestSocketFetchQuant(t *testing.T) {
+	const dim = 8
+	f, err := StartLocalFabric(1, "unix", fabricTimeout(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := f.Transport
+
+	rows := []int32{0, 2, 5}
+	if err := tr.Push(0, 0, rows, rowPattern(dim)); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	pat := rowPattern(dim)
+	for _, w := range []Width{WidthINT8, WidthFP16} {
+		st := stagingFor(rows, dim)
+		if err := tr.FetchQuant(0, 0, w, rows, st); err != nil {
+			t.Fatalf("%v fetch: %v", w, err)
+		}
+		want := make([]float32, dim)
+		lossy := false
+		for _, r := range rows {
+			exact := pat(r)
+			if w == WidthINT8 {
+				tensor.RoundTripI8(want, exact)
+			} else {
+				tensor.RoundTripF16(want, exact)
+			}
+			v, ok := st.Lookup(r)
+			if !ok {
+				t.Fatalf("%v row %d missing from staging", w, r)
+			}
+			for k := range v {
+				if v[k] != want[k] {
+					t.Fatalf("%v row %d[%d] = %v, want fused round trip %v", w, r, k, v[k], want[k])
+				}
+				if v[k] != exact[k] {
+					lossy = true
+				}
+			}
+		}
+		if !lossy {
+			t.Fatalf("%v: test rows round-trip exactly; the fidelity assertion is vacuous", w)
+		}
+	}
+
+	if err := tr.FetchQuant(0, 0, WidthINT8, []int32{99}, stagingFor([]int32{99}, dim)); !errors.Is(err, ErrUnknownRow) {
+		t.Fatalf("unknown row: got %v want ErrUnknownRow", err)
+	}
+	if err := tr.FetchQuant(0, 0, WidthFP32, rows, stagingFor(rows, dim)); !errors.Is(err, ErrFabricConfig) {
+		t.Fatalf("fp32 width: got %v want ErrFabricConfig (full-precision fetches travel as opFetch)", err)
+	}
+	// The error paths left the conn healthy: a normal fetch still works.
+	st := stagingFor(rows, dim)
+	if err := tr.Fetch(0, 0, rows, st, nil); err != nil {
+		t.Fatalf("fetch after quant errors: %v", err)
+	}
+	checkFetched(t, st, rows, dim)
+}
+
+// TestSocketFetchQuantChunking moves a quantized fetch whose reply exceeds
+// MaxFrame unchunked; the narrow widths pack more rows per frame than fp32.
+func TestSocketFetchQuantChunking(t *testing.T) {
+	const dim = 512
+	const n = 3000
+	if maxQuantRowsPerFrame(dim, WidthINT8) >= n {
+		t.Fatalf("test geometry no longer chunks: %d rows/frame", maxQuantRowsPerFrame(dim, WidthINT8))
+	}
+	if maxQuantRowsPerFrame(dim, WidthINT8) <= maxRowsPerFrame(dim) {
+		t.Fatal("int8 frames must pack more rows than fp32 frames")
+	}
+	f, err := StartLocalFabric(1, "unix", fabricTimeout(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	if err := f.Transport.Push(0, 0, rows, rowPattern(dim)); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	st := stagingFor(rows, dim)
+	if err := f.Transport.FetchQuant(0, 0, WidthINT8, rows, st); err != nil {
+		t.Fatalf("quant fetch: %v", err)
+	}
+	pat := rowPattern(dim)
+	want := make([]float32, dim)
+	for _, r := range []int32{0, 1499, n - 1} { // spot-check across chunk boundaries
+		tensor.RoundTripI8(want, pat(r))
+		v, _ := st.Lookup(r)
+		for k := range v {
+			if v[k] != want[k] {
+				t.Fatalf("row %d[%d] = %v want %v", r, k, v[k], want[k])
+			}
+		}
 	}
 }
 

@@ -245,6 +245,9 @@ func (s *Service) transportFetch(table, owner int, rows []int32, st *Staging, lo
 // reconnects it and the counter stops — serving un-degrades by itself.
 func (s *Service) ServeGatherSync(plan *GatherPlan, dim int, local FetchFunc) *Staging {
 	st := s.gather.ring.Staging(plan, dim)
+	if len(plan.quant) > 0 {
+		st.fillQuant(local)
+	}
 	rt, degrade := s.tr.(*ResilientTransport)
 	for owner, rows := range plan.perOwner {
 		if len(rows) == 0 {

@@ -191,16 +191,32 @@ func (q *WindowQueue) Consume(w *Window, fetch FetchFunc) *Staging {
 		q.svc.Gatherer().noteStale(len(w.dirty))
 		return st
 	}
+	var repairBytes int64
 	for i, r := range w.dirty {
 		if !st.Has(r) {
+			continue
+		}
+		if wd := st.Width(r); wd != WidthFP32 {
+			// Warm-tier staged row: re-run the fused dequantize-gather on the
+			// row's current bits — the refreshed coherent replica — instead of
+			// a fabric fetch. Identical to what a synchronous quantized gather
+			// would serve now, so every depth stays bit-identical to
+			// batch-by-batch stepping in quantized mode too. The refresh push
+			// a real warm replica would receive is priced at the entry width.
+			if dst, ok := st.Lookup(r); ok {
+				fetch(r, dst)
+				dequantRowInto(dst, dst, wd)
+			}
+			repairBytes += wd.RowBytes(st.dim)
 			continue
 		}
 		// Per-row fabric re-fetch from the row's owner; the one-element
 		// sub-slice of the dirty list keeps the steady-state path
 		// allocation-free.
 		q.svc.transportFetch(q.table, q.svc.Owner(q.table, r), w.dirty[i:i+1], st, fetch)
+		repairBytes += q.svc.Config().RowBytes
 	}
-	q.svc.Gatherer().noteRepair(len(w.dirty), int64(len(w.dirty))*q.svc.Config().RowBytes)
+	q.svc.Gatherer().noteRepair(len(w.dirty), repairBytes)
 	return st
 }
 

@@ -24,13 +24,26 @@ import (
 //	push   table count dim (row f32*dim)*    coordinator → node
 //	ack                                      node → coordinator (push reply)
 //	error  code text                         node → coordinator (either reply)
+//	rows16 table count dim (row u16*dim)*    node → coordinator (fetchq fp16 reply)
+//	rows8  table count dim (row sc_f32 i8*dim)*  node → coordinator (fetchq int8 reply)
+//	fetchq table width count row*            coordinator → node
+//
+// The quantized replies carry narrow row payloads: rows16 is IEEE binary16
+// little-endian, rows8 is a symmetric per-row float32 scale followed by the
+// int8 elements — a fetch reply at the warm tier's storage width, 2-4x fewer
+// bytes on the wire than opRows. The codec moves the quantized bits verbatim
+// (no float conversion on decode), so encode→decode is bit-exact; the
+// transport's FetchQuant dequantizes into the staging buffer at the edge.
 const (
-	opHello byte = 1
-	opFetch byte = 2
-	opRows  byte = 3
-	opPush  byte = 4
-	opAck   byte = 5
-	opError byte = 6
+	opHello  byte = 1
+	opFetch  byte = 2
+	opRows   byte = 3
+	opPush   byte = 4
+	opAck    byte = 5
+	opError  byte = 6
+	opRows16 byte = 7
+	opRows8  byte = 8
+	opFetchQ byte = 9
 )
 
 // MaxFrame bounds a frame's payload. Large pushes and fetch replies are
@@ -64,14 +77,18 @@ const (
 // wireMsg is one decoded fabric message. Rows and Vals alias scratch owned
 // by the decoder's caller; they are consumed before the next decode.
 type wireMsg struct {
-	op    byte
-	node  int       // hello
-	table int       // fetch / rows / push
-	dim   int       // rows / push
-	rows  []int32   // fetch / rows / push
-	vals  []float32 // rows / push: len(rows)*dim values, row-major
-	code  byte      // error
-	text  string    // error
+	op     byte
+	node   int       // hello
+	table  int       // fetch / rows / push / rows16 / rows8 / fetchq
+	dim    int       // rows / push / rows16 / rows8
+	rows   []int32   // fetch / rows / push / rows16 / rows8 / fetchq
+	vals   []float32 // rows / push: len(rows)*dim values, row-major
+	width  Width     // fetchq request width (and stamped on decoded quantized replies)
+	h16    []uint16  // rows16: len(rows)*dim binary16 values, row-major
+	i8     []int8    // rows8: len(rows)*dim quantized elements, row-major
+	scales []float32 // rows8: len(rows) per-row symmetric scales
+	code   byte      // error
+	text   string    // error
 }
 
 // DecodeFrame splits one length-prefixed frame off the front of b, returning
@@ -181,6 +198,34 @@ func appendMsg(dst []byte, m *wireMsg) []byte {
 				dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
 			}
 		}
+	case opRows16:
+		dst = binary.AppendUvarint(dst, uint64(m.table))
+		dst = binary.AppendUvarint(dst, uint64(len(m.rows)))
+		dst = binary.AppendUvarint(dst, uint64(m.dim))
+		for i, r := range m.rows {
+			dst = binary.AppendUvarint(dst, uint64(uint32(r)))
+			for _, h := range m.h16[i*m.dim : (i+1)*m.dim] {
+				dst = binary.LittleEndian.AppendUint16(dst, h)
+			}
+		}
+	case opRows8:
+		dst = binary.AppendUvarint(dst, uint64(m.table))
+		dst = binary.AppendUvarint(dst, uint64(len(m.rows)))
+		dst = binary.AppendUvarint(dst, uint64(m.dim))
+		for i, r := range m.rows {
+			dst = binary.AppendUvarint(dst, uint64(uint32(r)))
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(m.scales[i]))
+			for _, q := range m.i8[i*m.dim : (i+1)*m.dim] {
+				dst = append(dst, byte(q))
+			}
+		}
+	case opFetchQ:
+		dst = binary.AppendUvarint(dst, uint64(m.table))
+		dst = append(dst, byte(m.width))
+		dst = binary.AppendUvarint(dst, uint64(len(m.rows)))
+		for _, r := range m.rows {
+			dst = binary.AppendUvarint(dst, uint64(uint32(r)))
+		}
 	case opAck:
 	case opError:
 		dst = append(dst, m.code)
@@ -270,6 +315,113 @@ func decodeMsg(payload []byte, m *wireMsg) error {
 		if len(b) != 0 {
 			return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(b))
 		}
+	case opRows16:
+		if v, b, err = uvarint(b, math.MaxInt32); err != nil {
+			return err
+		}
+		m.table = int(v)
+		if v, b, err = uvarint(b, uint64(len(b))); err != nil {
+			return err
+		}
+		count := int(v)
+		if v, b, err = uvarint(b, maxWireDim); err != nil {
+			return err
+		}
+		m.dim = int(v)
+		// Bounds check before allocating: count rows of (≥1 varint byte +
+		// dim*2 binary16 bytes) must fit in what actually arrived.
+		if need := uint64(count) * (1 + 2*uint64(m.dim)); need > uint64(len(b)) {
+			return fmt.Errorf("%w: %d fp16 rows×dim %d need %d bytes, have %d",
+				ErrBadFrame, count, m.dim, need, len(b))
+		}
+		m.rows = sizeRows(m.rows, count)
+		m.h16 = sizeU16(m.h16, count*m.dim)
+		m.width = WidthFP16
+		for i := 0; i < count; i++ {
+			if v, b, err = uvarint(b, math.MaxUint32); err != nil {
+				return err
+			}
+			m.rows[i] = int32(uint32(v))
+			if len(b) < 2*m.dim {
+				return fmt.Errorf("%w: fp16 row %d values cut short", ErrTruncatedFrame, i)
+			}
+			for k := 0; k < m.dim; k++ {
+				m.h16[i*m.dim+k] = binary.LittleEndian.Uint16(b[2*k:])
+			}
+			b = b[2*m.dim:]
+		}
+		if len(b) != 0 {
+			return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(b))
+		}
+	case opRows8:
+		if v, b, err = uvarint(b, math.MaxInt32); err != nil {
+			return err
+		}
+		m.table = int(v)
+		if v, b, err = uvarint(b, uint64(len(b))); err != nil {
+			return err
+		}
+		count := int(v)
+		if v, b, err = uvarint(b, maxWireDim); err != nil {
+			return err
+		}
+		m.dim = int(v)
+		// Bounds check before allocating: count rows of (≥1 varint byte +
+		// 4 scale bytes + dim int8 bytes) must fit in what actually arrived.
+		if need := uint64(count) * (1 + 4 + uint64(m.dim)); need > uint64(len(b)) {
+			return fmt.Errorf("%w: %d int8 rows×dim %d need %d bytes, have %d",
+				ErrBadFrame, count, m.dim, need, len(b))
+		}
+		m.rows = sizeRows(m.rows, count)
+		m.scales = sizeVals(m.scales, count)
+		m.i8 = sizeI8(m.i8, count*m.dim)
+		m.width = WidthINT8
+		for i := 0; i < count; i++ {
+			if v, b, err = uvarint(b, math.MaxUint32); err != nil {
+				return err
+			}
+			m.rows[i] = int32(uint32(v))
+			if len(b) < 4+m.dim {
+				return fmt.Errorf("%w: int8 row %d values cut short", ErrTruncatedFrame, i)
+			}
+			m.scales[i] = math.Float32frombits(binary.LittleEndian.Uint32(b))
+			for k := 0; k < m.dim; k++ {
+				m.i8[i*m.dim+k] = int8(b[4+k])
+			}
+			b = b[4+m.dim:]
+		}
+		if len(b) != 0 {
+			return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(b))
+		}
+	case opFetchQ:
+		if v, b, err = uvarint(b, math.MaxInt32); err != nil {
+			return err
+		}
+		m.table = int(v)
+		if len(b) < 1 {
+			return fmt.Errorf("%w: fetchq without width", ErrBadFrame)
+		}
+		m.width = Width(b[0])
+		b = b[1:]
+		if m.width != WidthFP16 && m.width != WidthINT8 {
+			// fp32 fetches travel as opFetch; any other width byte is a
+			// protocol-version mismatch.
+			return fmt.Errorf("%w: fetchq width %d", ErrBadFrame, m.width)
+		}
+		if v, b, err = uvarint(b, uint64(len(b))); err != nil {
+			return err
+		}
+		count := int(v)
+		m.rows = sizeRows(m.rows, count)
+		for i := 0; i < count; i++ {
+			if v, b, err = uvarint(b, math.MaxUint32); err != nil {
+				return err
+			}
+			m.rows[i] = int32(uint32(v))
+		}
+		if len(b) != 0 {
+			return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(b))
+		}
 	case opAck:
 		if len(b) != 0 {
 			return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(b))
@@ -298,6 +450,22 @@ func sizeRows(s []int32, n int) []int32 {
 func sizeVals(s []float32, n int) []float32 {
 	if cap(s) < n {
 		return make([]float32, n)
+	}
+	return s[:n]
+}
+
+// sizeU16 returns s resized to n, reusing capacity.
+func sizeU16(s []uint16, n int) []uint16 {
+	if cap(s) < n {
+		return make([]uint16, n)
+	}
+	return s[:n]
+}
+
+// sizeI8 returns s resized to n, reusing capacity.
+func sizeI8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
 	}
 	return s[:n]
 }

@@ -1,0 +1,30 @@
+package tensor
+
+import "testing"
+
+// TestQuantKernelsZeroAlloc gates every quantization kernel at 0 allocs/op:
+// they run inside the fused dequantize-gather on the prefetch hot path, so
+// none of them may touch the heap.
+func TestQuantKernelsZeroAlloc(t *testing.T) {
+	src := make([]float32, 67) // odd length exercises the unroll tails
+	for i := range src {
+		src[i] = float32(i)*0.37 - 11
+	}
+	qi := make([]int8, len(src))
+	qh := make([]uint16, len(src))
+	dst := make([]float32, len(src))
+	var scale float32
+	if n := testing.AllocsPerRun(100, func() {
+		scale = QuantizeRowI8(qi, src)
+		DequantizeRowI8(dst, qi, scale)
+		QuantizeRowF16(qh, src)
+		DequantizeRowF16(dst, qh)
+		RoundTripI8(dst, src)
+		RoundTripF16(dst, src)
+	}); n != 0 {
+		t.Fatalf("quant kernels allocate %v/op; want 0", n)
+	}
+	if scale == 0 {
+		t.Fatal("non-degenerate row must produce a positive scale")
+	}
+}

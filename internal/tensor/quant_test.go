@@ -1,0 +1,231 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// i8Bound returns the worst-case absolute round-trip error of the int8
+// format for a row with the given scale: half a quantization step plus a
+// little float32 rounding slack.
+func i8Bound(scale float32) float64 {
+	return float64(scale)*0.501 + 1e-30
+}
+
+// f16Bound returns the worst-case absolute round-trip error of binary16 for
+// one finite value within the format's range: half a ulp relative in the
+// normal range, the subnormal step near zero (both with slack).
+func f16Bound(v float32) float64 {
+	av := math.Abs(float64(v))
+	rel := av / 1024 // 2^-10: one full ulp, double the RNE bound
+	if rel < 1.0/(1<<24) {
+		rel = 1.0 / (1 << 24)
+	}
+	return rel
+}
+
+func TestF16ConversionExactCases(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},
+		{-65504, 0xfbff},
+		{5.9604645e-08, 0x0001}, // smallest subnormal half
+		{6.1035156e-05, 0x0400}, // smallest normal half
+	}
+	for _, c := range cases {
+		if got := F16FromF32(c.f); got != c.h {
+			t.Errorf("F16FromF32(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if got := F16ToF32(c.h); got != c.f {
+			t.Errorf("F16ToF32(%#04x) = %g, want %g", c.h, got, c.f)
+		}
+	}
+}
+
+func TestF16Saturation(t *testing.T) {
+	for _, v := range []float32{70000, float32(math.Inf(1)), math.MaxFloat32} {
+		if got := F16ToF32(F16FromF32(v)); got != F16MaxValue {
+			t.Errorf("round-trip of %g = %g, want saturation at %d", v, got, F16MaxValue)
+		}
+		if got := F16ToF32(F16FromF32(-v)); got != -F16MaxValue {
+			t.Errorf("round-trip of %g = %g, want saturation at %d", -v, got, -F16MaxValue)
+		}
+	}
+	if got := F16FromF32(float32(math.NaN())); got != 0 {
+		t.Errorf("NaN must quantize to zero, got %#04x", got)
+	}
+}
+
+func TestQuantizeRowI8RoundTrip(t *testing.T) {
+	src := []float32{1.5, -0.25, 0, 127, -128, 0.0001, 42.42}
+	q := make([]int8, len(src))
+	scale := QuantizeRowI8(q, src)
+	if scale <= 0 {
+		t.Fatalf("scale = %g, want > 0", scale)
+	}
+	dq := make([]float32, len(src))
+	DequantizeRowI8(dq, q, scale)
+	fused := make([]float32, len(src))
+	RoundTripI8(fused, src)
+	for i := range src {
+		if dq[i] != fused[i] {
+			t.Errorf("elem %d: fused kernel %g != quantize→dequantize %g", i, fused[i], dq[i])
+		}
+		if err := math.Abs(float64(dq[i] - src[i])); err > i8Bound(scale) {
+			t.Errorf("elem %d: round-trip error %g exceeds bound %g (scale %g)", i, err, i8Bound(scale), scale)
+		}
+	}
+}
+
+func TestQuantizeRowI8Degenerate(t *testing.T) {
+	// All-zero and all-non-finite rows quantize to zeros with scale 0.
+	for _, src := range [][]float32{
+		{0, 0, 0},
+		{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))},
+		{},
+	} {
+		q := make([]int8, len(src))
+		if scale := QuantizeRowI8(q, src); scale != 0 {
+			t.Errorf("degenerate row scale = %g, want 0", scale)
+		}
+		rt := make([]float32, len(src))
+		RoundTripI8(rt, src)
+		for i := range rt {
+			if rt[i] != 0 {
+				t.Errorf("degenerate row round-trip elem %d = %g, want 0", i, rt[i])
+			}
+		}
+	}
+	// A row mixing finite and non-finite values scales over the finite ones;
+	// infinities saturate and NaN maps to zero.
+	src := []float32{2, float32(math.Inf(1)), float32(math.NaN()), -1}
+	rt := make([]float32, len(src))
+	RoundTripI8(rt, src)
+	scale := float32(2) / 127
+	if math.Abs(float64(rt[0]-2)) > i8Bound(scale) || math.Abs(float64(rt[3]+1)) > i8Bound(scale) {
+		t.Errorf("finite values mangled: %v", rt)
+	}
+	if rt[1] != rt[0] { // +Inf clamps to +127, the same bucket as maxabs
+		t.Errorf("+Inf must saturate at maxabs: got %g, maxabs round-trips to %g", rt[1], rt[0])
+	}
+	if rt[2] != 0 {
+		t.Errorf("NaN must quantize to 0, got %g", rt[2])
+	}
+}
+
+func TestRoundTripF16MatchesScalar(t *testing.T) {
+	src := []float32{3.14159, -2.71828, 1e-6, -65504, 65504, 0.333333}
+	q := make([]uint16, len(src))
+	QuantizeRowF16(q, src)
+	dq := make([]float32, len(src))
+	DequantizeRowF16(dq, q)
+	fused := make([]float32, len(src))
+	RoundTripF16(fused, src)
+	for i := range src {
+		if dq[i] != fused[i] {
+			t.Errorf("elem %d: fused %g != quantize→dequantize %g", i, fused[i], dq[i])
+		}
+		if err := math.Abs(float64(dq[i] - src[i])); err > f16Bound(src[i]) {
+			t.Errorf("elem %d: error %g exceeds bound %g for %g", i, err, f16Bound(src[i]), src[i])
+		}
+	}
+}
+
+// TestF16RoundTripExhaustiveHalves verifies F16ToF32→F16FromF32 is the
+// identity on every finite half — the two conversions are exact inverses on
+// the representable set.
+func TestF16RoundTripExhaustiveHalves(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		if uint16(h)>>10&0x1f == 0x1f {
+			continue // Inf/NaN halves are policy-mapped, not round-tripped
+		}
+		f := F16ToF32(uint16(h))
+		back := F16FromF32(f)
+		if back != uint16(h) && !(f == 0 && back&0x7fff == 0) {
+			t.Fatalf("half %#04x → %g → %#04x", h, f, back)
+		}
+	}
+}
+
+// FuzzQuantRoundTrip is the quantization kernels' safety contract on
+// arbitrary rows: quantize→dequantize never panics, always produces finite
+// output, agrees with the fused round-trip kernels bit for bit, and stays
+// within the per-format error bound for finite in-range inputs — including
+// rows laced with NaN and ±Inf.
+func FuzzQuantRoundTrip(f *testing.F) {
+	addRow := func(vals ...float32) {
+		b := make([]byte, 0, 4*len(vals))
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+		}
+		f.Add(b)
+	}
+	addRow(1, -2, 3.5, -0.125)
+	addRow(0, 0, 0, 0)
+	addRow(float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), 1e-30)
+	addRow(65504, 70000, -65505)
+	addRow(math.MaxFloat32, -math.MaxFloat32, math.SmallestNonzeroFloat32)
+	f.Add([]byte{1, 2, 3}) // ragged tail, decodes to an empty row
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		n := len(b) / 4
+		if n > 4096 {
+			n = 4096
+		}
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+
+		// int8: scalar pipeline and fused kernel must agree exactly.
+		q := make([]int8, n)
+		scale := QuantizeRowI8(q, src)
+		dq := make([]float32, n)
+		DequantizeRowI8(dq, q, scale)
+		fused := make([]float32, n)
+		RoundTripI8(fused, src)
+		for i, v := range src {
+			if dq[i] != fused[i] {
+				t.Fatalf("i8 elem %d: fused %g != scalar %g", i, fused[i], dq[i])
+			}
+			if math.IsNaN(float64(fused[i])) || math.IsInf(float64(fused[i]), 0) {
+				t.Fatalf("i8 elem %d: non-finite output %g from input %g", i, fused[i], v)
+			}
+			finite := !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0)
+			if finite && scale > 0 && !math.IsInf(float64(float32(1)/scale), 0) {
+				if err := math.Abs(float64(fused[i] - v)); err > i8Bound(scale) {
+					t.Fatalf("i8 elem %d: error %g exceeds bound %g (v=%g scale=%g)", i, err, i8Bound(scale), v, scale)
+				}
+			}
+		}
+
+		// fp16: same agreement and totality contract.
+		h := make([]uint16, n)
+		QuantizeRowF16(h, src)
+		dqh := make([]float32, n)
+		DequantizeRowF16(dqh, h)
+		fusedh := make([]float32, n)
+		RoundTripF16(fusedh, src)
+		for i, v := range src {
+			if dqh[i] != fusedh[i] {
+				t.Fatalf("f16 elem %d: fused %g != scalar %g", i, fusedh[i], dqh[i])
+			}
+			if math.IsNaN(float64(fusedh[i])) || math.IsInf(float64(fusedh[i]), 0) {
+				t.Fatalf("f16 elem %d: non-finite output %g from input %g", i, fusedh[i], v)
+			}
+			finite := !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0)
+			if finite && math.Abs(float64(v)) <= F16MaxValue {
+				if err := math.Abs(float64(fusedh[i] - v)); err > f16Bound(v) {
+					t.Fatalf("f16 elem %d: error %g exceeds bound %g for %g", i, err, f16Bound(v), v)
+				}
+			}
+		}
+	})
+}

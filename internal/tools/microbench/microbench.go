@@ -40,6 +40,8 @@ func Targets() []Target {
 		{"HotlineTrainStepPipelined", HotlineTrainStepPipelined},
 		{"HotlineTrainStepDepth4", HotlineTrainStepDepth4},
 		{"ShardedPrefetchWindow", ShardedPrefetchWindow},
+		{"QuantGatherINT8", QuantGatherINT8},
+		{"QuantGatherFP16", QuantGatherFP16},
 		{"ServePredict", ServePredict},
 		{"PipelineIteration", PipelineIteration},
 		{"ZipfSample", ZipfSample},
@@ -158,6 +160,41 @@ func ShardedPrefetchWindow(b *testing.B) {
 		sb.Forward(idx)
 	}
 }
+
+// quantGather measures the fused dequantize-gather path end to end on a
+// 4-node precision-tiered service: every remote row is warm-tier resident at
+// width w, so each window stages entirely through the fused kernel (fetch +
+// in-place round trip into the pooled staging slots; steady state:
+// 0 allocs/op at Parallelism(1)). The same index set as
+// ShardedPrefetchWindow, so the two targets diff cleanly: the delta between
+// them is the quantization kernel itself.
+func quantGather(b *testing.B, q shard.QuantMode) {
+	const dim, rows = 16, 256
+	svc := shard.New(shard.Config{
+		Nodes: 4, CacheBytes: int64(rows) * int64(dim) * 4, RowBytes: int64(dim) * 4,
+		Quant: q,
+	}, nil)
+	svc.EnableAsyncGather()
+	sb := embedding.ShardBag(embedding.NewTable(rows, dim, tensor.NewRNG(3)), svc, 0)
+	idx := make([][]int32, 32)
+	for i := range idx {
+		idx[i] = []int32{int32(i * 7 % rows), int32(i * 13 % rows), int32(i % 7)}
+	}
+	sb.Prefetch(idx) // warm: admit every remote row at the narrow width
+	sb.Forward(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Prefetch(idx)
+		sb.Forward(idx)
+	}
+}
+
+// QuantGatherINT8 is the fused dequantize-gather window with int8 warm rows.
+func QuantGatherINT8(b *testing.B) { quantGather(b, shard.QuantINT8) }
+
+// QuantGatherFP16 is the fused dequantize-gather window with fp16 warm rows.
+func QuantGatherFP16(b *testing.B) { quantGather(b, shard.QuantFP16) }
 
 // benchServeServer builds the warmed 4-node serving stack the serve
 // benchmarks and the BENCH load section share.

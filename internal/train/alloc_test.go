@@ -106,6 +106,57 @@ func TestShardedPipelinedZeroAllocDepths(t *testing.T) {
 	}
 }
 
+// TestQuantizedPipelinedZeroAllocDepths extends the depth-k zero-alloc gate
+// to the precision-tiered caches: with warm rows stored narrow and every
+// warm-tier access served through the fused dequantize-gather kernel (plus
+// its delta-repair path at consume time), the sharded pipelined step must
+// still perform ZERO steady-state allocations at Parallelism(1) for every
+// depth k in {1, 2, 4, 8} — the fused kernel writes straight into the pooled
+// staging slots, never through a fresh buffer.
+func TestQuantizedPipelinedZeroAllocDepths(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	cfg := allocCfg()
+	for _, q := range []shard.QuantMode{shard.QuantINT8, shard.QuantMixed} {
+		for _, k := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/k=%d", q, k), func(t *testing.T) {
+				if testing.Short() && q == shard.QuantINT8 {
+					t.Skip("the mixed sweep covers the fused kernel and both tiers; run without -short for the uniform mode")
+				}
+				svc := shard.New(shard.Config{
+					Nodes: 4, CacheBytes: 64 << 10, RowBytes: int64(cfg.EmbedDim) * 4,
+					Quant: q,
+				}, modHot{})
+				tr := NewHotlineSharded(model.New(cfg, 1), 0.1, svc)
+				tr.Depth = k
+				gen := data.NewGenerator(cfg)
+				const window = 16
+				batches := make([]*data.Batch, window)
+				for i := range batches {
+					batches[i] = gen.NextBatch(64)
+				}
+				look := make([]*data.Batch, k-1)
+				i := 0
+				step := func() {
+					for j := range look {
+						look[j] = batches[(i+1+j)%window]
+					}
+					tr.StepLookahead(batches[i%window], look)
+					i++
+				}
+				for n := 0; n < 300; n++ {
+					step()
+				}
+				if st := svc.Snapshot(); st.DequantRows == 0 {
+					t.Fatal("warm-up never ran the fused dequantize-gather; the gate is vacuous")
+				}
+				if n := testing.AllocsPerRun(30, step); n > 0 {
+					t.Fatalf("%s depth-%d quantized pipelined step allocated %.1f times per step, want 0", q, k, n)
+				}
+			})
+		}
+	}
+}
+
 // TestBaselineStepZeroAllocSteadyState: the baseline executor's step is
 // also allocation-free (forward, loss, backward, SGD, sparse update).
 func TestBaselineStepZeroAllocSteadyState(t *testing.T) {
